@@ -1,0 +1,94 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! linkage criterion, PCA variance threshold, and the locality observer's
+//! time-axis capacity. Each ablation benches the alternative and prints
+//! (once, via criterion's reporting) its runtime cost; the accompanying
+//! assertions document the *result* differences in tests below the
+//! benches would be invisible, so the accuracy side lives in
+//! `tests/ablations.rs` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gwc_core::reduce::ReducedSpace;
+use gwc_core::study::{Study, StudyConfig};
+use gwc_stats::hclust::{hierarchical, Linkage};
+use gwc_workloads::Scale;
+
+fn study() -> Study {
+    Study::run(&StudyConfig {
+        seed: 7,
+        scale: Scale::Tiny,
+        verify: false,
+    })
+    .expect("study runs")
+}
+
+fn bench_linkage_choice(c: &mut Criterion) {
+    let s = study();
+    let space = ReducedSpace::fit(&s.matrix(), 0.9).expect("fits");
+    let mut group = c.benchmark_group("ablation/linkage");
+    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+        group.bench_function(format!("{linkage}"), |b| {
+            b.iter(|| black_box(hierarchical(space.scores(), linkage).expect("fits")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_variance_threshold(c: &mut Criterion) {
+    let s = study();
+    let matrix = s.matrix();
+    let mut group = c.benchmark_group("ablation/pca_threshold");
+    for threshold in [0.85, 0.90, 0.95] {
+        group.bench_function(format!("{threshold}"), |b| {
+            b.iter(|| {
+                let space = ReducedSpace::fit(&matrix, threshold).expect("fits");
+                black_box(space.kept())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_locality_capacity(c: &mut Criterion) {
+    use gwc_characterize::locality::LocalityObserver;
+    use gwc_simt::instr::Space;
+    use gwc_simt::trace::{AccessKind, MemEvent, TraceObserver};
+    use gwc_simt::WARP_SIZE;
+
+    let mut group = c.benchmark_group("ablation/locality_capacity");
+    // A cyclic access pattern over 4k lines, 64k touches.
+    for cap in [1 << 13, 1 << 16, 1 << 21] {
+        group.bench_function(format!("cap_{cap}"), |b| {
+            b.iter(|| {
+                let mut obs = LocalityObserver::with_capacity(cap);
+                let mut addrs = [0u32; WARP_SIZE];
+                for round in 0..2048u32 {
+                    for (lane, a) in addrs.iter_mut().enumerate() {
+                        *a = ((round * 32 + lane as u32) % 4096) * 128;
+                    }
+                    obs.on_mem(&MemEvent {
+                        block: 0,
+                        warp: 0,
+                        pc: 0,
+                        space: Space::Global,
+                        kind: AccessKind::Load,
+                        bytes: 4,
+                        active: u32::MAX,
+                        addrs: &addrs,
+                    });
+                }
+                black_box(obs.reuse_cdf(2))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linkage_choice,
+    bench_variance_threshold,
+    bench_locality_capacity
+);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion benchmarks of the pipeline stages: simulator throughput,
+//! characterization overhead, statistics kernels and per-experiment
+//! regeneration cost (at Tiny scale so a full `cargo bench` stays quick).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gwc_characterize::Profiler;
+use gwc_core::analysis::ClusterAnalysis;
+use gwc_core::reduce::ReducedSpace;
+use gwc_core::study::{Study, StudyConfig};
+use gwc_core::subspace::{Subspace, SubspaceAnalysis};
+use gwc_simt::builder::KernelBuilder;
+use gwc_simt::exec::Device;
+use gwc_simt::instr::Value;
+use gwc_simt::launch::LaunchConfig;
+use gwc_stats::hclust::{hierarchical, Linkage};
+use gwc_stats::kmeans::kmeans_best_bic;
+use gwc_stats::pca::Pca;
+use gwc_workloads::Scale;
+
+fn saxpy_kernel() -> gwc_simt::kernel::Kernel {
+    let mut b = KernelBuilder::new("saxpy");
+    let x = b.param_u32("x");
+    let y = b.param_u32("y");
+    let n = b.param_u32("n");
+    let i = b.global_tid_x();
+    let p = b.lt_u32(i, n);
+    b.if_(p, |b| {
+        let xa = b.index(x, i, 4);
+        let xv = b.ld_global_f32(xa);
+        let ya = b.index(y, i, 4);
+        let yv = b.ld_global_f32(ya);
+        let r = b.mad_f32(Value::F32(2.0), xv, yv);
+        b.st_global_f32(ya, r);
+    });
+    b.build().expect("valid kernel")
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let kernel = saxpy_kernel();
+    let n = 1 << 14;
+    c.bench_function("simt/saxpy_16k_untraced", |bch| {
+        bch.iter(|| {
+            let mut dev = Device::new();
+            let hx = dev.alloc_f32(&vec![1.0; n]);
+            let hy = dev.alloc_f32(&vec![2.0; n]);
+            let stats = dev
+                .launch(
+                    &kernel,
+                    &LaunchConfig::linear(n as u32, 256),
+                    &[hx.arg(), hy.arg(), Value::U32(n as u32)],
+                )
+                .expect("runs");
+            black_box(stats)
+        })
+    });
+    c.bench_function("simt/saxpy_16k_profiled", |bch| {
+        bch.iter(|| {
+            let mut dev = Device::new();
+            let hx = dev.alloc_f32(&vec![1.0; n]);
+            let hy = dev.alloc_f32(&vec![2.0; n]);
+            let mut profiler = Profiler::new();
+            dev.launch_observed(
+                &kernel,
+                &LaunchConfig::linear(n as u32, 256),
+                &[hx.arg(), hy.arg(), Value::U32(n as u32)],
+                &mut profiler,
+            )
+            .expect("runs");
+            black_box(profiler.finish("saxpy"))
+        })
+    });
+}
+
+fn tiny_study() -> Study {
+    Study::run(&StudyConfig {
+        seed: 7,
+        scale: Scale::Tiny,
+        verify: false,
+    })
+    .expect("study runs")
+}
+
+fn bench_statistics(c: &mut Criterion) {
+    let study = tiny_study();
+    let matrix = study.matrix();
+    let (z, _) = gwc_stats::normalize::zscore(&matrix);
+    c.bench_function("stats/pca_fit", |bch| {
+        bch.iter(|| black_box(Pca::fit(&z).expect("fits")))
+    });
+    let space = ReducedSpace::fit(&matrix, 0.9).expect("fits");
+    c.bench_function("stats/hclust_average", |bch| {
+        bch.iter(|| black_box(hierarchical(space.scores(), Linkage::Average).expect("fits")))
+    });
+    c.bench_function("stats/kmeans_bic", |bch| {
+        bch.iter(|| black_box(kmeans_best_bic(space.scores(), 12, 7).expect("fits")))
+    });
+}
+
+fn bench_study_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study");
+    group.sample_size(10);
+    group.bench_function("full_tiny_study", |bch| {
+        bch.iter(|| black_box(tiny_study()))
+    });
+    let study = tiny_study();
+    group.bench_function("reduce_and_cluster", |bch| {
+        bch.iter(|| {
+            let space = ReducedSpace::fit(&study.matrix(), 0.9).expect("fits");
+            let analysis = ClusterAnalysis::fit(space.scores(), 12, 7).expect("fits");
+            black_box((space.kept(), analysis.k()))
+        })
+    });
+    group.bench_function("subspace_analysis", |bch| {
+        bch.iter(|| {
+            black_box(SubspaceAnalysis::fit(&study, Subspace::divergence()).expect("fits"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor, bench_statistics, bench_study_stages);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the study's experiment artifacts (tables and figures).
+//!
+//! ```sh
+//! cargo run --release -p gwc-bench --bin regen          # all of E1..E13
+//! cargo run --release -p gwc-bench --bin regen e5 e12   # a subset
+//! ```
+
+use gwc_bench::{all_experiments, run_experiment, StudyArtifacts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() {
+        all_experiments().iter().map(|s| s.to_string()).collect()
+    } else {
+        args.iter().map(|a| a.to_lowercase()).collect()
+    };
+    for id in &ids {
+        if !all_experiments().contains(&id.as_str()) {
+            eprintln!("unknown experiment `{id}`; known: {:?}", all_experiments());
+            std::process::exit(2);
+        }
+    }
+    eprintln!("running the characterization study (Small scale, seed 7)...");
+    let artifacts = StudyArtifacts::collect();
+    for id in ids {
+        println!("{}", "=".repeat(78));
+        println!("{}", run_experiment(&id, &artifacts));
+    }
+}

@@ -1,0 +1,355 @@
+//! One function per experiment (E1–E13), all sharing a cached study run.
+
+use std::fmt::Write as _;
+
+use gwc_characterize::schema;
+use gwc_core::analysis::ClusterAnalysis;
+use gwc_core::diversity::suite_diversity;
+use gwc_core::eval::{evaluate_subset, random_subset_errors, stress_selection};
+use gwc_core::reduce::ReducedSpace;
+use gwc_core::report;
+use gwc_core::study::{Study, StudyConfig};
+use gwc_core::subspace::{Subspace, SubspaceAnalysis};
+use gwc_stats::corr::correlated_groups;
+use gwc_stats::describe::mean;
+use gwc_stats::normalize::zscore;
+use gwc_timing::sweep::default_design_space;
+use gwc_timing::GpuConfig;
+use gwc_workloads::{registry, Scale};
+
+/// The canonical study configuration every experiment uses.
+pub fn study_config() -> StudyConfig {
+    StudyConfig {
+        seed: 7,
+        scale: Scale::Small,
+        verify: true,
+    }
+}
+
+/// A study run plus the shared derived artifacts.
+pub struct StudyArtifacts {
+    /// The study population (quickstart `vector_add` excluded).
+    pub study: Study,
+    /// Whole-space reduction at 90% variance.
+    pub space: ReducedSpace,
+    /// Whole-space clustering.
+    pub analysis: ClusterAnalysis,
+}
+
+impl StudyArtifacts {
+    /// Runs the study and fits the shared artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the study fails — regeneration is a batch tool and a
+    /// failed run has nothing to print.
+    pub fn collect() -> Self {
+        let study = Study::run(&study_config())
+            .expect("study runs and verifies")
+            .without_workload("vector_add");
+        let space = ReducedSpace::fit(&study.matrix(), 0.9).expect("reduction fits");
+        let analysis = ClusterAnalysis::fit(space.scores(), 12, 7).expect("clustering fits");
+        Self {
+            study,
+            space,
+            analysis,
+        }
+    }
+}
+
+/// E1 — the characteristic set.
+pub fn e1_characteristics() -> String {
+    let mut out = String::from("E1: microarchitecture-independent characteristics\n");
+    let _ = writeln!(out, "{:<28} {:<12} description", "name", "group");
+    for def in schema::SCHEMA {
+        let _ = writeln!(out, "{:<28} {:<12} {}", def.name, def.group.name(), def.desc);
+    }
+    out
+}
+
+/// E2 — the workload inventory.
+pub fn e2_workloads(a: &StudyArtifacts) -> String {
+    let mut out = String::from("E2: workload inventory\n");
+    let _ = writeln!(
+        out,
+        "{:<22} {:<9} {:>7} {:>14} {:>14}",
+        "workload", "suite", "kernels", "warp instrs", "thread instrs"
+    );
+    for meta in registry::all_metas(study_config().seed) {
+        if meta.name == "vector_add" {
+            continue;
+        }
+        let rows = a.study.rows_of_workload(meta.name);
+        let wi: u64 = rows
+            .iter()
+            .map(|&r| a.study.records()[r].profile.raw().warp_instrs)
+            .sum();
+        let ti: u64 = rows
+            .iter()
+            .map(|&r| a.study.records()[r].profile.raw().thread_instrs)
+            .sum();
+        let _ = writeln!(
+            out,
+            "{:<22} {:<9} {:>7} {:>14} {:>14}",
+            meta.name,
+            meta.suite.name(),
+            rows.len(),
+            wi,
+            ti
+        );
+    }
+    out
+}
+
+/// E3 — the raw characteristic matrix.
+pub fn e3_matrix(a: &StudyArtifacts) -> String {
+    let headers: Vec<&str> = schema::SCHEMA.iter().map(|d| d.name).collect();
+    format!(
+        "E3: raw characteristic matrix\n{}",
+        report::render_matrix(&a.study.labels(), &headers, &a.study.matrix())
+    )
+}
+
+/// E4 — correlation structure and PCA variance.
+pub fn e4_pca_variance(a: &StudyArtifacts) -> String {
+    let mut out = String::from("E4: correlated dimensionality reduction\n");
+    let (z, _) = zscore(&a.study.matrix());
+    let groups = correlated_groups(&z, 0.9).expect("correlation computes");
+    let _ = writeln!(out, "characteristic groups with |r| > 0.9:");
+    for g in groups.iter().filter(|g| g.len() > 1) {
+        let names: Vec<&str> = g.iter().map(|&c| schema::SCHEMA[c].name).collect();
+        let _ = writeln!(out, "  {}", names.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "\n{} varying characteristics -> {} PCs for 90% variance",
+        a.space.varying_dims(),
+        a.space.kept()
+    );
+    let _ = writeln!(out, "\ncumulative variance explained:");
+    for k in 1..=a.space.kept() + 2 {
+        if k > a.space.varying_dims() {
+            break;
+        }
+        let _ = writeln!(out, "  PC1..PC{k:<2} {:6.2}%", 100.0 * a.space.pca().variance_explained(k));
+    }
+    out
+}
+
+fn scatter(a: &StudyArtifacts, cx: usize, cy: usize) -> String {
+    let scores = a.space.scores();
+    let xs: Vec<f64> = (0..scores.rows()).map(|r| scores.get(r, cx)).collect();
+    let ys: Vec<f64> = (0..scores.rows()).map(|r| scores.get(r, cy)).collect();
+    report::render_scatter(&a.study.labels(), &xs, &ys, 72, 24)
+}
+
+/// E5 — PC1–PC2 scatter.
+pub fn e5_scatter_pc12(a: &StudyArtifacts) -> String {
+    format!("E5: kernels in PC1-PC2\n{}", scatter(a, 0, 1))
+}
+
+/// E6 — PC3–PC4 scatter.
+pub fn e6_scatter_pc34(a: &StudyArtifacts) -> String {
+    if a.space.kept() < 4 {
+        return "E6: fewer than 4 PCs kept".into();
+    }
+    format!("E6: kernels in PC3-PC4\n{}", scatter(a, 2, 3))
+}
+
+/// E7 — whole-space dendrogram.
+pub fn e7_dendrogram(a: &StudyArtifacts) -> String {
+    format!(
+        "E7: dendrogram (average linkage, PC space)\n{}",
+        a.analysis.dendrogram().render(&a.study.labels())
+    )
+}
+
+/// E8 — clusters and representatives across k.
+pub fn e8_clusters(a: &StudyArtifacts) -> String {
+    let mut out = String::from("E8: clusters and representatives\n");
+    let labels = a.study.labels();
+    let _ = writeln!(out, "BIC-selected k = {}", a.analysis.k());
+    for (c, &rep) in a.analysis.representatives().iter().enumerate() {
+        let members: Vec<&str> = a
+            .analysis
+            .labels()
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == c)
+            .map(|(i, _)| labels[i].as_str())
+            .collect();
+        let _ = writeln!(out, "cluster {c} (rep: {})", labels[rep]);
+        for m in members {
+            let _ = writeln!(out, "    {m}");
+        }
+    }
+    for k in [4, 8] {
+        let fixed = ClusterAnalysis::fit_k(a.space.scores(), k, 7).expect("fits");
+        let reps: Vec<&str> = fixed
+            .representatives()
+            .iter()
+            .map(|&r| labels[r].as_str())
+            .collect();
+        let _ = writeln!(out, "k={k} representatives: {}", reps.join(", "));
+    }
+    out
+}
+
+fn subspace_report(a: &StudyArtifacts, sub: Subspace, id: &str) -> String {
+    let analysis = SubspaceAnalysis::fit(&a.study, sub).expect("subspace fits");
+    let mut out = format!("{id}: {} subspace\n", analysis.subspace.name);
+    let _ = writeln!(out, "workload variation (descending):");
+    for (w, v) in &analysis.variation {
+        let _ = writeln!(out, "  {w:<22} {v:.4}");
+    }
+    let scores = analysis.space.scores();
+    if scores.cols() >= 2 {
+        let xs: Vec<f64> = (0..scores.rows()).map(|r| scores.get(r, 0)).collect();
+        let ys: Vec<f64> = (0..scores.rows()).map(|r| scores.get(r, 1)).collect();
+        let _ = writeln!(
+            out,
+            "\nkernels in the subspace PC1-PC2:\n{}",
+            report::render_scatter(&a.study.labels(), &xs, &ys, 72, 20)
+        );
+    }
+    out
+}
+
+/// E9 — branch-divergence subspace.
+pub fn e9_divergence_subspace(a: &StudyArtifacts) -> String {
+    subspace_report(a, Subspace::divergence(), "E9")
+}
+
+/// E10 — memory-coalescing subspace.
+pub fn e10_coalescing_subspace(a: &StudyArtifacts) -> String {
+    subspace_report(a, Subspace::coalescing(), "E10")
+}
+
+/// E11 — suite diversity.
+pub fn e11_suite_diversity(a: &StudyArtifacts) -> String {
+    let mut out = String::from("E11: suite diversity in the common PC space\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>14} {:>12} {:>10}",
+        "suite", "kernels", "mean pairwise", "log volume", "reach"
+    );
+    for d in suite_diversity(&a.study, a.space.scores()) {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>14.3} {:>12.2} {:>10.3}",
+            d.suite.name(),
+            d.kernels,
+            d.mean_pairwise,
+            d.log_volume,
+            d.mean_reach
+        );
+    }
+    out
+}
+
+/// E12 — design-space evaluation metrics.
+pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
+    let mut out = String::from("E12: design-space evaluation metrics\n");
+    let baseline = GpuConfig::baseline();
+    let configs = default_design_space();
+    let reps = a.analysis.representatives();
+    let labels = a.study.labels();
+    let rep_names: Vec<&str> = reps.iter().map(|&r| labels[r].as_str()).collect();
+    let _ = writeln!(
+        out,
+        "representatives ({} of {}): {}",
+        reps.len(),
+        labels.len(),
+        rep_names.join(", ")
+    );
+    let eval = evaluate_subset(&a.study, &baseline, &configs, reps);
+    let _ = writeln!(
+        out,
+        "\n{:<16} {:>10} {:>10} {:>8}",
+        "design point", "truth", "estimate", "error"
+    );
+    for (name, truth, estimate, err) in &eval.rows {
+        let _ = writeln!(
+            out,
+            "{name:<16} {truth:>10.3} {estimate:>10.3} {:>7.2}%",
+            100.0 * err
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nrepresentative subset: mean error {:.2}%, max {:.2}%",
+        100.0 * eval.mean_error(),
+        100.0 * eval.max_error()
+    );
+    let random = random_subset_errors(&a.study, &baseline, &configs, reps.len(), 20, 99);
+    let _ = writeln!(
+        out,
+        "random subsets (same size, 20 draws): mean error {:.2}%",
+        100.0 * mean(&random)
+    );
+    for size in [2usize, 4, 8] {
+        let r = random_subset_errors(&a.study, &baseline, &configs, size, 20, 1234 + size as u64);
+        let _ = writeln!(out, "random subsets of size {size}: mean error {:.2}%", 100.0 * mean(&r));
+    }
+    out
+}
+
+/// E13 — stress-workload selection.
+pub fn e13_stress_selection(a: &StudyArtifacts) -> String {
+    let mut out = String::from("E13: stress workloads per functional block\n");
+    for sel in stress_selection(&a.study, 5) {
+        let _ = writeln!(out, "{} (by {}):", sel.block, sel.characteristic);
+        for (name, v) in &sel.top {
+            let _ = writeln!(out, "    {name:<44} {v:.4}");
+        }
+    }
+    out
+}
+
+/// All experiment ids in order.
+pub fn all_experiments() -> Vec<&'static str> {
+    vec![
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+    ]
+}
+
+/// Runs one experiment by id against shared artifacts.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run_experiment(id: &str, a: &StudyArtifacts) -> String {
+    match id {
+        "e1" => e1_characteristics(),
+        "e2" => e2_workloads(a),
+        "e3" => e3_matrix(a),
+        "e4" => e4_pca_variance(a),
+        "e5" => e5_scatter_pc12(a),
+        "e6" => e6_scatter_pc34(a),
+        "e7" => e7_dendrogram(a),
+        "e8" => e8_clusters(a),
+        "e9" => e9_divergence_subspace(a),
+        "e10" => e10_coalescing_subspace(a),
+        "e11" => e11_suite_diversity(a),
+        "e12" => e12_eval_metrics(a),
+        "e13" => e13_stress_selection(a),
+        other => panic!("unknown experiment `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_needs_no_study() {
+        let t = e1_characteristics();
+        assert!(t.contains("div_simd_activity"));
+        assert!(t.contains("coalescing"));
+    }
+
+    #[test]
+    fn experiment_ids_are_complete() {
+        assert_eq!(all_experiments().len(), 13);
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-thread instruction-level parallelism from register dataflow.
+//!
+//! For every thread we assign each dynamic instruction a *dataflow level*:
+//! `1 + max(level of the instructions that produced its register
+//! operands)`. The maximum level is the register-dataflow critical path,
+//! and `instructions / critical path` is the thread's inherent ILP — the
+//! parallelism an idealized in-order-issue machine with unlimited
+//! functional units could extract. Memory-carried dependences are ignored,
+//! matching MICA-style characterization.
+
+use std::collections::HashMap;
+
+use gwc_simt::trace::{InstrEvent, TraceObserver};
+use gwc_simt::WARP_SIZE;
+
+#[derive(Debug, Clone)]
+struct WarpIlp {
+    /// Dataflow level of the last writer: `levels[reg * 32 + lane]`.
+    levels: Vec<u32>,
+    /// Dynamic index of the last writer: `write_idx[reg * 32 + lane]`.
+    write_idx: Vec<u64>,
+    /// Per-lane instruction counts.
+    count: [u64; WARP_SIZE],
+    /// Per-lane critical-path length.
+    crit: [u32; WARP_SIZE],
+}
+
+impl WarpIlp {
+    fn new(regs: usize) -> Self {
+        Self {
+            levels: vec![0; regs * WARP_SIZE],
+            write_idx: vec![0; regs * WARP_SIZE],
+            count: [0; WARP_SIZE],
+            crit: [0; WARP_SIZE],
+        }
+    }
+}
+
+/// Streams register dataflow into per-thread ILP statistics.
+///
+/// Observations accumulate across launches: at each launch boundary the
+/// finished warps of the previous launch are folded into running sums, so
+/// memory stays bounded by one launch's warp count.
+#[derive(Debug, Default)]
+pub struct IlpObserver {
+    regs: usize,
+    warps: HashMap<(u32, u32), WarpIlp>,
+    folded_weighted: f64,
+    folded_instrs: u64,
+    dep_distance_sum: f64,
+    dep_count: u64,
+}
+
+impl IlpObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fold_of(warps: &HashMap<(u32, u32), WarpIlp>) -> (f64, u64) {
+        let mut instr_sum = 0u64;
+        let mut weighted = 0.0;
+        // Sorted iteration: floating-point accumulation order must not
+        // depend on HashMap layout, or studies stop being reproducible.
+        let mut keys: Vec<&(u32, u32)> = warps.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let w = &warps[key];
+            for lane in 0..WARP_SIZE {
+                if w.count[lane] > 0 {
+                    let ilp = w.count[lane] as f64 / w.crit[lane].max(1) as f64;
+                    weighted += ilp * w.count[lane] as f64;
+                    instr_sum += w.count[lane];
+                }
+            }
+        }
+        (weighted, instr_sum)
+    }
+
+    /// Mean per-thread ILP (`instructions / critical path`), averaged over
+    /// threads weighted by their instruction counts. 1.0 for fully serial
+    /// code; higher means more independent instructions per thread.
+    pub fn ilp(&self) -> f64 {
+        let (weighted, instrs) = Self::fold_of(&self.warps);
+        let total_w = self.folded_weighted + weighted;
+        let total_i = self.folded_instrs + instrs;
+        if total_i == 0 {
+            0.0
+        } else {
+            total_w / total_i as f64
+        }
+    }
+
+    /// Mean producer→consumer distance in dynamic instructions.
+    pub fn dep_distance(&self) -> f64 {
+        if self.dep_count == 0 {
+            0.0
+        } else {
+            self.dep_distance_sum / self.dep_count as f64
+        }
+    }
+}
+
+impl TraceObserver for IlpObserver {
+    fn on_launch(&mut self, kernel: &gwc_simt::kernel::Kernel, _config: &gwc_simt::launch::LaunchConfig) {
+        let (weighted, instrs) = Self::fold_of(&self.warps);
+        self.folded_weighted += weighted;
+        self.folded_instrs += instrs;
+        self.regs = kernel.reg_count();
+        self.warps.clear();
+    }
+
+    fn on_instr(&mut self, e: &InstrEvent<'_>) {
+        let regs = self.regs;
+        let w = self
+            .warps
+            .entry((e.block, e.warp))
+            .or_insert_with(|| WarpIlp::new(regs));
+        for lane in 0..WARP_SIZE {
+            if e.active & (1 << lane) == 0 {
+                continue;
+            }
+            w.count[lane] += 1;
+            let idx = w.count[lane];
+            let mut level = 0u32;
+            for src in e.srcs {
+                let slot = src.0 as usize * WARP_SIZE + lane;
+                let src_level = w.levels[slot];
+                if src_level > 0 {
+                    level = level.max(src_level);
+                    let dist = idx.saturating_sub(w.write_idx[slot]);
+                    self.dep_distance_sum += dist as f64;
+                    self.dep_count += 1;
+                }
+            }
+            let level = level + 1;
+            w.crit[lane] = w.crit[lane].max(level);
+            if let Some(dst) = e.dst {
+                let slot = dst.0 as usize * WARP_SIZE + lane;
+                w.levels[slot] = level;
+                w.write_idx[slot] = idx;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gwc_simt::instr::{InstrClass, Reg};
+
+    fn ev(active: u32, dst: Option<Reg>, srcs: &'static [Reg]) -> InstrEvent<'static> {
+        InstrEvent {
+            block: 0,
+            warp: 0,
+            pc: 0,
+            class: InstrClass::IntAlu,
+            active,
+            live: u32::MAX,
+            dst,
+            srcs,
+        }
+    }
+
+    fn with_regs(regs: usize) -> IlpObserver {
+        let mut o = IlpObserver::new();
+        o.regs = regs;
+        o
+    }
+
+    #[test]
+    fn serial_chain_has_ilp_one() {
+        // r0 = ...; r0 = f(r0); r0 = f(r0): fully serial.
+        let mut o = with_regs(1);
+        o.on_instr(&ev(1, Some(Reg(0)), &[]));
+        static SRC: [Reg; 1] = [Reg(0)];
+        o.on_instr(&ev(1, Some(Reg(0)), &SRC));
+        o.on_instr(&ev(1, Some(Reg(0)), &SRC));
+        assert!((o.ilp() - 1.0).abs() < 1e-12, "{}", o.ilp());
+    }
+
+    #[test]
+    fn independent_instrs_have_high_ilp() {
+        // Four writes to distinct registers with no sources.
+        let mut o = with_regs(4);
+        for r in 0..4 {
+            o.on_instr(&ev(1, Some(Reg(r)), &[]));
+        }
+        assert!((o.ilp() - 4.0).abs() < 1e-12, "{}", o.ilp());
+    }
+
+    #[test]
+    fn dep_distance_tracks_gap() {
+        let mut o = with_regs(2);
+        o.on_instr(&ev(1, Some(Reg(0)), &[])); // idx 1 writes r0
+        o.on_instr(&ev(1, Some(Reg(1)), &[])); // idx 2 independent
+        static SRC: [Reg; 1] = [Reg(0)];
+        o.on_instr(&ev(1, None, &SRC)); // idx 3 reads r0 (distance 2)
+        assert!((o.dep_distance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // Lane 0 serial on r0; lane 1 never reads its own r0.
+        let mut o = with_regs(1);
+        static SRC: [Reg; 1] = [Reg(0)];
+        o.on_instr(&ev(0b11, Some(Reg(0)), &[]));
+        o.on_instr(&ev(0b01, Some(Reg(0)), &SRC)); // lane 0 dependent
+        o.on_instr(&ev(0b10, Some(Reg(0)), &[])); // lane 1 independent
+        // lane0: 2 instrs, crit 2 -> 1.0; lane1: 2 instrs, crit 1 -> 2.0.
+        let expect = (1.0 * 2.0 + 2.0 * 2.0) / 4.0;
+        assert!((o.ilp() - expect).abs() < 1e-12, "{}", o.ilp());
+    }
+
+    #[test]
+    fn empty_observer_reports_zero() {
+        let o = IlpObserver::new();
+        assert_eq!(o.ilp(), 0.0);
+        assert_eq!(o.dep_distance(), 0.0);
+    }
+}

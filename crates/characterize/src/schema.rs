@@ -1,0 +1,207 @@
+//! The canonical characteristic vector layout.
+//!
+//! Every kernel is summarized by the same 33-dimensional vector. The
+//! dimensions are grouped so subspace analyses (branch divergence, memory
+//! coalescing, ...) can select coherent column subsets, mirroring the
+//! paper's workload-subspace studies.
+
+/// A characteristic's group, used for subspace selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Dynamic instruction mix (fractions of thread-level instructions).
+    Mix,
+    /// Instruction-level parallelism within a thread.
+    Ilp,
+    /// Branch-divergence behaviour.
+    Divergence,
+    /// Global-memory coalescing behaviour.
+    Coalescing,
+    /// Shared-memory bank behaviour.
+    SharedMem,
+    /// Temporal locality (reuse distances) of global memory.
+    Locality,
+    /// Inter-warp / inter-block data sharing.
+    Sharing,
+    /// Synchronization intensity.
+    Sync,
+    /// Kernel launch shape and footprint.
+    Shape,
+}
+
+impl Group {
+    /// Short lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Group::Mix => "mix",
+            Group::Ilp => "ilp",
+            Group::Divergence => "divergence",
+            Group::Coalescing => "coalescing",
+            Group::SharedMem => "shared_mem",
+            Group::Locality => "locality",
+            Group::Sharing => "sharing",
+            Group::Sync => "sync",
+            Group::Shape => "shape",
+        }
+    }
+}
+
+/// Definition of one characteristic dimension.
+#[derive(Debug, Clone, Copy)]
+pub struct CharacteristicDef {
+    /// Stable snake_case identifier (also the column name in reports).
+    pub name: &'static str,
+    /// Group for subspace selection.
+    pub group: Group,
+    /// One-line description.
+    pub desc: &'static str,
+}
+
+/// The canonical schema: 33 microarchitecture-independent characteristics.
+pub const SCHEMA: &[CharacteristicDef] = &[
+    // --- instruction mix (fractions of thread-level dynamic instructions) ---
+    CharacteristicDef { name: "mix_int_alu", group: Group::Mix, desc: "integer ALU fraction" },
+    CharacteristicDef { name: "mix_fp_alu", group: Group::Mix, desc: "floating-point ALU fraction" },
+    CharacteristicDef { name: "mix_sfu", group: Group::Mix, desc: "special-function-unit fraction" },
+    CharacteristicDef { name: "mix_mem_global", group: Group::Mix, desc: "global load/store fraction" },
+    CharacteristicDef { name: "mix_mem_shared", group: Group::Mix, desc: "shared load/store fraction" },
+    CharacteristicDef { name: "mix_mem_other", group: Group::Mix, desc: "local+const access fraction" },
+    CharacteristicDef { name: "mix_ctrl", group: Group::Mix, desc: "control-flow fraction" },
+    CharacteristicDef { name: "mix_sync", group: Group::Mix, desc: "barrier fraction" },
+    CharacteristicDef { name: "mix_atomic", group: Group::Mix, desc: "atomic fraction" },
+    CharacteristicDef { name: "mix_move", group: Group::Mix, desc: "move/select/convert fraction" },
+    // --- ILP -----------------------------------------------------------------
+    CharacteristicDef { name: "ilp_dataflow", group: Group::Ilp, desc: "per-thread instrs / register-dataflow critical path" },
+    CharacteristicDef { name: "ilp_dep_distance", group: Group::Ilp, desc: "mean producer-consumer distance in instructions" },
+    // --- branch divergence ---------------------------------------------------
+    CharacteristicDef { name: "div_branch_density", group: Group::Divergence, desc: "conditional branches per warp instruction" },
+    CharacteristicDef { name: "div_branch_frac", group: Group::Divergence, desc: "fraction of dynamic branches that diverge the warp" },
+    CharacteristicDef { name: "div_simd_activity", group: Group::Divergence, desc: "mean active/live lane ratio per warp instruction" },
+    CharacteristicDef { name: "div_warp_instr_frac", group: Group::Divergence, desc: "fraction of warp instructions issued diverged" },
+    // --- memory coalescing ---------------------------------------------------
+    CharacteristicDef { name: "coal_segments_per_access", group: Group::Coalescing, desc: "mean 128B segments touched per global warp access" },
+    CharacteristicDef { name: "coal_unit_stride_frac", group: Group::Coalescing, desc: "fraction of global accesses with unit-stride lanes" },
+    CharacteristicDef { name: "coal_broadcast_frac", group: Group::Coalescing, desc: "fraction of global accesses where lanes share one address" },
+    CharacteristicDef { name: "coal_scatter_frac", group: Group::Coalescing, desc: "fraction of global accesses touching > 8 segments" },
+    // --- shared memory -------------------------------------------------------
+    CharacteristicDef { name: "smem_bank_conflict", group: Group::SharedMem, desc: "mean serialization degree of shared accesses (1 = conflict-free)" },
+    // --- temporal locality ---------------------------------------------------
+    CharacteristicDef { name: "loc_reuse_le16", group: Group::Locality, desc: "global-line reuses with stack distance <= 16 lines" },
+    CharacteristicDef { name: "loc_reuse_le256", group: Group::Locality, desc: "reuses with stack distance <= 256 lines" },
+    CharacteristicDef { name: "loc_reuse_le4096", group: Group::Locality, desc: "reuses with stack distance <= 4096 lines" },
+    CharacteristicDef { name: "loc_cold_frac", group: Group::Locality, desc: "fraction of line touches that are first-touch" },
+    // --- data sharing ---------------------------------------------------------
+    CharacteristicDef { name: "share_inter_warp", group: Group::Sharing, desc: "fraction of lines touched by more than one warp" },
+    CharacteristicDef { name: "share_inter_block", group: Group::Sharing, desc: "fraction of lines touched by more than one block" },
+    // --- synchronization -------------------------------------------------------
+    CharacteristicDef { name: "sync_barrier_kinstr", group: Group::Sync, desc: "barriers per 1000 warp instructions" },
+    CharacteristicDef { name: "sync_atomic_kinstr", group: Group::Sync, desc: "atomics per 1000 thread instructions" },
+    // --- kernel shape ----------------------------------------------------------
+    CharacteristicDef { name: "shape_log_threads", group: Group::Shape, desc: "log2 of total threads" },
+    CharacteristicDef { name: "shape_log_instrs_per_thread", group: Group::Shape, desc: "log2 of mean dynamic instructions per thread" },
+    CharacteristicDef { name: "shape_block_occupancy", group: Group::Shape, desc: "threads per block / 1024" },
+    CharacteristicDef { name: "shape_log_footprint", group: Group::Shape, desc: "log2 of global footprint in 128B lines" },
+];
+
+/// Number of characteristic dimensions.
+pub fn len() -> usize {
+    SCHEMA.len()
+}
+
+/// Index of characteristic `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the schema (programming error).
+pub fn index_of(name: &str) -> usize {
+    SCHEMA
+        .iter()
+        .position(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown characteristic `{name}`"))
+}
+
+/// Column indices belonging to `group`.
+pub fn indices_of(group: Group) -> Vec<usize> {
+    SCHEMA
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.group == group)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Column indices of the paper's *branch divergence* subspace:
+/// the divergence group plus the control-flow mix fraction.
+pub fn divergence_subspace() -> Vec<usize> {
+    let mut idx = indices_of(Group::Divergence);
+    idx.push(index_of("mix_ctrl"));
+    idx.sort_unstable();
+    idx
+}
+
+/// Column indices of the paper's *memory coalescing* subspace:
+/// the coalescing group plus the global-memory mix fraction.
+pub fn coalescing_subspace() -> Vec<usize> {
+    let mut idx = indices_of(Group::Coalescing);
+    idx.push(index_of("mix_mem_global"));
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = SCHEMA.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SCHEMA.len());
+    }
+
+    #[test]
+    fn expected_dimension_count() {
+        assert_eq!(len(), 33);
+    }
+
+    #[test]
+    fn index_of_roundtrip() {
+        for (i, d) in SCHEMA.iter().enumerate() {
+            assert_eq!(index_of(d.name), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown characteristic")]
+    fn index_of_unknown_panics() {
+        index_of("nope");
+    }
+
+    #[test]
+    fn groups_partition_schema() {
+        let total: usize = [
+            Group::Mix,
+            Group::Ilp,
+            Group::Divergence,
+            Group::Coalescing,
+            Group::SharedMem,
+            Group::Locality,
+            Group::Sharing,
+            Group::Sync,
+            Group::Shape,
+        ]
+        .iter()
+        .map(|&g| indices_of(g).len())
+        .sum();
+        assert_eq!(total, SCHEMA.len());
+    }
+
+    #[test]
+    fn subspaces_are_nonempty_and_sorted() {
+        for sub in [divergence_subspace(), coalescing_subspace()] {
+            assert!(sub.len() >= 5);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]));
+            assert!(sub.iter().all(|&i| i < len()));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Stage 5: suite-diversity statistics in the reduced space.
+
+use gwc_stats::distance::euclidean;
+use gwc_stats::Matrix;
+use gwc_workloads::Suite;
+
+use crate::study::Study;
+
+/// Coverage statistics of one suite in a common PC space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteDiversity {
+    /// The suite.
+    pub suite: Suite,
+    /// Number of kernels the suite contributes.
+    pub kernels: usize,
+    /// Mean pairwise distance between the suite's kernels.
+    pub mean_pairwise: f64,
+    /// Per-dimension span product (log-volume proxy of the bounding box).
+    pub log_volume: f64,
+    /// Mean distance of suite kernels to the global centroid (how far the
+    /// suite reaches from the population centre).
+    pub mean_reach: f64,
+}
+
+/// Computes per-suite diversity over PC-space `scores` whose rows align
+/// with `study.records()`.
+pub fn suite_diversity(study: &Study, scores: &Matrix) -> Vec<SuiteDiversity> {
+    let dims = scores.cols();
+    let n = scores.rows();
+    let mut global_centroid = vec![0.0; dims];
+    for r in 0..n {
+        for c in 0..dims {
+            global_centroid[c] += scores.get(r, c);
+        }
+    }
+    for v in &mut global_centroid {
+        *v /= n.max(1) as f64;
+    }
+
+    Suite::ALL
+        .iter()
+        .map(|&suite| {
+            let rows = study.rows_of_suite(suite);
+            let kernels = rows.len();
+            let mean_pairwise = if kernels < 2 {
+                0.0
+            } else {
+                let mut sum = 0.0;
+                let mut count = 0u64;
+                for (a, &ra) in rows.iter().enumerate() {
+                    for &rb in rows.iter().skip(a + 1) {
+                        sum += euclidean(scores.row(ra), scores.row(rb));
+                        count += 1;
+                    }
+                }
+                sum / count as f64
+            };
+            let log_volume = if kernels < 2 {
+                0.0
+            } else {
+                (0..dims)
+                    .map(|c| {
+                        let vals: Vec<f64> = rows.iter().map(|&r| scores.get(r, c)).collect();
+                        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        (hi - lo).max(1e-9).ln()
+                    })
+                    .sum()
+            };
+            let mean_reach = if kernels == 0 {
+                0.0
+            } else {
+                rows.iter()
+                    .map(|&r| euclidean(scores.row(r), &global_centroid))
+                    .sum::<f64>()
+                    / kernels as f64
+            };
+            SuiteDiversity {
+                suite,
+                kernels,
+                mean_pairwise,
+                log_volume,
+                mean_reach,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{Study, StudyConfig};
+    use gwc_workloads::Scale;
+
+    // A shared mini-study for diversity tests (two SDK workloads only
+    // would not cover all suites, so use run-one over a few workloads).
+    fn mini_study() -> Study {
+        // Running the full registry at Tiny scale is fast enough and the
+        // only way to get genuine suite coverage.
+        Study::run(&StudyConfig {
+            seed: 5,
+            scale: Scale::Tiny,
+            verify: false,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn all_suites_covered_and_finite() {
+        let study = mini_study();
+        let space = crate::reduce::ReducedSpace::fit(&study.matrix(), 0.9).unwrap();
+        let div = suite_diversity(&study, space.scores());
+        assert_eq!(div.len(), 4);
+        for d in &div {
+            assert!(d.kernels > 0, "{:?} empty", d.suite);
+            assert!(d.mean_pairwise.is_finite());
+            assert!(d.mean_reach.is_finite());
+        }
+        // The big suites span more kernels than the `Other` pair.
+        let of = |s: Suite| div.iter().find(|d| d.suite == s).unwrap().kernels;
+        assert!(of(Suite::CudaSdk) > of(Suite::Other));
+        assert!(of(Suite::Rodinia) > of(Suite::Other));
+    }
+}

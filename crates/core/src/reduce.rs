@@ -1,0 +1,162 @@
+//! Stage 2: normalization and correlated dimensionality reduction.
+
+use gwc_stats::normalize::{varying_columns, zscore, ColumnStats};
+use gwc_stats::pca::Pca;
+use gwc_stats::{Matrix, StatsError};
+
+/// A fitted reduced space: z-scored characteristics projected onto the
+/// principal components that explain the requested variance fraction.
+#[derive(Debug, Clone)]
+pub struct ReducedSpace {
+    varying: Vec<usize>,
+    stats: ColumnStats,
+    pca: Pca,
+    kept: usize,
+    scores: Matrix,
+}
+
+impl ReducedSpace {
+    /// Fits the reduction to a raw kernel × characteristic matrix:
+    /// drop constant columns → z-score → PCA → keep the leading
+    /// components reaching `variance_fraction`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError`] from normalization or the eigensolver.
+    pub fn fit(raw: &Matrix, variance_fraction: f64) -> Result<Self, StatsError> {
+        raw.check_finite()?;
+        let varying = varying_columns(raw, 1e-12);
+        let filtered = raw.select_cols(&varying);
+        let (z, stats) = zscore(&filtered);
+        let pca = Pca::fit(&z)?;
+        let kept = pca.components_for(variance_fraction);
+        let scores = pca.transform(&z, kept)?;
+        Ok(Self {
+            varying,
+            stats,
+            pca,
+            kept,
+            scores,
+        })
+    }
+
+    /// Number of principal components kept.
+    pub fn kept(&self) -> usize {
+        self.kept
+    }
+
+    /// Number of characteristics that actually varied across the study.
+    pub fn varying_dims(&self) -> usize {
+        self.varying.len()
+    }
+
+    /// Indices (into the original schema) of the varying characteristics.
+    pub fn varying_columns(&self) -> &[usize] {
+        &self.varying
+    }
+
+    /// The kernels' coordinates in PC space (rows × kept).
+    pub fn scores(&self) -> &Matrix {
+        &self.scores
+    }
+
+    /// The underlying PCA fit.
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// Fraction of variance explained by the kept components.
+    pub fn variance_explained(&self) -> f64 {
+        self.pca.variance_explained(self.kept)
+    }
+
+    /// Projects a new raw characteristic vector into the fitted space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ShapeMismatch`] if the vector length differs
+    /// from the schema the space was fitted on.
+    pub fn project(&self, raw_row: &[f64]) -> Result<Vec<f64>, StatsError> {
+        let max = self.varying.iter().copied().max().unwrap_or(0);
+        if raw_row.len() <= max {
+            return Err(StatsError::ShapeMismatch {
+                expected: max + 1,
+                found: raw_row.len(),
+            });
+        }
+        let filtered: Vec<f64> = self.varying.iter().map(|&c| raw_row[c]).collect();
+        let z = self.stats.apply(&filtered);
+        let m = Matrix::from_rows(&[z])?;
+        let t = self.pca.transform(&m, self.kept)?;
+        Ok(t.row(0).to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        // 6 observations, 4 dims; dim 2 constant, dim 1 = 2 * dim 0.
+        Matrix::from_rows(&[
+            vec![1.0, 2.0, 5.0, 0.3],
+            vec![2.0, 4.0, 5.0, -0.7],
+            vec![3.0, 6.0, 5.0, 0.9],
+            vec![4.0, 8.0, 5.0, -0.1],
+            vec![5.0, 10.0, 5.0, 0.4],
+            vec![6.0, 12.0, 5.0, -0.6],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn drops_constant_columns() {
+        let space = ReducedSpace::fit(&sample(), 0.95).unwrap();
+        assert_eq!(space.varying_dims(), 3);
+        assert!(!space.varying_columns().contains(&2));
+    }
+
+    #[test]
+    fn correlated_columns_collapse() {
+        let space = ReducedSpace::fit(&sample(), 0.99).unwrap();
+        // Three varying dims, but dims 0 and 1 are perfectly correlated:
+        // two PCs suffice for 99% of variance.
+        assert!(space.kept() <= 2, "kept {} PCs", space.kept());
+        assert!(space.variance_explained() >= 0.99);
+    }
+
+    #[test]
+    fn scores_shape() {
+        let space = ReducedSpace::fit(&sample(), 0.9).unwrap();
+        assert_eq!(space.scores().rows(), 6);
+        assert_eq!(space.scores().cols(), space.kept());
+    }
+
+    #[test]
+    fn project_matches_fitted_scores() {
+        let m = sample();
+        let space = ReducedSpace::fit(&m, 0.9).unwrap();
+        for r in 0..m.rows() {
+            let p = space.project(m.row(r)).unwrap();
+            for c in 0..space.kept() {
+                assert!(
+                    (p[c] - space.scores().get(r, c)).abs() < 1e-9,
+                    "row {r} pc {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn project_rejects_short_rows() {
+        let space = ReducedSpace::fit(&sample(), 0.9).unwrap();
+        assert!(space.project(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_matrix() {
+        let mut m = sample();
+        m.set(0, 0, f64::NAN);
+        assert!(ReducedSpace::fit(&m, 0.9).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Stage 1: run the workload population and collect kernel profiles.
+
+use std::collections::BTreeMap;
+
+use gwc_characterize::{KernelProfile, Profiler};
+use gwc_simt::exec::Device;
+use gwc_stats::Matrix;
+use gwc_workloads::{registry, Scale, Suite, Workload, WorkloadError};
+
+/// Configuration of a characterization study.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Master seed; every workload derives its own input seed from it.
+    pub seed: u64,
+    /// Problem scale for every workload.
+    pub scale: Scale,
+    /// Verify GPU results against CPU references after each workload
+    /// (recommended; adds CPU-side time only).
+    pub verify: bool,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            scale: Scale::Small,
+            verify: true,
+        }
+    }
+}
+
+/// One row of the study: a kernel and its profile.
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Suite attribution.
+    pub suite: Suite,
+    /// Kernel label (launches sharing a label were profiled together).
+    pub kernel: String,
+    /// The measured profile.
+    pub profile: KernelProfile,
+}
+
+impl KernelRecord {
+    /// `workload/kernel` display label.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.workload, self.kernel)
+    }
+}
+
+/// A completed study: one profile per kernel of every workload.
+#[derive(Debug)]
+pub struct Study {
+    records: Vec<KernelRecord>,
+}
+
+impl Study {
+    /// Runs the full registry under the given configuration.
+    ///
+    /// Kernel launches sharing a label within a workload (e.g. wavefront
+    /// or ping-pong relaunches) accumulate into a single profile, matching
+    /// the paper's per-kernel granularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation or verification error.
+    pub fn run(config: &StudyConfig) -> Result<Study, WorkloadError> {
+        let mut workloads = registry::all_workloads(config.seed);
+        let mut records = Vec::new();
+        for w in workloads.iter_mut() {
+            records.extend(Self::run_one(w.as_mut(), config)?);
+        }
+        Ok(Study { records })
+    }
+
+    /// Runs a single workload and returns one record per kernel label.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation or verification error.
+    pub fn run_one(
+        workload: &mut dyn Workload,
+        config: &StudyConfig,
+    ) -> Result<Vec<KernelRecord>, WorkloadError> {
+        let meta = workload.meta();
+        let mut dev = Device::new();
+        let launches = workload.setup(&mut dev, config.scale)?;
+        // Insertion-ordered grouping by label.
+        let mut order: Vec<String> = Vec::new();
+        let mut profilers: BTreeMap<String, Profiler> = BTreeMap::new();
+        for launch in &launches {
+            if !profilers.contains_key(&launch.label) {
+                order.push(launch.label.clone());
+                profilers.insert(launch.label.clone(), Profiler::new());
+            }
+            let profiler = profilers.get_mut(&launch.label).expect("just inserted");
+            dev.launch_observed(&launch.kernel, &launch.config, &launch.args, profiler)?;
+        }
+        if config.verify {
+            workload.verify(&dev)?;
+        }
+        Ok(order
+            .into_iter()
+            .map(|label| {
+                let profiler = profilers.remove(&label).expect("grouped");
+                let profile = profiler.finish(label.clone());
+                KernelRecord {
+                    workload: meta.name,
+                    suite: meta.suite,
+                    kernel: label,
+                    profile,
+                }
+            })
+            .collect())
+    }
+
+    /// The kernel records, in registry/launch order.
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Row labels (`workload/kernel`).
+    pub fn labels(&self) -> Vec<String> {
+        self.records.iter().map(KernelRecord::label).collect()
+    }
+
+    /// The kernel × characteristic matrix (raw, unnormalized).
+    pub fn matrix(&self) -> Matrix {
+        let rows: Vec<Vec<f64>> = self
+            .records
+            .iter()
+            .map(|r| r.profile.values().to_vec())
+            .collect();
+        Matrix::from_rows(&rows).expect("study is never empty")
+    }
+
+    /// Row indices belonging to `workload`.
+    pub fn rows_of_workload(&self, workload: &str) -> Vec<usize> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.workload == workload)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Row indices belonging to `suite`.
+    pub fn rows_of_suite(&self, suite: Suite) -> Vec<usize> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.suite == suite)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Distinct workload names, in first-appearance order.
+    pub fn workload_names(&self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        for r in &self.records {
+            if !names.contains(&r.workload) {
+                names.push(r.workload);
+            }
+        }
+        names
+    }
+
+    /// Drops rows belonging to the named workload (used to exclude the
+    /// quickstart `vector_add` from suite-diversity statistics).
+    pub fn without_workload(&self, workload: &str) -> Study {
+        Study {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.workload != workload)
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gwc_workloads::sdk::ParallelReduction;
+
+    #[test]
+    fn run_one_groups_by_label() {
+        let mut w = ParallelReduction::new(3);
+        let records = Study::run_one(
+            &mut w,
+            &StudyConfig {
+                seed: 3,
+                scale: Scale::Tiny,
+                verify: true,
+            },
+        )
+        .unwrap();
+        // Four kernel variants; the final pass shares the sequential label.
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].kernel, "reduce_interleaved");
+        assert_eq!(records[1].kernel, "reduce_sequential");
+        assert_eq!(records[2].kernel, "reduce_first_add");
+        assert_eq!(records[3].kernel, "reduce_grid_stride");
+        // The sequential profile saw two launches.
+        assert_eq!(records[1].profile.raw().blocks, 4 + 1);
+    }
+
+    #[test]
+    fn interleaved_variant_is_more_divergent() {
+        let mut w = ParallelReduction::new(3);
+        let records = Study::run_one(
+            &mut w,
+            &StudyConfig {
+                seed: 3,
+                scale: Scale::Tiny,
+                verify: false,
+            },
+        )
+        .unwrap();
+        let inter = &records[0].profile;
+        let seq = &records[1].profile;
+        assert!(
+            inter.get("div_simd_activity") < seq.get("div_simd_activity"),
+            "interleaved addressing diverges more: {} vs {}",
+            inter.get("div_simd_activity"),
+            seq.get("div_simd_activity")
+        );
+    }
+}

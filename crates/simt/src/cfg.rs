@@ -1,0 +1,420 @@
+//! Control-flow graph and post-dominator analysis.
+//!
+//! SIMT execution reconverges diverged warps at the *immediate
+//! post-dominator* of each branch — the first instruction every diverged
+//! path must pass through on its way to the kernel exit. This module builds
+//! the CFG over the flat instruction list and computes, for every
+//! conditional branch, that reconvergence pc. The executor consumes the
+//! resulting table; getting this analysis right is what makes the measured
+//! SIMD activity factors meaningful.
+
+use crate::instr::Instr;
+use crate::SimtError;
+
+/// A basic block: a maximal straight-line range of instructions
+/// `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor block indices (0, 1 or 2 entries; the virtual exit block
+    /// is represented by `usize::MAX`).
+    pub succs: Vec<usize>,
+}
+
+/// Control-flow graph over a kernel's instruction list.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    /// Map from instruction index to its containing block.
+    block_of: Vec<usize>,
+}
+
+/// Virtual block index representing the kernel exit.
+pub const EXIT: usize = usize::MAX;
+
+impl Cfg {
+    /// Builds the CFG for an instruction list whose branch targets are
+    /// already resolved to instruction indices. A branch target equal to
+    /// `instrs.len()` (and falling off the end) goes to the virtual exit.
+    pub fn build(instrs: &[Instr]) -> Cfg {
+        let n = instrs.len();
+        // Leaders: instruction 0, every branch target, every instruction
+        // after a branch or ret.
+        let mut leader = vec![false; n + 1];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (pc, ins) in instrs.iter().enumerate() {
+            match ins {
+                Instr::Bra { target, .. } => {
+                    leader[*target] = true;
+                    if pc + 1 <= n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Instr::Ret => {
+                    if pc + 1 <= n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0;
+        for pc in 0..n {
+            if pc > start && leader[pc] {
+                blocks.push(Block {
+                    start,
+                    end: pc,
+                    succs: Vec::new(),
+                });
+                start = pc;
+            }
+        }
+        if n > 0 {
+            blocks.push(Block {
+                start,
+                end: n,
+                succs: Vec::new(),
+            });
+        }
+        for (bi, b) in blocks.iter().enumerate() {
+            for pc in b.start..b.end {
+                block_of[pc] = bi;
+            }
+        }
+
+        // Successors.
+        let block_index_of_pc = |pc: usize| -> usize {
+            if pc >= n {
+                EXIT
+            } else {
+                block_of[pc]
+            }
+        };
+        let nb = blocks.len();
+        for bi in 0..nb {
+            let last = blocks[bi].end - 1;
+            let succs: Vec<usize> = match &instrs[last] {
+                Instr::Bra { target, cond } => {
+                    let mut s = vec![block_index_of_pc(*target)];
+                    if cond.is_some() {
+                        let ft = block_index_of_pc(last + 1);
+                        if !s.contains(&ft) {
+                            s.push(ft);
+                        }
+                    }
+                    s
+                }
+                Instr::Ret => vec![EXIT],
+                _ => vec![block_index_of_pc(last + 1)],
+            };
+            blocks[bi].succs = succs;
+        }
+
+        Cfg { blocks, block_of }
+    }
+
+    /// The basic blocks, in program order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Index of the block containing instruction `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+
+    /// Computes the immediate post-dominator of every block, as a block
+    /// index (or [`EXIT`]).
+    ///
+    /// Uses the classic iterative dataflow formulation over the reverse
+    /// CFG; the kernel sizes here (tens of blocks) make O(n²) irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimtError::NoPathToExit`] if some block cannot reach the
+    /// exit (the kernel would hang and has no defined reconvergence).
+    pub fn immediate_postdoms(&self) -> Result<Vec<usize>, SimtError> {
+        let nb = self.blocks.len();
+        if nb == 0 {
+            return Ok(Vec::new());
+        }
+        // Pre-pass: every block must be able to reach the exit, otherwise
+        // the universe-initialized dataflow below would silently converge
+        // with stale "postdominated by everything" sets.
+        let mut reaches_exit = vec![false; nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in 0..nb {
+                if reaches_exit[bi] {
+                    continue;
+                }
+                let ok = self.blocks[bi]
+                    .succs
+                    .iter()
+                    .any(|&s| s == EXIT || reaches_exit[s]);
+                if ok {
+                    reaches_exit[bi] = true;
+                    changed = true;
+                }
+            }
+        }
+        if let Some(bad) = reaches_exit.iter().position(|&r| !r) {
+            return Err(SimtError::NoPathToExit {
+                pc: self.blocks[bad].start,
+            });
+        }
+        // postdom sets as bitsets over block ids + exit (index nb).
+        let exit_slot = nb;
+        let universe: Vec<bool> = vec![true; nb + 1];
+        let mut pdom: Vec<Vec<bool>> = vec![universe; nb];
+        // Exit's postdom set is {exit}; represented implicitly.
+        let slot_of = |b: usize| if b == EXIT { exit_slot } else { b };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..nb).rev() {
+                // intersection of successors' sets, plus self.
+                let mut new = vec![false; nb + 1];
+                let mut first = true;
+                for &s in &self.blocks[bi].succs {
+                    let succ_set: Vec<bool> = if s == EXIT {
+                        let mut e = vec![false; nb + 1];
+                        e[exit_slot] = true;
+                        e
+                    } else {
+                        pdom[s].clone()
+                    };
+                    if first {
+                        new = succ_set;
+                        first = false;
+                    } else {
+                        for (n, sv) in new.iter_mut().zip(succ_set) {
+                            *n = *n && sv;
+                        }
+                    }
+                }
+                if first {
+                    // No successors — malformed; treated as no path to exit.
+                    new = vec![false; nb + 1];
+                }
+                new[slot_of(bi)] = true;
+                if new != pdom[bi] {
+                    pdom[bi] = new;
+                    changed = true;
+                }
+            }
+        }
+
+        // Immediate postdominator: the strict postdominator that is itself
+        // postdominated by all other strict postdominators — i.e. the one
+        // with the smallest postdominator set.
+        let mut ipdom = vec![EXIT; nb];
+        for bi in 0..nb {
+            if !pdom[bi][exit_slot] {
+                return Err(SimtError::NoPathToExit {
+                    pc: self.blocks[bi].start,
+                });
+            }
+            let mut strict: Vec<usize> = (0..nb)
+                .filter(|&o| o != bi && pdom[bi][o])
+                .collect();
+            if strict.is_empty() {
+                ipdom[bi] = EXIT;
+                continue;
+            }
+            // The immediate postdominator is the strict postdominator whose
+            // own set contains every other strict postdominator.
+            strict.sort_unstable();
+            let mut best = None;
+            for &cand in &strict {
+                let dominates_all = strict
+                    .iter()
+                    .all(|&o| o == cand || pdom[cand][o]);
+                if dominates_all {
+                    best = Some(cand);
+                    break;
+                }
+            }
+            ipdom[bi] = best.unwrap_or(EXIT);
+        }
+        Ok(ipdom)
+    }
+
+    /// For every conditional-branch pc, the reconvergence pc (instruction
+    /// index; `instrs_len` means "kernel exit"). Unconditional branches and
+    /// non-branches get no entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Cfg::immediate_postdoms`] failures.
+    pub fn reconvergence_table(
+        &self,
+        instrs: &[Instr],
+    ) -> Result<Vec<Option<usize>>, SimtError> {
+        let ipdom = self.immediate_postdoms()?;
+        let n = instrs.len();
+        let mut table = vec![None; n];
+        for (pc, ins) in instrs.iter().enumerate() {
+            if let Instr::Bra { cond: Some(_), .. } = ins {
+                let b = self.block_of(pc);
+                let target_block = ipdom[b];
+                table[pc] = Some(if target_block == EXIT {
+                    n
+                } else {
+                    self.blocks[target_block].start
+                });
+            }
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BranchCond, Instr, Operand, Reg, Value};
+
+    fn mov(dst: u16) -> Instr {
+        Instr::Mov {
+            dst: Reg(dst),
+            src: Operand::Imm(Value::U32(0)),
+        }
+    }
+
+    fn cbra(target: usize) -> Instr {
+        Instr::Bra {
+            target,
+            cond: Some(BranchCond {
+                reg: Reg(0),
+                negate: false,
+            }),
+        }
+    }
+
+    fn jmp(target: usize) -> Instr {
+        Instr::Bra { target, cond: None }
+    }
+
+    /// if/else diamond:
+    /// 0: cbra 3      (block A)
+    /// 1: mov          (block B, fallthrough)
+    /// 2: jmp 4
+    /// 3: mov          (block C, taken)
+    /// 4: mov          (block D, join)
+    fn diamond() -> Vec<Instr> {
+        vec![cbra(3), mov(1), jmp(4), mov(2), mov(3)]
+    }
+
+    #[test]
+    fn diamond_blocks() {
+        let instrs = diamond();
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.blocks().len(), 4);
+        assert_eq!(cfg.block_of(0), 0);
+        assert_eq!(cfg.block_of(1), 1);
+        assert_eq!(cfg.block_of(2), 1);
+        assert_eq!(cfg.block_of(3), 2);
+        assert_eq!(cfg.block_of(4), 3);
+    }
+
+    #[test]
+    fn diamond_reconverges_at_join() {
+        let instrs = diamond();
+        let cfg = Cfg::build(&instrs);
+        let table = cfg.reconvergence_table(&instrs).unwrap();
+        assert_eq!(table[0], Some(4), "branch reconverges at the join block");
+        assert_eq!(table[1], None);
+        assert_eq!(table[2], None);
+    }
+
+    /// Guard pattern: if (p) { work }; end
+    /// 0: cbra 2   (skip work when taken)
+    /// 1: mov      (work)
+    /// 2: mov      (end)
+    #[test]
+    fn guard_reconverges_after_body() {
+        let instrs = vec![cbra(2), mov(0), mov(1)];
+        let cfg = Cfg::build(&instrs);
+        let table = cfg.reconvergence_table(&instrs).unwrap();
+        assert_eq!(table[0], Some(2));
+    }
+
+    /// Loop:
+    /// 0: mov            (init)
+    /// 1: mov            (body, loop head)
+    /// 2: cbra 1         (back edge while p)
+    /// 3: mov            (after loop)
+    #[test]
+    fn loop_reconverges_after_exit() {
+        let instrs = vec![mov(0), mov(1), cbra(1), mov(2)];
+        let cfg = Cfg::build(&instrs);
+        let table = cfg.reconvergence_table(&instrs).unwrap();
+        assert_eq!(table[2], Some(3), "loop branch reconverges after the loop");
+    }
+
+    /// Branch whose only join is the kernel exit.
+    #[test]
+    fn reconvergence_at_exit() {
+        // 0: cbra 2 ; 1: ret ; 2: mov (falls off end)
+        let instrs = vec![cbra(2), Instr::Ret, mov(0)];
+        let cfg = Cfg::build(&instrs);
+        let table = cfg.reconvergence_table(&instrs).unwrap();
+        assert_eq!(table[0], Some(3), "reconverges at exit pc == len");
+    }
+
+    #[test]
+    fn infinite_loop_rejected() {
+        // 0: jmp 0 — no path to exit.
+        let instrs = vec![jmp(0)];
+        let cfg = Cfg::build(&instrs);
+        assert!(matches!(
+            cfg.immediate_postdoms(),
+            Err(SimtError::NoPathToExit { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn straightline_single_block() {
+        let instrs = vec![mov(0), mov(1), mov(2)];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].succs, vec![EXIT]);
+        let ipdom = cfg.immediate_postdoms().unwrap();
+        assert_eq!(ipdom, vec![EXIT]);
+    }
+
+    #[test]
+    fn nested_diamond_reconverges_innermost_first() {
+        // outer: 0 cbra 7 | inner: 1 cbra 4 | 2 mov 3 jmp 5 | 4 mov |
+        // 5 mov (inner join) 6 jmp 8 | 7 mov (outer else) | 8 mov (outer join)
+        let instrs = vec![
+            cbra(7),
+            cbra(4),
+            mov(0),
+            jmp(5),
+            mov(1),
+            mov(2),
+            jmp(8),
+            mov(3),
+            mov(4),
+        ];
+        let cfg = Cfg::build(&instrs);
+        let table = cfg.reconvergence_table(&instrs).unwrap();
+        assert_eq!(table[0], Some(8), "outer reconverges at outer join");
+        assert_eq!(table[1], Some(5), "inner reconverges at inner join");
+    }
+}

@@ -1,0 +1,270 @@
+//! Textual disassembly of kernels, for debugging and documentation.
+//!
+//! The format is PTX-flavoured: one instruction per line with its pc,
+//! register operands typed at declaration, and reconvergence points
+//! annotated on conditional branches.
+
+use std::fmt::Write as _;
+
+use crate::instr::{
+    Addr, AtomOp, BinOp, CmpOp, Instr, Operand, SpecialReg, UnOp, Value,
+};
+use crate::kernel::Kernel;
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::I32(x) => format!("{x}i"),
+        Value::U32(x) => format!("{x}u"),
+        Value::F32(x) => format!("{x}f"),
+        Value::Pred(x) => format!("{x}"),
+    }
+}
+
+fn fmt_sreg(s: &SpecialReg) -> &'static str {
+    match s {
+        SpecialReg::TidX => "%tid.x",
+        SpecialReg::TidY => "%tid.y",
+        SpecialReg::NTidX => "%ntid.x",
+        SpecialReg::NTidY => "%ntid.y",
+        SpecialReg::CtaIdX => "%ctaid.x",
+        SpecialReg::CtaIdY => "%ctaid.y",
+        SpecialReg::NCtaIdX => "%nctaid.x",
+        SpecialReg::NCtaIdY => "%nctaid.y",
+        SpecialReg::LaneId => "%laneid",
+    }
+}
+
+fn fmt_operand(op: &Operand) -> String {
+    match op {
+        Operand::Reg(r) => format!("r{}", r.0),
+        Operand::Imm(v) => fmt_value(v),
+        Operand::Sreg(s) => fmt_sreg(s).to_owned(),
+        Operand::Param(i) => format!("%p{i}"),
+    }
+}
+
+fn fmt_addr(a: &Addr) -> String {
+    if a.offset == 0 {
+        format!("[{}]", fmt_operand(&a.base))
+    } else {
+        format!("[{}{:+}]", fmt_operand(&a.base), a.offset)
+    }
+}
+
+fn bin_name(op: &BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+fn un_name(op: &UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Abs => "abs",
+        UnOp::Not => "not",
+        UnOp::Sqrt => "sqrt",
+        UnOp::Rsqrt => "rsqrt",
+        UnOp::Exp2 => "exp2",
+        UnOp::Log2 => "log2",
+        UnOp::Sin => "sin",
+        UnOp::Cos => "cos",
+        UnOp::Recip => "recip",
+    }
+}
+
+fn cmp_name(op: &CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn atom_name(op: &AtomOp) -> &'static str {
+    match op {
+        AtomOp::Add => "atom.add",
+        AtomOp::Min => "atom.min",
+        AtomOp::Max => "atom.max",
+        AtomOp::Exch => "atom.exch",
+        AtomOp::Cas => "atom.cas",
+    }
+}
+
+/// Renders one instruction (without pc or annotations).
+pub fn disassemble_instr(ins: &Instr) -> String {
+    match ins {
+        Instr::Bin { op, dst, a, b } => format!(
+            "{} r{}, {}, {}",
+            bin_name(op),
+            dst.0,
+            fmt_operand(a),
+            fmt_operand(b)
+        ),
+        Instr::Un { op, dst, a } => {
+            format!("{} r{}, {}", un_name(op), dst.0, fmt_operand(a))
+        }
+        Instr::Mad { dst, a, b, c } => format!(
+            "mad r{}, {}, {}, {}",
+            dst.0,
+            fmt_operand(a),
+            fmt_operand(b),
+            fmt_operand(c)
+        ),
+        Instr::Cmp { op, dst, a, b } => format!(
+            "setp.{} r{}, {}, {}",
+            cmp_name(op),
+            dst.0,
+            fmt_operand(a),
+            fmt_operand(b)
+        ),
+        Instr::Sel { dst, pred, a, b } => format!(
+            "selp r{}, r{}, {}, {}",
+            dst.0,
+            pred.0,
+            fmt_operand(a),
+            fmt_operand(b)
+        ),
+        Instr::Mov { dst, src } => format!("mov r{}, {}", dst.0, fmt_operand(src)),
+        Instr::Cvt { dst, src } => format!("cvt r{}, {}", dst.0, fmt_operand(src)),
+        Instr::Ld { dst, space, addr } => {
+            format!("ld.{} r{}, {}", space.name(), dst.0, fmt_addr(addr))
+        }
+        Instr::St { space, addr, src } => {
+            format!("st.{} {}, {}", space.name(), fmt_addr(addr), fmt_operand(src))
+        }
+        Instr::Atom {
+            op,
+            dst,
+            space,
+            addr,
+            src,
+            compare,
+        } => {
+            let d = dst.map_or_else(String::new, |r| format!("r{}, ", r.0));
+            let c = compare.map_or_else(String::new, |c| format!(", {}", fmt_operand(&c)));
+            format!(
+                "{}.{} {}{}, {}{}",
+                atom_name(op),
+                space.name(),
+                d,
+                fmt_addr(addr),
+                fmt_operand(src),
+                c
+            )
+        }
+        Instr::Bar => "bar.sync".to_owned(),
+        Instr::Bra { target, cond } => match cond {
+            None => format!("bra {target}"),
+            Some(c) => {
+                let neg = if c.negate { "!" } else { "" };
+                format!("@{neg}r{} bra {target}", c.reg.0)
+            }
+        },
+        Instr::Ret => "ret".to_owned(),
+    }
+}
+
+/// Renders a whole kernel: header (params, registers, shared/local
+/// sizes), then one line per instruction with pc and reconvergence
+/// annotations on divergent-capable branches.
+pub fn disassemble(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".kernel {} {{", kernel.name());
+    for (i, p) in kernel.params().iter().enumerate() {
+        let _ = writeln!(out, "  .param %p{i} : {} ; {}", p.ty, p.name);
+    }
+    let _ = writeln!(
+        out,
+        "  .regs {} .shared {}B .local {}B",
+        kernel.reg_count(),
+        kernel.shared_bytes(),
+        kernel.local_bytes()
+    );
+    for (pc, ins) in kernel.instrs().iter().enumerate() {
+        let note = kernel
+            .reconvergence_pc(pc)
+            .map_or_else(String::new, |rpc| format!("  // reconverge @ {rpc}"));
+        let _ = writeln!(out, "  {pc:>4}: {}{note}", disassemble_instr(ins));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::instr::Value;
+
+    fn sample_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("demo");
+        let out = b.param_u32("out");
+        let i = b.global_tid_x();
+        let p = b.lt_u32(i, Value::U32(100));
+        b.if_(p, |b| {
+            let f = b.to_f32(i);
+            let s = b.sqrt_f32(f);
+            let oa = b.index(out, i, 4);
+            b.st_global_f32(oa, s);
+        });
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn header_lists_params_and_regs() {
+        let d = disassemble(&sample_kernel());
+        assert!(d.contains(".kernel demo"));
+        assert!(d.contains(".param %p0 : u32 ; out"));
+        assert!(d.contains(".regs"));
+    }
+
+    #[test]
+    fn instructions_render_with_pcs() {
+        let d = disassemble(&sample_kernel());
+        assert!(d.contains("mad r0, %ctaid.x, %ntid.x, %tid.x"), "{d}");
+        assert!(d.contains("setp.lt"));
+        assert!(d.contains("sqrt"));
+        assert!(d.contains("st.global"));
+    }
+
+    #[test]
+    fn branches_show_reconvergence() {
+        let d = disassemble(&sample_kernel());
+        assert!(d.contains("reconverge @"), "{d}");
+        assert!(d.contains("@!r"), "negated predicate branch: {d}");
+    }
+
+    #[test]
+    fn every_instruction_form_renders() {
+        // Exercise the remaining forms via a synthetic kernel.
+        let mut b = KernelBuilder::new("forms");
+        let x = b.var_u32(Value::U32(1));
+        let y = b.var_u32(Value::U32(2));
+        b.min_u32(x, y);
+        let p = b.lt_u32(x, y);
+        b.sel_u32(p, x, y);
+        let a = b.offset(x, 8);
+        b.atomic_cas_global_u32(a, Value::U32(0), Value::U32(1));
+        b.barrier();
+        b.ret();
+        let k = b.build().expect("valid");
+        let d = disassemble(&k);
+        for needle in ["min", "selp", "atom.cas.global", "bar.sync", "ret", "[r0+8]"] {
+            assert!(d.contains(needle), "missing `{needle}` in:\n{d}");
+        }
+    }
+}

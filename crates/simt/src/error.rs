@@ -1,0 +1,151 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::Type;
+
+/// Errors from kernel construction, validation or execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimtError {
+    /// An instruction references an undefined label.
+    UndefinedLabel {
+        /// Label id as allocated by the builder.
+        label: usize,
+    },
+    /// Operand or destination type does not match what the opcode needs.
+    TypeMismatch {
+        /// Instruction index (pc) of the offending instruction.
+        pc: usize,
+        /// What the instruction required.
+        expected: Type,
+        /// What it was given.
+        found: Type,
+    },
+    /// A register id is out of range for the kernel.
+    BadRegister {
+        /// Instruction index (pc).
+        pc: usize,
+        /// The offending register index.
+        reg: usize,
+    },
+    /// A parameter index is out of range.
+    BadParam {
+        /// Instruction index (pc), or `usize::MAX` for launch-time checks.
+        pc: usize,
+        /// The offending parameter index.
+        param: usize,
+    },
+    /// A basic block cannot reach the kernel exit, so no branch
+    /// reconvergence point exists for it.
+    NoPathToExit {
+        /// Start pc of the unreachable-from-exit block.
+        pc: usize,
+    },
+    /// Launch was given the wrong number or types of arguments.
+    BadLaunchArgs {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Block size exceeds the 1024-thread limit or is zero.
+    BadBlockSize {
+        /// The offending thread count per block.
+        threads: usize,
+    },
+    /// Grid dimension is zero.
+    BadGridSize,
+    /// Out-of-bounds memory access during execution.
+    OutOfBounds {
+        /// Instruction index (pc).
+        pc: usize,
+        /// The space that was accessed ("global", "shared", ...).
+        space: &'static str,
+        /// Byte address that was accessed.
+        addr: u64,
+        /// Size of that space in bytes.
+        size: u64,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero {
+        /// Instruction index (pc).
+        pc: usize,
+    },
+    /// `bar.sync` executed while the warp was diverged, or while other
+    /// warps can no longer reach the barrier.
+    BarrierDivergence {
+        /// Instruction index (pc).
+        pc: usize,
+    },
+    /// The block deadlocked (e.g. inconsistent barrier placement).
+    Deadlock {
+        /// Block index within the grid.
+        block: usize,
+    },
+    /// Instruction budget exceeded (guards against runaway kernels).
+    InstructionBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SimtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimtError::UndefinedLabel { label } => write!(f, "undefined label l{label}"),
+            SimtError::TypeMismatch { pc, expected, found } => {
+                write!(f, "type mismatch at pc {pc}: expected {expected}, found {found}")
+            }
+            SimtError::BadRegister { pc, reg } => {
+                write!(f, "register r{reg} out of range at pc {pc}")
+            }
+            SimtError::BadParam { pc, param } => {
+                write!(f, "parameter p{param} out of range at pc {pc}")
+            }
+            SimtError::NoPathToExit { pc } => {
+                write!(f, "block at pc {pc} has no path to kernel exit")
+            }
+            SimtError::BadLaunchArgs { detail } => write!(f, "bad launch arguments: {detail}"),
+            SimtError::BadBlockSize { threads } => {
+                write!(f, "block size {threads} outside 1..=1024")
+            }
+            SimtError::BadGridSize => write!(f, "grid dimensions must be non-zero"),
+            SimtError::OutOfBounds { pc, space, addr, size } => write!(
+                f,
+                "out-of-bounds {space} access at pc {pc}: address {addr} in space of {size} bytes"
+            ),
+            SimtError::DivideByZero { pc } => write!(f, "integer division by zero at pc {pc}"),
+            SimtError::BarrierDivergence { pc } => {
+                write!(f, "barrier reached in divergent control flow at pc {pc}")
+            }
+            SimtError::Deadlock { block } => write!(f, "block {block} deadlocked at a barrier"),
+            SimtError::InstructionBudgetExceeded { budget } => {
+                write!(f, "instruction budget of {budget} exceeded")
+            }
+        }
+    }
+}
+
+impl Error for SimtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs: Vec<SimtError> = vec![
+            SimtError::UndefinedLabel { label: 3 },
+            SimtError::BadGridSize,
+            SimtError::Deadlock { block: 2 },
+            SimtError::DivideByZero { pc: 9 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimtError>();
+    }
+}

@@ -1,0 +1,939 @@
+//! The device executor: memory, kernel launch, and the SIMT warp engine.
+//!
+//! Blocks execute sequentially (deterministically); within a block, warps
+//! run round-robin between barriers. Each warp executes in lock-step over
+//! a reconvergence stack: a divergent branch pushes taken/not-taken
+//! entries plus a continuation at the branch's immediate post-dominator,
+//! and an entry pops when its pc reaches its reconvergence pc. This is the
+//! classic IPDOM scheme GPUs implement in hardware, and it is what makes
+//! the measured SIMD activity factors faithful.
+
+use crate::instr::{
+    Addr, AtomOp, BinOp, CmpOp, Instr, InstrClass, Operand, Reg, Space, SpecialReg, Type, UnOp,
+    Value,
+};
+use crate::kernel::Kernel;
+use crate::launch::LaunchConfig;
+use crate::trace::{
+    AccessKind, BranchEvent, InstrEvent, LaunchStats, MemEvent, NullObserver, TraceObserver,
+};
+use crate::{SimtError, WARP_SIZE};
+
+/// A handle to a buffer allocated in device global or constant memory.
+///
+/// Pass it to kernels via [`BufferHandle::arg`] (the base byte address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferHandle {
+    addr: u32,
+    len_bytes: u32,
+}
+
+impl BufferHandle {
+    /// Base byte address of the buffer.
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Length in bytes.
+    pub fn len_bytes(&self) -> u32 {
+        self.len_bytes
+    }
+
+    /// The buffer's base address as a kernel argument value.
+    pub fn arg(&self) -> Value {
+        Value::U32(self.addr)
+    }
+
+    /// Base address of the element at `index` assuming 4-byte elements.
+    pub fn elem(&self, index: u32) -> Value {
+        Value::U32(self.addr + index * 4)
+    }
+}
+
+/// Execution limits for a [`Device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceLimits {
+    /// Maximum warp-level instructions per launch before aborting.
+    pub instr_budget: u64,
+}
+
+impl Default for DeviceLimits {
+    fn default() -> Self {
+        Self {
+            instr_budget: 400_000_000,
+        }
+    }
+}
+
+/// A simulated GPU device: global + constant memory and a kernel launcher.
+///
+/// See the [crate docs](crate) for a complete example.
+#[derive(Debug)]
+pub struct Device {
+    global: Vec<u8>,
+    const_mem: Vec<u8>,
+    limits: DeviceLimits,
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const ALLOC_ALIGN: usize = 256;
+
+impl Device {
+    /// Creates a device with empty memories and default limits.
+    pub fn new() -> Self {
+        Self {
+            global: Vec::new(),
+            const_mem: Vec::new(),
+            limits: DeviceLimits::default(),
+        }
+    }
+
+    /// Overrides execution limits (e.g. the instruction budget).
+    pub fn set_limits(&mut self, limits: DeviceLimits) {
+        self.limits = limits;
+    }
+
+    /// Allocates `len` zeroed bytes of global memory (256-byte aligned).
+    pub fn alloc_bytes(&mut self, len: usize) -> BufferHandle {
+        let base = (self.global.len() + ALLOC_ALIGN - 1) / ALLOC_ALIGN * ALLOC_ALIGN;
+        self.global.resize(base + len, 0);
+        BufferHandle {
+            addr: base as u32,
+            len_bytes: len as u32,
+        }
+    }
+
+    /// Allocates and initializes an `f32` buffer in global memory.
+    pub fn alloc_f32(&mut self, data: &[f32]) -> BufferHandle {
+        let h = self.alloc_bytes(data.len() * 4);
+        self.write_f32(&h, data);
+        h
+    }
+
+    /// Allocates and initializes a `u32` buffer in global memory.
+    pub fn alloc_u32(&mut self, data: &[u32]) -> BufferHandle {
+        let h = self.alloc_bytes(data.len() * 4);
+        self.write_u32(&h, data);
+        h
+    }
+
+    /// Allocates and initializes an `i32` buffer in global memory.
+    pub fn alloc_i32(&mut self, data: &[i32]) -> BufferHandle {
+        let h = self.alloc_bytes(data.len() * 4);
+        self.write_i32(&h, data);
+        h
+    }
+
+    /// Allocates a zeroed `f32` buffer of `n` elements.
+    pub fn alloc_zeroed_f32(&mut self, n: usize) -> BufferHandle {
+        self.alloc_bytes(n * 4)
+    }
+
+    /// Allocates a zeroed `u32` buffer of `n` elements.
+    pub fn alloc_zeroed_u32(&mut self, n: usize) -> BufferHandle {
+        self.alloc_bytes(n * 4)
+    }
+
+    /// Allocates and initializes an `f32` buffer in constant memory.
+    pub fn alloc_const_f32(&mut self, data: &[f32]) -> BufferHandle {
+        let base = (self.const_mem.len() + ALLOC_ALIGN - 1) / ALLOC_ALIGN * ALLOC_ALIGN;
+        self.const_mem.resize(base + data.len() * 4, 0);
+        for (i, v) in data.iter().enumerate() {
+            self.const_mem[base + i * 4..base + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        BufferHandle {
+            addr: base as u32,
+            len_bytes: (data.len() * 4) as u32,
+        }
+    }
+
+    /// Copies host data into a global buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the buffer length.
+    pub fn write_f32(&mut self, h: &BufferHandle, data: &[f32]) {
+        assert!(data.len() * 4 <= h.len_bytes as usize, "write too large");
+        for (i, v) in data.iter().enumerate() {
+            let at = h.addr as usize + i * 4;
+            self.global[at..at + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Copies host data into a global buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the buffer length.
+    pub fn write_u32(&mut self, h: &BufferHandle, data: &[u32]) {
+        assert!(data.len() * 4 <= h.len_bytes as usize, "write too large");
+        for (i, v) in data.iter().enumerate() {
+            let at = h.addr as usize + i * 4;
+            self.global[at..at + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Copies host data into a global buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the buffer length.
+    pub fn write_i32(&mut self, h: &BufferHandle, data: &[i32]) {
+        assert!(data.len() * 4 <= h.len_bytes as usize, "write too large");
+        for (i, v) in data.iter().enumerate() {
+            let at = h.addr as usize + i * 4;
+            self.global[at..at + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Reads a whole `f32` buffer back to the host.
+    pub fn read_f32(&self, h: &BufferHandle) -> Vec<f32> {
+        (0..h.len_bytes as usize / 4)
+            .map(|i| {
+                let at = h.addr as usize + i * 4;
+                f32::from_le_bytes(self.global[at..at + 4].try_into().expect("4 bytes"))
+            })
+            .collect()
+    }
+
+    /// Reads a whole `u32` buffer back to the host.
+    pub fn read_u32(&self, h: &BufferHandle) -> Vec<u32> {
+        (0..h.len_bytes as usize / 4)
+            .map(|i| {
+                let at = h.addr as usize + i * 4;
+                u32::from_le_bytes(self.global[at..at + 4].try_into().expect("4 bytes"))
+            })
+            .collect()
+    }
+
+    /// Reads a whole `i32` buffer back to the host.
+    pub fn read_i32(&self, h: &BufferHandle) -> Vec<i32> {
+        (0..h.len_bytes as usize / 4)
+            .map(|i| {
+                let at = h.addr as usize + i * 4;
+                i32::from_le_bytes(self.global[at..at + 4].try_into().expect("4 bytes"))
+            })
+            .collect()
+    }
+
+    /// Launches a kernel without tracing.
+    ///
+    /// # Errors
+    ///
+    /// See [`Device::launch_observed`].
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        config: &LaunchConfig,
+        args: &[Value],
+    ) -> Result<LaunchStats, SimtError> {
+        self.launch_observed(kernel, config, args, &mut NullObserver)
+    }
+
+    /// Launches a kernel, streaming events to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimtError::BadLaunchArgs`] / geometry errors before execution.
+    /// * Memory, divide-by-zero, barrier and deadlock errors during
+    ///   execution, each tagged with the offending pc or block.
+    pub fn launch_observed(
+        &mut self,
+        kernel: &Kernel,
+        config: &LaunchConfig,
+        args: &[Value],
+        observer: &mut dyn TraceObserver,
+    ) -> Result<LaunchStats, SimtError> {
+        config.validate()?;
+        kernel.check_args(args)?;
+        observer.on_launch(kernel, config);
+
+        // Static per-pc data reused across all warps.
+        let classes: Vec<InstrClass> = kernel
+            .instrs()
+            .iter()
+            .map(|i| i.class(i.dst_reg().map(|r| kernel.reg_type(r))))
+            .collect();
+        let srcs: Vec<Vec<Reg>> = kernel.instrs().iter().map(|i| i.src_regs()).collect();
+        let dsts: Vec<Option<Reg>> = kernel.instrs().iter().map(|i| i.dst_reg()).collect();
+
+        let mut stats = LaunchStats {
+            blocks: config.blocks() as u64,
+            ..LaunchStats::default()
+        };
+
+        let mut ctx = LaunchCtx {
+            kernel,
+            config,
+            args,
+            classes: &classes,
+            srcs: &srcs,
+            dsts: &dsts,
+            global: &mut self.global,
+            const_mem: &self.const_mem,
+            budget: self.limits.instr_budget,
+            stats: &mut stats,
+        };
+
+        for block in 0..config.blocks() as u32 {
+            ctx.run_block(block, observer)?;
+        }
+        observer.on_launch_end(&stats);
+        Ok(stats)
+    }
+}
+
+/// One reconvergence-stack entry.
+#[derive(Debug, Clone, Copy)]
+struct StackEntry {
+    pc: usize,
+    /// Reconvergence pc: pop when `pc == rpc`.
+    rpc: usize,
+    mask: u32,
+}
+
+struct Warp {
+    /// Warp index within the block.
+    id: u32,
+    /// First thread (linear, within block) of this warp.
+    base_thread: u32,
+    /// Lanes that have not exited.
+    live: u32,
+    stack: Vec<StackEntry>,
+    /// Per-register, per-lane values: `regs[reg * 32 + lane]`.
+    regs: Vec<Value>,
+    at_barrier: bool,
+}
+
+impl Warp {
+    fn done(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+struct LaunchCtx<'a> {
+    kernel: &'a Kernel,
+    config: &'a LaunchConfig,
+    args: &'a [Value],
+    classes: &'a [InstrClass],
+    srcs: &'a [Vec<Reg>],
+    dsts: &'a [Option<Reg>],
+    global: &'a mut Vec<u8>,
+    const_mem: &'a [u8],
+    budget: u64,
+    stats: &'a mut LaunchStats,
+}
+
+impl LaunchCtx<'_> {
+    fn run_block(&mut self, block: u32, observer: &mut dyn TraceObserver) -> Result<(), SimtError> {
+        let threads = self.config.threads_per_block();
+        let n_warps = threads.div_ceil(WARP_SIZE);
+        self.stats.warps += n_warps as u64;
+        let exit_pc = self.kernel.instrs().len();
+        let reg_count = self.kernel.reg_count();
+
+        let mut shared = vec![0u8; self.kernel.shared_bytes() as usize];
+        let mut local = vec![0u8; self.kernel.local_bytes() as usize * threads];
+
+        let mut warps: Vec<Warp> = (0..n_warps)
+            .map(|w| {
+                let base_thread = (w * WARP_SIZE) as u32;
+                let lanes = (threads - w * WARP_SIZE).min(WARP_SIZE);
+                let live = if lanes == WARP_SIZE {
+                    u32::MAX
+                } else {
+                    (1u32 << lanes) - 1
+                };
+                Warp {
+                    id: w as u32,
+                    base_thread,
+                    live,
+                    stack: vec![StackEntry {
+                        pc: 0,
+                        rpc: exit_pc,
+                        mask: live,
+                    }],
+                    regs: vec![Value::U32(0); reg_count * WARP_SIZE],
+                    at_barrier: false,
+                }
+            })
+            .collect();
+
+        loop {
+            let mut progressed = false;
+            for wi in 0..warps.len() {
+                if warps[wi].done() || warps[wi].at_barrier {
+                    continue;
+                }
+                progressed = true;
+                self.run_warp(block, &mut warps[wi], &mut shared, &mut local, observer)?;
+            }
+            if warps.iter().all(Warp::done) {
+                break;
+            }
+            let waiting = warps.iter().filter(|w| w.at_barrier).count();
+            if waiting > 0 && warps.iter().all(|w| w.done() || w.at_barrier) {
+                // Release the barrier.
+                for w in &mut warps {
+                    w.at_barrier = false;
+                }
+                self.stats.barriers += 1;
+                observer.on_barrier(block);
+                continue;
+            }
+            if !progressed {
+                return Err(SimtError::Deadlock {
+                    block: block as usize,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one warp until it exits or reaches a barrier.
+    fn run_warp(
+        &mut self,
+        block: u32,
+        warp: &mut Warp,
+        shared: &mut [u8],
+        local: &mut [u8],
+        observer: &mut dyn TraceObserver,
+    ) -> Result<(), SimtError> {
+        let exit_pc = self.kernel.instrs().len();
+        let instrs = self.kernel.instrs();
+        let mut addr_buf = [0u32; WARP_SIZE];
+
+        loop {
+            let Some(top) = warp.stack.last().copied() else {
+                return Ok(());
+            };
+            if top.mask == 0 || top.pc == top.rpc || top.pc >= exit_pc {
+                warp.stack.pop();
+                continue;
+            }
+
+            self.stats.warp_instrs += 1;
+            if self.stats.warp_instrs > self.budget {
+                return Err(SimtError::InstructionBudgetExceeded {
+                    budget: self.budget,
+                });
+            }
+            let pc = top.pc;
+            let mask = top.mask;
+            self.stats.thread_instrs += mask.count_ones() as u64;
+
+            observer.on_instr(&InstrEvent {
+                block,
+                warp: warp.id,
+                pc,
+                class: self.classes[pc],
+                active: mask,
+                live: warp.live,
+                dst: self.dsts[pc],
+                srcs: &self.srcs[pc],
+            });
+
+            match &instrs[pc] {
+                Instr::Bin { op, dst, a, b } => {
+                    for lane in lanes(mask) {
+                        let va = self.eval(warp, block, lane, a);
+                        let vb = self.eval(warp, block, lane, b);
+                        let r = eval_bin(*op, va, vb).ok_or(SimtError::DivideByZero { pc })?;
+                        write_reg(warp, *dst, lane, r);
+                    }
+                    advance(warp);
+                }
+                Instr::Un { op, dst, a } => {
+                    for lane in lanes(mask) {
+                        let va = self.eval(warp, block, lane, a);
+                        write_reg(warp, *dst, lane, eval_un(*op, va));
+                    }
+                    advance(warp);
+                }
+                Instr::Mad { dst, a, b, c } => {
+                    for lane in lanes(mask) {
+                        let va = self.eval(warp, block, lane, a);
+                        let vb = self.eval(warp, block, lane, b);
+                        let vc = self.eval(warp, block, lane, c);
+                        let r = match (va, vb, vc) {
+                            (Value::U32(x), Value::U32(y), Value::U32(z)) => {
+                                Value::U32(x.wrapping_mul(y).wrapping_add(z))
+                            }
+                            (Value::I32(x), Value::I32(y), Value::I32(z)) => {
+                                Value::I32(x.wrapping_mul(y).wrapping_add(z))
+                            }
+                            (Value::F32(x), Value::F32(y), Value::F32(z)) => {
+                                Value::F32(x.mul_add(y, z))
+                            }
+                            _ => unreachable!("validated"),
+                        };
+                        write_reg(warp, *dst, lane, r);
+                    }
+                    advance(warp);
+                }
+                Instr::Cmp { op, dst, a, b } => {
+                    for lane in lanes(mask) {
+                        let va = self.eval(warp, block, lane, a);
+                        let vb = self.eval(warp, block, lane, b);
+                        write_reg(warp, *dst, lane, Value::Pred(eval_cmp(*op, va, vb)));
+                    }
+                    advance(warp);
+                }
+                Instr::Sel { dst, pred, a, b } => {
+                    for lane in lanes(mask) {
+                        let p = read_reg(warp, *pred, lane).as_pred();
+                        let v = if p {
+                            self.eval(warp, block, lane, a)
+                        } else {
+                            self.eval(warp, block, lane, b)
+                        };
+                        write_reg(warp, *dst, lane, v);
+                    }
+                    advance(warp);
+                }
+                Instr::Mov { dst, src } => {
+                    for lane in lanes(mask) {
+                        let v = self.eval(warp, block, lane, src);
+                        write_reg(warp, *dst, lane, v);
+                    }
+                    advance(warp);
+                }
+                Instr::Cvt { dst, src } => {
+                    let to = self.kernel.reg_type(*dst);
+                    for lane in lanes(mask) {
+                        let v = self.eval(warp, block, lane, src);
+                        write_reg(warp, *dst, lane, convert(v, to));
+                    }
+                    advance(warp);
+                }
+                Instr::Ld { dst, space, addr } => {
+                    self.gather_addrs(warp, block, mask, addr, &mut addr_buf);
+                    observer.on_mem(&MemEvent {
+                        block,
+                        warp: warp.id,
+                        pc,
+                        space: *space,
+                        kind: AccessKind::Load,
+                        bytes: 4,
+                        active: mask,
+                        addrs: &addr_buf,
+                    });
+                    let ty = self.kernel.reg_type(*dst);
+                    let lb = self.kernel.local_bytes() as usize;
+                    for lane in lanes(mask) {
+                        let a = addr_buf[lane];
+                        let raw = match space {
+                            Space::Global => read4(self.global, a, pc, "global")?,
+                            Space::Shared => read4(shared, a, pc, "shared")?,
+                            Space::Const => read4(self.const_mem, a, pc, "const")?,
+                            Space::Local => {
+                                let t = (warp.base_thread as usize + lane) * lb;
+                                read4(&local[t..t + lb], a, pc, "local")?
+                            }
+                        };
+                        write_reg(warp, *dst, lane, raw_to_value(raw, ty));
+                    }
+                    advance(warp);
+                }
+                Instr::St { space, addr, src } => {
+                    self.gather_addrs(warp, block, mask, addr, &mut addr_buf);
+                    observer.on_mem(&MemEvent {
+                        block,
+                        warp: warp.id,
+                        pc,
+                        space: *space,
+                        kind: AccessKind::Store,
+                        bytes: 4,
+                        active: mask,
+                        addrs: &addr_buf,
+                    });
+                    let lb = self.kernel.local_bytes() as usize;
+                    for lane in lanes(mask) {
+                        let v = self.eval(warp, block, lane, src);
+                        let a = addr_buf[lane];
+                        let data = value_to_raw(v);
+                        match space {
+                            Space::Global => write4(self.global, a, data, pc, "global")?,
+                            Space::Shared => write4(shared, a, data, pc, "shared")?,
+                            Space::Local => {
+                                let t = (warp.base_thread as usize + lane) * lb;
+                                write4(&mut local[t..t + lb], a, data, pc, "local")?
+                            }
+                            Space::Const => {
+                                return Err(SimtError::OutOfBounds {
+                                    pc,
+                                    space: "const",
+                                    addr: a as u64,
+                                    size: 0,
+                                })
+                            }
+                        }
+                    }
+                    advance(warp);
+                }
+                Instr::Atom {
+                    op,
+                    dst,
+                    space,
+                    addr,
+                    src,
+                    compare,
+                } => {
+                    self.gather_addrs(warp, block, mask, addr, &mut addr_buf);
+                    observer.on_mem(&MemEvent {
+                        block,
+                        warp: warp.id,
+                        pc,
+                        space: *space,
+                        kind: AccessKind::Atomic,
+                        bytes: 4,
+                        active: mask,
+                        addrs: &addr_buf,
+                    });
+                    for lane in lanes(mask) {
+                        let a = addr_buf[lane];
+                        let operand = self.eval(warp, block, lane, src);
+                        let cmp_v = compare.map(|c| self.eval(warp, block, lane, &c));
+                        let old_raw = match space {
+                            Space::Global => read4(self.global, a, pc, "global")?,
+                            Space::Shared => read4(shared, a, pc, "shared")?,
+                            _ => unreachable!("atomics validated to global/shared"),
+                        };
+                        let old = raw_to_value(old_raw, operand.ty());
+                        if let Some(new) = apply_atom(*op, old, operand, cmp_v) {
+                            let data = value_to_raw(new);
+                            match space {
+                                Space::Global => write4(self.global, a, data, pc, "global")?,
+                                Space::Shared => write4(shared, a, data, pc, "shared")?,
+                                _ => unreachable!("atomics validated to global/shared"),
+                            }
+                        }
+                        if let Some(d) = dst {
+                            write_reg(warp, *d, lane, old);
+                        }
+                    }
+                    advance(warp);
+                }
+                Instr::Bar => {
+                    if mask != warp.live || warp.stack.len() != 1 {
+                        return Err(SimtError::BarrierDivergence { pc });
+                    }
+                    advance(warp);
+                    warp.at_barrier = true;
+                    return Ok(());
+                }
+                Instr::Bra { target, cond } => match cond {
+                    None => {
+                        warp.stack.last_mut().expect("non-empty").pc = *target;
+                    }
+                    Some(c) => {
+                        let mut taken = 0u32;
+                        for lane in lanes(mask) {
+                            let p = read_reg(warp, c.reg, lane).as_pred();
+                            if p != c.negate {
+                                taken |= 1 << lane;
+                            }
+                        }
+                        observer.on_branch(&BranchEvent {
+                            block,
+                            warp: warp.id,
+                            pc,
+                            active: mask,
+                            taken,
+                        });
+                        if taken == 0 {
+                            advance(warp);
+                        } else if taken == mask {
+                            warp.stack.last_mut().expect("non-empty").pc = *target;
+                        } else {
+                            let rpc = self
+                                .kernel
+                                .reconvergence_pc(pc)
+                                .expect("validated branch has reconvergence");
+                            let old = warp.stack.pop().expect("non-empty");
+                            // Continuation at the reconvergence point.
+                            warp.stack.push(StackEntry {
+                                pc: rpc,
+                                rpc: old.rpc,
+                                mask: old.mask,
+                            });
+                            // Not-taken path.
+                            warp.stack.push(StackEntry {
+                                pc: pc + 1,
+                                rpc,
+                                mask: mask & !taken,
+                            });
+                            // Taken path (runs first).
+                            warp.stack.push(StackEntry {
+                                pc: *target,
+                                rpc,
+                                mask: taken,
+                            });
+                        }
+                    }
+                },
+                Instr::Ret => {
+                    let exiting = mask;
+                    warp.live &= !exiting;
+                    for e in &mut warp.stack {
+                        e.mask &= !exiting;
+                    }
+                }
+            }
+        }
+    }
+
+    fn gather_addrs(
+        &self,
+        warp: &Warp,
+        block: u32,
+        mask: u32,
+        addr: &Addr,
+        out: &mut [u32; WARP_SIZE],
+    ) {
+        for lane in lanes(mask) {
+            let base = self.eval(warp, block, lane, &addr.base).as_u32();
+            out[lane] = base.wrapping_add_signed(addr.offset);
+        }
+    }
+
+    fn eval(&self, warp: &Warp, block: u32, lane: usize, op: &Operand) -> Value {
+        match op {
+            Operand::Reg(r) => read_reg(warp, *r, lane),
+            Operand::Imm(v) => *v,
+            Operand::Param(i) => self.args[*i as usize],
+            Operand::Sreg(s) => {
+                let thread = warp.base_thread + lane as u32;
+                let bx = self.config.block_x;
+                Value::U32(match s {
+                    SpecialReg::TidX => thread % bx,
+                    SpecialReg::TidY => thread / bx,
+                    SpecialReg::NTidX => bx,
+                    SpecialReg::NTidY => self.config.block_y,
+                    SpecialReg::CtaIdX => block % self.config.grid_x,
+                    SpecialReg::CtaIdY => block / self.config.grid_x,
+                    SpecialReg::NCtaIdX => self.config.grid_x,
+                    SpecialReg::NCtaIdY => self.config.grid_y,
+                    SpecialReg::LaneId => lane as u32,
+                })
+            }
+        }
+    }
+
+}
+
+fn lanes(mask: u32) -> impl Iterator<Item = usize> {
+    (0..WARP_SIZE).filter(move |i| mask & (1 << i) != 0)
+}
+
+fn advance(warp: &mut Warp) {
+    warp.stack.last_mut().expect("non-empty").pc += 1;
+}
+
+#[inline]
+fn read_reg(warp: &Warp, r: Reg, lane: usize) -> Value {
+    warp.regs[r.0 as usize * WARP_SIZE + lane]
+}
+
+#[inline]
+fn write_reg(warp: &mut Warp, r: Reg, lane: usize, v: Value) {
+    warp.regs[r.0 as usize * WARP_SIZE + lane] = v;
+}
+
+fn read4(buf: &[u8], addr: u32, pc: usize, space: &'static str) -> Result<[u8; 4], SimtError> {
+    let a = addr as usize;
+    if a + 4 > buf.len() {
+        return Err(SimtError::OutOfBounds {
+            pc,
+            space,
+            addr: addr as u64,
+            size: buf.len() as u64,
+        });
+    }
+    Ok(buf[a..a + 4].try_into().expect("4 bytes"))
+}
+
+fn write4(
+    buf: &mut [u8],
+    addr: u32,
+    data: [u8; 4],
+    pc: usize,
+    space: &'static str,
+) -> Result<(), SimtError> {
+    let a = addr as usize;
+    if a + 4 > buf.len() {
+        return Err(SimtError::OutOfBounds {
+            pc,
+            space,
+            addr: addr as u64,
+            size: buf.len() as u64,
+        });
+    }
+    buf[a..a + 4].copy_from_slice(&data);
+    Ok(())
+}
+
+fn raw_to_value(raw: [u8; 4], ty: Type) -> Value {
+    match ty {
+        Type::U32 => Value::U32(u32::from_le_bytes(raw)),
+        Type::I32 => Value::I32(i32::from_le_bytes(raw)),
+        Type::F32 => Value::F32(f32::from_le_bytes(raw)),
+        Type::Pred => Value::Pred(u32::from_le_bytes(raw) != 0),
+    }
+}
+
+fn value_to_raw(v: Value) -> [u8; 4] {
+    match v {
+        Value::U32(x) => x.to_le_bytes(),
+        Value::I32(x) => x.to_le_bytes(),
+        Value::F32(x) => x.to_le_bytes(),
+        Value::Pred(x) => (x as u32).to_le_bytes(),
+    }
+}
+
+fn convert(v: Value, to: Type) -> Value {
+    let as_f64 = match v {
+        Value::U32(x) => x as f64,
+        Value::I32(x) => x as f64,
+        Value::F32(x) => x as f64,
+        Value::Pred(x) => x as u32 as f64,
+    };
+    match to {
+        Type::F32 => Value::F32(as_f64 as f32),
+        Type::U32 => Value::U32(as_f64.max(0.0).min(u32::MAX as f64) as u32),
+        Type::I32 => Value::I32(as_f64.clamp(i32::MIN as f64, i32::MAX as f64) as i32),
+        Type::Pred => Value::Pred(as_f64 != 0.0),
+    }
+}
+
+/// Returns `None` only for integer division/remainder by zero.
+fn eval_bin(op: BinOp, a: Value, b: Value) -> Option<Value> {
+    use Value::*;
+    Some(match (a, b) {
+        (U32(x), U32(y)) => U32(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => x.checked_div(y)?,
+            BinOp::Rem => x.checked_rem(y)?,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y),
+            BinOp::Shr => x.wrapping_shr(y),
+        }),
+        (I32(x), I32(y)) => I32(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => x.checked_div(y)?,
+            BinOp::Rem => x.checked_rem(y)?,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32),
+            BinOp::Shr => x.wrapping_shr(y as u32),
+        }),
+        (F32(x), F32(y)) => F32(match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            _ => unreachable!("validated: no bitwise float ops"),
+        }),
+        (Pred(x), Pred(y)) => Pred(match op {
+            BinOp::And => x && y,
+            BinOp::Or => x || y,
+            BinOp::Xor => x ^ y,
+            _ => unreachable!("validated: only logic ops on predicates"),
+        }),
+        _ => unreachable!("validated: operand types match"),
+    })
+}
+
+fn eval_un(op: UnOp, a: Value) -> Value {
+    use Value::*;
+    match (op, a) {
+        (UnOp::Neg, I32(x)) => I32(x.wrapping_neg()),
+        (UnOp::Neg, F32(x)) => F32(-x),
+        (UnOp::Abs, I32(x)) => I32(x.wrapping_abs()),
+        (UnOp::Abs, F32(x)) => F32(x.abs()),
+        (UnOp::Not, U32(x)) => U32(!x),
+        (UnOp::Not, I32(x)) => I32(!x),
+        (UnOp::Not, Pred(x)) => Pred(!x),
+        (UnOp::Sqrt, F32(x)) => F32(x.sqrt()),
+        (UnOp::Rsqrt, F32(x)) => F32(1.0 / x.sqrt()),
+        (UnOp::Exp2, F32(x)) => F32(x.exp2()),
+        (UnOp::Log2, F32(x)) => F32(x.log2()),
+        (UnOp::Sin, F32(x)) => F32(x.sin()),
+        (UnOp::Cos, F32(x)) => F32(x.cos()),
+        (UnOp::Recip, F32(x)) => F32(1.0 / x),
+        _ => unreachable!("validated unary operand type"),
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: Value, b: Value) -> bool {
+    use Value::*;
+    let ord = match (a, b) {
+        (U32(x), U32(y)) => x.partial_cmp(&y),
+        (I32(x), I32(y)) => x.partial_cmp(&y),
+        (F32(x), F32(y)) => x.partial_cmp(&y),
+        _ => unreachable!("validated comparison operand types"),
+    };
+    match (op, ord) {
+        (CmpOp::Eq, Some(std::cmp::Ordering::Equal)) => true,
+        (CmpOp::Ne, Some(o)) => o != std::cmp::Ordering::Equal,
+        (CmpOp::Ne, None) => true, // NaN != NaN
+        (CmpOp::Lt, Some(std::cmp::Ordering::Less)) => true,
+        (CmpOp::Le, Some(o)) => o != std::cmp::Ordering::Greater,
+        (CmpOp::Gt, Some(std::cmp::Ordering::Greater)) => true,
+        (CmpOp::Ge, Some(o)) => o != std::cmp::Ordering::Less,
+        _ => false,
+    }
+}
+
+/// Computes the new memory value for an atomic; `None` means "no write"
+/// (failed CAS).
+fn apply_atom(op: AtomOp, old: Value, operand: Value, compare: Option<Value>) -> Option<Value> {
+    use Value::*;
+    match op {
+        AtomOp::Add => Some(match (old, operand) {
+            (U32(x), U32(y)) => U32(x.wrapping_add(y)),
+            (I32(x), I32(y)) => I32(x.wrapping_add(y)),
+            (F32(x), F32(y)) => F32(x + y),
+            _ => unreachable!("validated"),
+        }),
+        AtomOp::Min => Some(match (old, operand) {
+            (U32(x), U32(y)) => U32(x.min(y)),
+            (I32(x), I32(y)) => I32(x.min(y)),
+            (F32(x), F32(y)) => F32(x.min(y)),
+            _ => unreachable!("validated"),
+        }),
+        AtomOp::Max => Some(match (old, operand) {
+            (U32(x), U32(y)) => U32(x.max(y)),
+            (I32(x), I32(y)) => I32(x.max(y)),
+            (F32(x), F32(y)) => F32(x.max(y)),
+            _ => unreachable!("validated"),
+        }),
+        AtomOp::Exch => Some(operand),
+        AtomOp::Cas => {
+            let cmp = compare.expect("validated: CAS has compare");
+            if old == cmp {
+                Some(operand)
+            } else {
+                None
+            }
+        }
+    }
+}

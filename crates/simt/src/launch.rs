@@ -1,0 +1,118 @@
+//! Kernel launch geometry.
+
+use crate::SimtError;
+
+/// Grid/block dimensions for a kernel launch (2-D; the paper's workloads do
+/// not need the z dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks in x.
+    pub grid_x: u32,
+    /// Number of blocks in y.
+    pub grid_y: u32,
+    /// Threads per block in x.
+    pub block_x: u32,
+    /// Threads per block in y.
+    pub block_y: u32,
+}
+
+impl LaunchConfig {
+    /// A 1-D launch of `grid_x` × `block_x`.
+    pub fn new(grid_x: u32, block_x: u32) -> Self {
+        Self {
+            grid_x,
+            grid_y: 1,
+            block_x,
+            block_y: 1,
+        }
+    }
+
+    /// A 2-D launch.
+    pub fn new_2d(grid_x: u32, grid_y: u32, block_x: u32, block_y: u32) -> Self {
+        Self {
+            grid_x,
+            grid_y,
+            block_x,
+            block_y,
+        }
+    }
+
+    /// Enough `block`-sized blocks (1-D) to cover `elems` elements.
+    pub fn linear(elems: u32, block: u32) -> Self {
+        let grid = elems.div_ceil(block.max(1)).max(1);
+        Self::new(grid, block)
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> usize {
+        self.block_x as usize * self.block_y as usize
+    }
+
+    /// Blocks in the grid.
+    pub fn blocks(&self) -> usize {
+        self.grid_x as usize * self.grid_y as usize
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> usize {
+        self.threads_per_block() * self.blocks()
+    }
+
+    /// Validates the geometry against device limits.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimtError::BadGridSize`] for zero grid dimensions.
+    /// * [`SimtError::BadBlockSize`] for 0 or more than 1024 threads/block.
+    pub fn validate(&self) -> Result<(), SimtError> {
+        if self.grid_x == 0 || self.grid_y == 0 {
+            return Err(SimtError::BadGridSize);
+        }
+        let t = self.threads_per_block();
+        if t == 0 || t > 1024 {
+            return Err(SimtError::BadBlockSize { threads: t });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_covers_elements() {
+        let c = LaunchConfig::linear(1000, 256);
+        assert_eq!(c.grid_x, 4);
+        assert!(c.total_threads() >= 1000);
+    }
+
+    #[test]
+    fn linear_zero_elems_still_one_block() {
+        let c = LaunchConfig::linear(0, 128);
+        assert_eq!(c.blocks(), 1);
+    }
+
+    #[test]
+    fn counts() {
+        let c = LaunchConfig::new_2d(2, 3, 8, 4);
+        assert_eq!(c.threads_per_block(), 32);
+        assert_eq!(c.blocks(), 6);
+        assert_eq!(c.total_threads(), 192);
+    }
+
+    #[test]
+    fn validate_rejects_zero_grid() {
+        assert_eq!(
+            LaunchConfig::new_2d(0, 1, 32, 1).validate(),
+            Err(SimtError::BadGridSize)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_oversized_block() {
+        assert!(LaunchConfig::new(1, 2048).validate().is_err());
+        assert!(LaunchConfig::new(1, 0).validate().is_err());
+        assert!(LaunchConfig::new(1, 1024).validate().is_ok());
+    }
+}

@@ -1,0 +1,299 @@
+//! Execution trace observers.
+//!
+//! The executor streams warp-level events to a [`TraceObserver`] while a
+//! kernel runs. Observers see everything a microarchitecture-independent
+//! characterization needs — dynamic instruction classes with active masks,
+//! per-lane memory addresses, branch outcomes, barriers — without the
+//! executor ever materializing a full trace in memory.
+
+use crate::instr::{InstrClass, Reg, Space};
+use crate::kernel::Kernel;
+use crate::launch::LaunchConfig;
+use crate::WARP_SIZE;
+
+/// A warp-level dynamic instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct InstrEvent<'a> {
+    /// Linear block index within the grid.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Instruction index in the kernel.
+    pub pc: usize,
+    /// Dynamic classification.
+    pub class: InstrClass,
+    /// Active lane mask (bit `i` = lane `i` executed).
+    pub active: u32,
+    /// Live lane mask: lanes of this warp that exist and have not exited.
+    /// `active == live` means the warp is fully converged.
+    pub live: u32,
+    /// Destination register, if the instruction writes one.
+    pub dst: Option<Reg>,
+    /// Register operands read (statically known per pc).
+    pub srcs: &'a [Reg],
+}
+
+impl InstrEvent<'_> {
+    /// Number of active lanes.
+    pub fn active_lanes(&self) -> u32 {
+        self.active.count_ones()
+    }
+}
+
+/// What kind of access a [`MemEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load.
+    Load,
+    /// Store.
+    Store,
+    /// Atomic read-modify-write.
+    Atomic,
+}
+
+/// A warp-level memory access with per-lane byte addresses.
+#[derive(Debug, Clone, Copy)]
+pub struct MemEvent<'a> {
+    /// Linear block index within the grid.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Instruction index in the kernel.
+    pub pc: usize,
+    /// Memory space accessed.
+    pub space: Space,
+    /// Load, store or atomic.
+    pub kind: AccessKind,
+    /// Access width in bytes per lane (always 4 in the current IR).
+    pub bytes: u8,
+    /// Active lane mask.
+    pub active: u32,
+    /// Per-lane byte addresses; entry `i` is valid iff bit `i` of
+    /// `active` is set.
+    pub addrs: &'a [u32; WARP_SIZE],
+}
+
+impl MemEvent<'_> {
+    /// Iterates over the addresses of active lanes.
+    pub fn active_addrs(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..WARP_SIZE).filter_map(move |i| {
+            if self.active & (1 << i) != 0 {
+                Some(self.addrs[i])
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// A warp-level conditional-branch outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchEvent {
+    /// Linear block index within the grid.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Instruction index in the kernel.
+    pub pc: usize,
+    /// Active lane mask when the branch executed.
+    pub active: u32,
+    /// Lanes that took the branch.
+    pub taken: u32,
+}
+
+impl BranchEvent {
+    /// True when the branch split the warp (some lanes taken, some not).
+    pub fn divergent(&self) -> bool {
+        self.taken != 0 && self.taken != self.active
+    }
+}
+
+/// Summary counters the executor returns from each launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Warp-level dynamic instructions (one per lock-step issue).
+    pub warp_instrs: u64,
+    /// Thread-level dynamic instructions (sum of active lanes).
+    pub thread_instrs: u64,
+    /// Blocks executed.
+    pub blocks: u64,
+    /// Warps executed.
+    pub warps: u64,
+    /// Barriers released (block-wide).
+    pub barriers: u64,
+}
+
+/// Receives execution events during a launch.
+///
+/// All methods have empty default bodies, so observers implement only what
+/// they need. Observers run synchronously inside the executor loop; heavy
+/// observers should stream-update their statistics rather than buffer.
+pub trait TraceObserver {
+    /// A kernel launch is starting.
+    fn on_launch(&mut self, kernel: &Kernel, config: &LaunchConfig) {
+        let _ = (kernel, config);
+    }
+    /// A warp executed one instruction.
+    fn on_instr(&mut self, event: &InstrEvent<'_>) {
+        let _ = event;
+    }
+    /// A warp performed a memory access (also reported via [`Self::on_instr`]).
+    fn on_mem(&mut self, event: &MemEvent<'_>) {
+        let _ = event;
+    }
+    /// A warp executed a conditional branch (also reported via [`Self::on_instr`]).
+    fn on_branch(&mut self, event: &BranchEvent) {
+        let _ = event;
+    }
+    /// A block-wide barrier was released in `block`.
+    fn on_barrier(&mut self, block: u32) {
+        let _ = block;
+    }
+    /// The launch finished.
+    fn on_launch_end(&mut self, stats: &LaunchStats) {
+        let _ = stats;
+    }
+}
+
+/// An observer that ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl TraceObserver for NullObserver {}
+
+/// Fans events out to several observers in order.
+#[derive(Default)]
+pub struct MultiObserver<'a> {
+    observers: Vec<&'a mut dyn TraceObserver>,
+}
+
+impl std::fmt::Debug for MultiObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiObserver")
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl<'a> MultiObserver<'a> {
+    /// Creates an empty fan-out observer.
+    pub fn new() -> Self {
+        Self {
+            observers: Vec::new(),
+        }
+    }
+
+    /// Adds an observer to the fan-out list.
+    pub fn push(&mut self, obs: &'a mut dyn TraceObserver) -> &mut Self {
+        self.observers.push(obs);
+        self
+    }
+}
+
+impl TraceObserver for MultiObserver<'_> {
+    fn on_launch(&mut self, kernel: &Kernel, config: &LaunchConfig) {
+        for o in &mut self.observers {
+            o.on_launch(kernel, config);
+        }
+    }
+    fn on_instr(&mut self, event: &InstrEvent<'_>) {
+        for o in &mut self.observers {
+            o.on_instr(event);
+        }
+    }
+    fn on_mem(&mut self, event: &MemEvent<'_>) {
+        for o in &mut self.observers {
+            o.on_mem(event);
+        }
+    }
+    fn on_branch(&mut self, event: &BranchEvent) {
+        for o in &mut self.observers {
+            o.on_branch(event);
+        }
+    }
+    fn on_barrier(&mut self, block: u32) {
+        for o in &mut self.observers {
+            o.on_barrier(block);
+        }
+    }
+    fn on_launch_end(&mut self, stats: &LaunchStats) {
+        for o in &mut self.observers {
+            o.on_launch_end(stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_divergence_detection() {
+        let e = BranchEvent {
+            block: 0,
+            warp: 0,
+            pc: 0,
+            active: 0b1111,
+            taken: 0b0011,
+        };
+        assert!(e.divergent());
+        let uniform_taken = BranchEvent { taken: 0b1111, ..e };
+        assert!(!uniform_taken.divergent());
+        let uniform_not = BranchEvent { taken: 0, ..e };
+        assert!(!uniform_not.divergent());
+    }
+
+    #[test]
+    fn mem_event_active_addrs() {
+        let mut addrs = [0u32; WARP_SIZE];
+        addrs[0] = 100;
+        addrs[2] = 300;
+        let e = MemEvent {
+            block: 0,
+            warp: 0,
+            pc: 0,
+            space: Space::Global,
+            kind: AccessKind::Load,
+            bytes: 4,
+            active: 0b101,
+            addrs: &addrs,
+        };
+        assert_eq!(e.active_addrs().collect::<Vec<_>>(), vec![100, 300]);
+    }
+
+    #[test]
+    fn instr_event_lane_count() {
+        let e = InstrEvent {
+            block: 0,
+            warp: 0,
+            pc: 0,
+            class: InstrClass::IntAlu,
+            active: 0xFFFF_FFFF,
+            live: 0xFFFF_FFFF,
+            dst: None,
+            srcs: &[],
+        };
+        assert_eq!(e.active_lanes(), 32);
+    }
+
+    #[test]
+    fn multi_observer_fans_out() {
+        #[derive(Default)]
+        struct Counter(u32);
+        impl TraceObserver for Counter {
+            fn on_barrier(&mut self, _b: u32) {
+                self.0 += 1;
+            }
+        }
+        let mut a = Counter::default();
+        let mut b = Counter::default();
+        {
+            let mut multi = MultiObserver::new();
+            multi.push(&mut a).push(&mut b);
+            multi.on_barrier(0);
+            multi.on_barrier(1);
+        }
+        assert_eq!(a.0, 2);
+        assert_eq!(b.0, 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Pearson correlation and correlated-dimension grouping.
+//!
+//! The paper's "correlated dimensionality reduction process" first inspects
+//! which raw characteristics move together; PCA then collapses that
+//! redundancy. [`correlated_groups`] exposes the groups directly so reports
+//! can explain *why* the effective dimensionality is lower than the raw
+//! characteristic count.
+
+use crate::{Matrix, StatsError};
+
+/// Pearson correlation matrix between the columns of `m`.
+///
+/// Zero-variance columns correlate `0.0` with everything (and `1.0` with
+/// themselves) rather than producing NaN.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] when there are fewer than two rows.
+pub fn correlation_matrix(m: &Matrix) -> Result<Matrix, StatsError> {
+    if m.rows() < 2 {
+        return Err(StatsError::Empty);
+    }
+    let cov = m.covariance()?;
+    let n = m.cols();
+    let mut corr = Matrix::identity(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let denom = (cov.get(i, i) * cov.get(j, j)).sqrt();
+            let r = if denom > 0.0 { cov.get(i, j) / denom } else { 0.0 };
+            corr.set(i, j, r);
+            corr.set(j, i, r);
+        }
+    }
+    Ok(corr)
+}
+
+/// Groups columns whose pairwise |r| exceeds `threshold`, using a
+/// union-find over the correlation graph. Groups are returned sorted by
+/// smallest member, singletons included, so the result is a partition of
+/// all columns.
+///
+/// # Errors
+///
+/// Propagates errors from [`correlation_matrix`].
+pub fn correlated_groups(m: &Matrix, threshold: f64) -> Result<Vec<Vec<usize>>, StatsError> {
+    let corr = correlation_matrix(m)?;
+    let n = m.cols();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if corr.get(i, j).abs() > threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+    }
+
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        groups[r].push(i);
+    }
+    Ok(groups.into_iter().filter(|g| !g.is_empty()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let c = correlation_matrix(&m).unwrap();
+        assert!((c.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_correlation() {
+        let m = Matrix::from_rows(&[vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]]).unwrap();
+        let c = correlation_matrix(&m).unwrap();
+        assert!((c.get(0, 1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_columns_near_zero() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, -1.0],
+            vec![3.0, 1.0],
+            vec![4.0, -1.0],
+        ])
+        .unwrap();
+        let c = correlation_matrix(&m).unwrap();
+        assert!(c.get(0, 1).abs() < 0.5);
+    }
+
+    #[test]
+    fn zero_variance_column_correlates_zero() {
+        let m = Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]).unwrap();
+        let c = correlation_matrix(&m).unwrap();
+        assert_eq!(c.get(0, 1), 0.0);
+        assert_eq!(c.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn groups_partition_columns() {
+        // Columns 0 and 1 correlated; 2 independent-ish; 3 anti-correlated with 0.
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 1.0, -1.0],
+            vec![2.0, 4.1, -1.0, -2.0],
+            vec![3.0, 6.0, 1.0, -3.0],
+            vec![4.0, 7.9, -1.0, -4.0],
+        ])
+        .unwrap();
+        let groups = correlated_groups(&m, 0.95).unwrap();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+        let g0 = groups.iter().find(|g| g.contains(&0)).unwrap();
+        assert!(g0.contains(&1), "0 and 1 should group: {groups:?}");
+        assert!(g0.contains(&3), "anti-correlation groups by |r|: {groups:?}");
+        assert!(!g0.contains(&2));
+    }
+
+    #[test]
+    fn needs_two_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(correlation_matrix(&m).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the statistics toolkit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// Row lengths (or operand shapes) do not agree.
+    ShapeMismatch {
+        /// Shape that was expected, e.g. a column count.
+        expected: usize,
+        /// Shape that was found.
+        found: usize,
+    },
+    /// The operation needs at least one observation/row.
+    Empty,
+    /// A value that must be finite was NaN or infinite.
+    NonFinite {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// The Jacobi eigensolver did not converge within its sweep budget.
+    NoConvergence,
+    /// A requested cluster count is out of range for the data.
+    BadClusterCount {
+        /// Requested k.
+        k: usize,
+        /// Number of observations available.
+        n: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            StatsError::Empty => write!(f, "operation requires at least one row"),
+            StatsError::NonFinite { row, col } => {
+                write!(f, "non-finite value at ({row}, {col})")
+            }
+            StatsError::NoConvergence => write!(f, "eigensolver failed to converge"),
+            StatsError::BadClusterCount { k, n } => {
+                write!(f, "cluster count {k} invalid for {n} observations")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            StatsError::ShapeMismatch {
+                expected: 3,
+                found: 2,
+            },
+            StatsError::Empty,
+            StatsError::NonFinite { row: 1, col: 2 },
+            StatsError::NoConvergence,
+            StatsError::BadClusterCount { k: 9, n: 3 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,381 @@
+//! Principal component analysis.
+//!
+//! PCA is computed from the sample covariance matrix with a cyclic Jacobi
+//! eigendecomposition — exact (to convergence tolerance), dependency-free
+//! and deterministic, which matters for reproducible study artifacts.
+
+use crate::{Matrix, StatsError};
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Result of a symmetric eigendecomposition: `a = v * diag(values) * v^T`.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns, in the same order as `values`.
+    pub vectors: Matrix,
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// # Errors
+///
+/// * [`StatsError::ShapeMismatch`] if `a` is not square.
+/// * [`StatsError::NoConvergence`] if the off-diagonal mass does not vanish
+///   within the sweep budget (does not happen for well-formed covariance
+///   matrices of the sizes used here).
+pub fn eigen_symmetric(a: &Matrix) -> Result<Eigen, StatsError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(StatsError::ShapeMismatch {
+            expected: n,
+            found: a.cols(),
+        });
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            return Ok(sorted_eigen(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Rotate rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate rotation into eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    Err(StatsError::NoConvergence)
+}
+
+fn sorted_eigen(m: Matrix, v: Matrix) -> Eigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        // Fix the sign so the largest-magnitude entry is positive; this
+        // makes eigenvectors (and therefore PC scatter plots) deterministic.
+        let col: Vec<f64> = (0..n).map(|r| v.get(r, old_col)).collect();
+        let max = col
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite"))
+            .unwrap_or(1.0);
+        let sign = if max < 0.0 { -1.0 } else { 1.0 };
+        for r in 0..n {
+            vectors.set(r, new_col, sign * col[r]);
+        }
+    }
+    Eigen { values, vectors }
+}
+
+/// A fitted principal component analysis.
+///
+/// # Example
+///
+/// ```
+/// use gwc_stats::{Matrix, pca::Pca};
+///
+/// # fn main() -> Result<(), gwc_stats::StatsError> {
+/// let data = Matrix::from_rows(&[
+///     vec![2.5, 2.4],
+///     vec![0.5, 0.7],
+///     vec![2.2, 2.9],
+///     vec![1.9, 2.2],
+///     vec![3.1, 3.0],
+/// ])?;
+/// let pca = Pca::fit(&data)?;
+/// let scores = pca.transform(&data, 2)?;
+/// assert_eq!(scores.shape(), (5, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    eigen: Eigen,
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits PCA to the rows of `data` (observations × variables).
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::Empty`] with fewer than two rows.
+    /// * [`StatsError::NonFinite`] if `data` contains NaN/inf.
+    /// * [`StatsError::NoConvergence`] from the eigensolver.
+    pub fn fit(data: &Matrix) -> Result<Self, StatsError> {
+        data.check_finite()?;
+        let cov = data.covariance()?;
+        let eigen = eigen_symmetric(&cov)?;
+        let total_variance: f64 = eigen.values.iter().map(|v| v.max(0.0)).sum();
+        let mean = (0..data.cols()).map(|c| data.col_mean(c)).collect();
+        Ok(Self {
+            mean,
+            eigen,
+            total_variance,
+        })
+    }
+
+    /// Number of input variables.
+    pub fn dims(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Eigenvalues (variance along each PC), descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigen.values
+    }
+
+    /// Loading of variable `var` on principal component `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` or `var` is out of range.
+    pub fn loading(&self, var: usize, pc: usize) -> f64 {
+        self.eigen.vectors.get(var, pc)
+    }
+
+    /// Fraction of total variance explained by the first `k` components.
+    pub fn variance_explained(&self, k: usize) -> f64 {
+        if self.total_variance <= 0.0 {
+            return 1.0;
+        }
+        let kept: f64 = self
+            .eigen
+            .values
+            .iter()
+            .take(k)
+            .map(|v| v.max(0.0))
+            .sum();
+        kept / self.total_variance
+    }
+
+    /// Smallest number of components whose cumulative variance reaches
+    /// `fraction` (clamped to at least 1 component).
+    pub fn components_for(&self, fraction: f64) -> usize {
+        let n = self.eigen.values.len();
+        for k in 1..=n {
+            if self.variance_explained(k) >= fraction {
+                return k;
+            }
+        }
+        n.max(1)
+    }
+
+    /// Projects observations onto the first `k` principal components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ShapeMismatch`] if `data` has a different
+    /// variable count than the fit, or `k` exceeds the dimensionality.
+    pub fn transform(&self, data: &Matrix, k: usize) -> Result<Matrix, StatsError> {
+        if data.cols() != self.dims() {
+            return Err(StatsError::ShapeMismatch {
+                expected: self.dims(),
+                found: data.cols(),
+            });
+        }
+        if k > self.dims() {
+            return Err(StatsError::ShapeMismatch {
+                expected: self.dims(),
+                found: k,
+            });
+        }
+        let mut out = Matrix::zeros(data.rows(), k);
+        for r in 0..data.rows() {
+            for pc in 0..k {
+                let mut s = 0.0;
+                for c in 0..data.cols() {
+                    s += (data.get(r, c) - self.mean[c]) * self.eigen.vectors.get(c, pc);
+                }
+                out.set(r, pc, s);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let e = eigen_symmetric(&m).unwrap();
+        assert_close(e.values[0], 3.0);
+        assert_close(e.values[1], 1.0);
+    }
+
+    #[test]
+    fn eigen_of_known_symmetric() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = eigen_symmetric(&m).unwrap();
+        assert_close(e.values[0], 3.0);
+        assert_close(e.values[1], 1.0);
+        // Eigenvector for 3 is (1,1)/sqrt(2).
+        let inv_sqrt2 = 1.0 / 2.0_f64.sqrt();
+        assert_close(e.vectors.get(0, 0).abs(), inv_sqrt2);
+        assert_close(e.vectors.get(1, 0).abs(), inv_sqrt2);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ])
+        .unwrap();
+        let e = eigen_symmetric(&m).unwrap();
+        // v * diag(values) * v^T == m
+        let mut diag = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            diag.set(i, i, e.values[i]);
+        }
+        let rec = e
+            .vectors
+            .matmul(&diag)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(rec.get(i, j), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_rejects_non_square() {
+        let m = Matrix::zeros(2, 3);
+        assert!(eigen_symmetric(&m).is_err());
+    }
+
+    #[test]
+    fn pca_collapses_redundant_dimension() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 2.0, -0.3],
+            vec![2.0, 4.0, 0.7],
+            vec![3.0, 6.0, -0.1],
+            vec![4.0, 8.0, 0.4],
+        ])
+        .unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        assert!(pca.variance_explained(2) > 0.999);
+        assert_eq!(pca.components_for(0.999), 2);
+    }
+
+    #[test]
+    fn transform_preserves_pairwise_distances_full_rank() {
+        // An orthogonal change of basis preserves Euclidean distances.
+        let data = Matrix::from_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 1.0, -1.0],
+            vec![2.0, 2.0, 0.0],
+            vec![-1.0, 0.5, 1.0],
+        ])
+        .unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        let t = pca.transform(&data, 3).unwrap();
+        for a in 0..4 {
+            for b in 0..4 {
+                let d0: f64 = (0..3)
+                    .map(|c| (data.get(a, c) - data.get(b, c)).powi(2))
+                    .sum();
+                let d1: f64 = (0..3).map(|c| (t.get(a, c) - t.get(b, c)).powi(2)).sum();
+                assert_close(d0, d1);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_rejects_bad_shapes() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 0.0]]).unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        assert!(pca.transform(&Matrix::zeros(2, 3), 2).is_err());
+        assert!(pca.transform(&data, 3).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_nan() {
+        let mut data = Matrix::zeros(3, 2);
+        data.set(0, 0, f64::NAN);
+        assert!(matches!(
+            Pca::fit(&data),
+            Err(StatsError::NonFinite { row: 0, col: 0 })
+        ));
+    }
+
+    #[test]
+    fn variance_explained_is_monotone() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 5.0, 2.0, 0.0],
+            vec![2.0, 3.0, 1.0, 1.0],
+            vec![0.5, 4.0, 7.0, 2.0],
+            vec![3.0, 1.0, 2.0, 5.0],
+            vec![2.5, 2.0, 3.0, 4.0],
+        ])
+        .unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        let mut prev = 0.0;
+        for k in 1..=4 {
+            let v = pca.variance_explained(k);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        assert_close(pca.variance_explained(4), 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the statistics toolkit's invariants.
+
+use gwc_stats::distance::{euclidean, manhattan, sq_euclidean};
+use gwc_stats::hclust::{hierarchical, Linkage};
+use gwc_stats::kmeans::kmeans;
+use gwc_stats::normalize::zscore;
+use gwc_stats::pca::Pca;
+use gwc_stats::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a small matrix with finite, moderate values.
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (2..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn zscore_columns_have_zero_mean(m in matrix_strategy(12, 6)) {
+        let (z, _) = zscore(&m);
+        for c in 0..z.cols() {
+            prop_assert!(z.col_mean(c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zscore_columns_have_unit_or_zero_std(m in matrix_strategy(12, 6)) {
+        let (z, _) = zscore(&m);
+        for c in 0..z.cols() {
+            let s = z.col_std(c);
+            prop_assert!((s - 1.0).abs() < 1e-9 || s.abs() < 1e-9, "std {s}");
+        }
+    }
+
+    #[test]
+    fn pca_full_rank_preserves_pairwise_distances(m in matrix_strategy(10, 5)) {
+        let pca = Pca::fit(&m).expect("fits");
+        let t = pca.transform(&m, m.cols()).expect("transforms");
+        for a in 0..m.rows() {
+            for b in (a + 1)..m.rows() {
+                let d0 = euclidean(m.row(a), m.row(b));
+                let d1 = euclidean(t.row(a), t.row(b));
+                prop_assert!((d0 - d1).abs() < 1e-6 * (1.0 + d0), "{d0} vs {d1}");
+            }
+        }
+    }
+
+    #[test]
+    fn pca_variance_explained_is_monotone_cdf(m in matrix_strategy(10, 6)) {
+        let pca = Pca::fit(&m).expect("fits");
+        let mut prev = 0.0;
+        for k in 1..=m.cols() {
+            let v = pca.variance_explained(k);
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!(v <= 1.0 + 1e-9);
+            prev = v;
+        }
+        prop_assert!((pca.variance_explained(m.cols()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hclust_cut_produces_exactly_k_clusters(m in matrix_strategy(10, 4), linkage_idx in 0usize..3) {
+        let linkage = [Linkage::Single, Linkage::Complete, Linkage::Average][linkage_idx];
+        let d = hierarchical(&m, linkage).expect("fits");
+        for k in 1..=m.rows() {
+            let labels = d.cut(k).expect("cuts");
+            let mut distinct = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), k);
+            prop_assert!(labels.iter().all(|&l| l < k));
+        }
+    }
+
+    #[test]
+    fn kmeans_labels_valid_and_inertia_nonnegative(
+        m in matrix_strategy(12, 4),
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= m.rows());
+        let km = kmeans(&m, k, seed).expect("fits");
+        prop_assert_eq!(km.labels.len(), m.rows());
+        prop_assert!(km.labels.iter().all(|&l| l < k));
+        prop_assert!(km.inertia >= 0.0);
+        // Every observation is closest to its own centroid's cluster? Not
+        // guaranteed mid-swap, but after convergence assignment is greedy:
+        for (i, &l) in km.labels.iter().enumerate() {
+            let own = sq_euclidean(m.row(i), km.centroids.row(l));
+            for c in 0..k {
+                prop_assert!(own <= sq_euclidean(m.row(i), km.centroids.row(c)) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_satisfy_metric_axioms(
+        a in proptest::collection::vec(-50.0f64..50.0, 4),
+        b in proptest::collection::vec(-50.0f64..50.0, 4),
+        c in proptest::collection::vec(-50.0f64..50.0, 4),
+    ) {
+        prop_assert!(euclidean(&a, &b) >= 0.0);
+        prop_assert!((euclidean(&a, &b) - euclidean(&b, &a)).abs() < 1e-12);
+        prop_assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-9);
+        prop_assert!(manhattan(&a, &b) + 1e-9 >= euclidean(&a, &b));
+    }
+}

@@ -1,0 +1,262 @@
+//! The per-kernel analytical cycle model.
+
+use gwc_characterize::KernelProfile;
+
+/// Bytes per global memory transaction (matches the characterization
+/// segment size).
+const SEGMENT_BYTES: f64 = 128.0;
+
+/// A GPU design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Resident warps per SM (occupancy / latency-hiding capacity).
+    pub warps_per_sm: u32,
+    /// Warp instructions issued per cycle per SM.
+    pub issue_per_cycle: f64,
+    /// SFU thread-operations retired per cycle per SM.
+    pub sfu_throughput: f64,
+    /// DRAM latency in cycles.
+    pub mem_latency: f64,
+    /// Chip-wide DRAM bandwidth in bytes per cycle.
+    pub mem_bandwidth: f64,
+    /// Per-SM cache capacity in 128-byte lines (0 = no cache).
+    pub cache_lines: u64,
+}
+
+impl GpuConfig {
+    /// A GT200-class baseline (30 SMs, no data cache), the kind of device
+    /// the paper characterized.
+    pub fn baseline() -> Self {
+        Self {
+            name: "baseline-gt200".into(),
+            sm_count: 30,
+            warps_per_sm: 32,
+            issue_per_cycle: 1.0,
+            sfu_throughput: 8.0,
+            mem_latency: 400.0,
+            mem_bandwidth: 64.0,
+            cache_lines: 0,
+        }
+    }
+
+    /// A Fermi-class point: fewer, wider SMs plus an L1 cache.
+    pub fn fermi_like() -> Self {
+        Self {
+            name: "fermi-like".into(),
+            sm_count: 16,
+            warps_per_sm: 48,
+            issue_per_cycle: 2.0,
+            sfu_throughput: 4.0,
+            mem_latency: 450.0,
+            mem_bandwidth: 96.0,
+            cache_lines: 384, // 48 KiB of 128B lines
+        }
+    }
+}
+
+/// The three pressure terms plus overheads, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleBreakdown {
+    /// Issue-throughput-bound cycles (includes SFU pressure).
+    pub compute: f64,
+    /// DRAM-bandwidth-bound cycles.
+    pub bandwidth: f64,
+    /// Exposed-latency cycles after multithreading hides what it can.
+    pub latency: f64,
+    /// Shared-memory serialization cycles.
+    pub shared: f64,
+    /// Final estimate: `max(compute, bandwidth, latency) + shared`.
+    pub total: f64,
+}
+
+/// Estimates the cache hit rate of a `lines`-line LRU cache from the
+/// kernel's measured reuse-distance CDF (piecewise on the recorded
+/// thresholds 16 / 256 / 4096 lines).
+pub fn hit_rate(profile: &KernelProfile, lines: u64) -> f64 {
+    if lines == 0 {
+        return 0.0;
+    }
+    let reuse_frac = 1.0 - profile.get("loc_cold_frac");
+    let cdf = if lines >= 4096 {
+        profile.get("loc_reuse_le4096")
+    } else if lines >= 256 {
+        profile.get("loc_reuse_le256")
+    } else if lines >= 16 {
+        profile.get("loc_reuse_le16")
+    } else {
+        0.0
+    };
+    (reuse_frac * cdf).clamp(0.0, 1.0)
+}
+
+/// Estimates execution cycles of a profiled kernel on `config`.
+///
+/// See the [crate docs](crate) for the model; deterministic and purely a
+/// function of the profile's raw counters plus the config.
+pub fn estimate_cycles(profile: &KernelProfile, config: &GpuConfig) -> CycleBreakdown {
+    let raw = profile.raw();
+    let sms = config.sm_count as f64;
+
+    // --- compute pressure ----------------------------------------------------
+    let issue = raw.warp_instrs as f64 / (config.issue_per_cycle * sms);
+    let sfu = raw.sfu_thread_instrs as f64 / (config.sfu_throughput * sms);
+    let compute = issue.max(sfu);
+
+    // --- DRAM traffic after the cache ----------------------------------------
+    let hr = hit_rate(profile, config.cache_lines);
+    let dram_transactions = raw.global_transactions as f64 * (1.0 - hr);
+    let bandwidth = dram_transactions * SEGMENT_BYTES / config.mem_bandwidth;
+
+    // --- exposed latency -------------------------------------------------------
+    // Each memory access stalls a warp for mem_latency cycles; with W
+    // resident warps per SM the machine overlaps up to W stalls.
+    let total_warps = (raw.total_threads as f64 / 32.0).max(1.0);
+    let resident = (config.warps_per_sm as f64).min(total_warps / sms).max(1.0);
+    let accesses_per_sm = raw.global_accesses as f64 * (1.0 - hr) / sms;
+    let latency = accesses_per_sm * config.mem_latency / resident;
+
+    // --- shared-memory serialization -------------------------------------------
+    let shared = raw.shared_serialized as f64 / (config.issue_per_cycle * sms);
+
+    let total = compute.max(bandwidth).max(latency) + shared;
+    CycleBreakdown {
+        compute,
+        bandwidth,
+        latency,
+        shared,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gwc_characterize::{schema, KernelProfile, RawCounts};
+    use gwc_simt::trace::LaunchStats;
+
+    fn profile_with(raw: RawCounts, edits: &[(&str, f64)]) -> KernelProfile {
+        let mut values = vec![0.0; schema::len()];
+        for (name, v) in edits {
+            values[schema::index_of(name)] = *v;
+        }
+        KernelProfile::new("test", values, raw, LaunchStats::default())
+    }
+
+    fn compute_bound_raw() -> RawCounts {
+        RawCounts {
+            warp_instrs: 1_000_000,
+            thread_instrs: 32_000_000,
+            global_accesses: 100,
+            global_transactions: 100,
+            total_threads: 100_000,
+            ..RawCounts::default()
+        }
+    }
+
+    fn memory_bound_raw() -> RawCounts {
+        RawCounts {
+            warp_instrs: 10_000,
+            thread_instrs: 320_000,
+            global_accesses: 100_000,
+            global_transactions: 3_200_000,
+            total_threads: 100_000,
+            ..RawCounts::default()
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_sms() {
+        let p = profile_with(compute_bound_raw(), &[]);
+        let base = estimate_cycles(&p, &GpuConfig::baseline());
+        let mut doubled = GpuConfig::baseline();
+        doubled.sm_count *= 2;
+        let fast = estimate_cycles(&p, &doubled);
+        assert!(base.total / fast.total > 1.8, "{base:?} vs {fast:?}");
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_with_bandwidth() {
+        let p = profile_with(memory_bound_raw(), &[]);
+        let base = estimate_cycles(&p, &GpuConfig::baseline());
+        assert!(base.bandwidth > base.compute, "bandwidth dominates");
+        let mut wide = GpuConfig::baseline();
+        wide.mem_bandwidth *= 2.0;
+        let fast = estimate_cycles(&p, &wide);
+        assert!(base.total / fast.total > 1.5);
+        // SM count barely matters for this kernel.
+        let mut more_sms = GpuConfig::baseline();
+        more_sms.sm_count *= 2;
+        let same = estimate_cycles(&p, &more_sms);
+        assert!(base.total / same.total < 1.3);
+    }
+
+    #[test]
+    fn cache_helps_only_reusing_kernels() {
+        let reuser = profile_with(
+            memory_bound_raw(),
+            &[
+                ("loc_cold_frac", 0.1),
+                ("loc_reuse_le16", 0.8),
+                ("loc_reuse_le256", 0.9),
+                ("loc_reuse_le4096", 1.0),
+            ],
+        );
+        let streamer = profile_with(memory_bound_raw(), &[("loc_cold_frac", 1.0)]);
+        let cached = GpuConfig::fermi_like();
+        let uncached = GpuConfig {
+            cache_lines: 0,
+            ..GpuConfig::fermi_like()
+        };
+        let gain_reuser = estimate_cycles(&reuser, &uncached).total
+            / estimate_cycles(&reuser, &cached).total;
+        let gain_streamer = estimate_cycles(&streamer, &uncached).total
+            / estimate_cycles(&streamer, &cached).total;
+        assert!(gain_reuser > 1.5, "reuser gains from cache: {gain_reuser}");
+        assert!(
+            (gain_streamer - 1.0).abs() < 0.05,
+            "streamer does not: {gain_streamer}"
+        );
+    }
+
+    #[test]
+    fn hit_rate_thresholds() {
+        let p = profile_with(
+            RawCounts::default(),
+            &[
+                ("loc_cold_frac", 0.0),
+                ("loc_reuse_le16", 0.3),
+                ("loc_reuse_le256", 0.6),
+                ("loc_reuse_le4096", 0.9),
+            ],
+        );
+        assert_eq!(hit_rate(&p, 0), 0.0);
+        assert_eq!(hit_rate(&p, 8), 0.0);
+        assert!((hit_rate(&p, 64) - 0.3).abs() < 1e-12);
+        assert!((hit_rate(&p, 1024) - 0.6).abs() < 1e-12);
+        assert!((hit_rate(&p, 1 << 20) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_serialization_adds_cycles() {
+        let mut raw = compute_bound_raw();
+        raw.shared_accesses = 100_000;
+        raw.shared_serialized = 3_200_000; // 32-way conflicts
+        let p = profile_with(raw, &[]);
+        let with_conflicts = estimate_cycles(&p, &GpuConfig::baseline());
+        let p2 = profile_with(compute_bound_raw(), &[]);
+        let without = estimate_cycles(&p2, &GpuConfig::baseline());
+        assert!(with_conflicts.total > without.total);
+    }
+
+    #[test]
+    fn breakdown_total_is_max_plus_shared() {
+        let p = profile_with(memory_bound_raw(), &[]);
+        let b = estimate_cycles(&p, &GpuConfig::baseline());
+        let expect = b.compute.max(b.bandwidth).max(b.latency) + b.shared;
+        assert_eq!(b.total, expect);
+    }
+}

@@ -1,0 +1,168 @@
+//! Design-space sweeps over a set of profiled kernels.
+
+use gwc_characterize::KernelProfile;
+
+use crate::model::{estimate_cycles, GpuConfig};
+
+/// One evaluated design point: per-kernel speedups over the baseline.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The configuration evaluated.
+    pub config: GpuConfig,
+    /// Speedup of each kernel relative to the baseline config, in the
+    /// order the profiles were given.
+    pub speedups: Vec<f64>,
+}
+
+impl DesignPoint {
+    /// Arithmetic-mean speedup across all kernels.
+    pub fn mean_speedup(&self) -> f64 {
+        if self.speedups.is_empty() {
+            return 0.0;
+        }
+        self.speedups.iter().sum::<f64>() / self.speedups.len() as f64
+    }
+
+    /// Mean speedup over a subset of kernel indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset_mean(&self, subset: &[usize]) -> f64 {
+        if subset.is_empty() {
+            return 0.0;
+        }
+        subset.iter().map(|&i| self.speedups[i]).sum::<f64>() / subset.len() as f64
+    }
+}
+
+/// A full sweep result.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Baseline configuration.
+    pub baseline: GpuConfig,
+    /// Evaluated points (excluding the baseline itself).
+    pub points: Vec<DesignPoint>,
+}
+
+/// Computes per-kernel speedups of every `config` relative to `baseline`.
+pub fn speedups(
+    profiles: &[KernelProfile],
+    baseline: &GpuConfig,
+    configs: &[GpuConfig],
+) -> SweepResult {
+    let base_cycles: Vec<f64> = profiles
+        .iter()
+        .map(|p| estimate_cycles(p, baseline).total.max(1e-9))
+        .collect();
+    let points = configs
+        .iter()
+        .map(|cfg| {
+            let speedups = profiles
+                .iter()
+                .zip(&base_cycles)
+                .map(|(p, &b)| b / estimate_cycles(p, cfg).total.max(1e-9))
+                .collect();
+            DesignPoint {
+                config: cfg.clone(),
+                speedups,
+            }
+        })
+        .collect();
+    SweepResult {
+        baseline: baseline.clone(),
+        points,
+    }
+}
+
+/// The default design space used by the evaluation-metrics experiment:
+/// scaling SM count, bandwidth, latency, cache and occupancy around the
+/// baseline.
+pub fn default_design_space() -> Vec<GpuConfig> {
+    let b = GpuConfig::baseline();
+    let mut space = Vec::new();
+    let variants: Vec<(&str, Box<dyn Fn(&mut GpuConfig)>)> = vec![
+        ("2x-sms", Box::new(|c: &mut GpuConfig| c.sm_count *= 2)),
+        ("half-sms", Box::new(|c: &mut GpuConfig| c.sm_count /= 2)),
+        ("2x-bandwidth", Box::new(|c: &mut GpuConfig| c.mem_bandwidth *= 2.0)),
+        ("half-latency", Box::new(|c: &mut GpuConfig| c.mem_latency /= 2.0)),
+        ("add-16kb-cache", Box::new(|c: &mut GpuConfig| c.cache_lines = 128)),
+        ("add-64kb-cache", Box::new(|c: &mut GpuConfig| c.cache_lines = 512)),
+        ("2x-occupancy", Box::new(|c: &mut GpuConfig| c.warps_per_sm *= 2)),
+        ("dual-issue", Box::new(|c: &mut GpuConfig| c.issue_per_cycle = 2.0)),
+    ];
+    for (name, apply) in variants {
+        let mut cfg = b.clone();
+        cfg.name = name.into();
+        apply(&mut cfg);
+        space.push(cfg);
+    }
+    space.push(GpuConfig::fermi_like());
+    space
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gwc_characterize::{schema, RawCounts};
+    use gwc_simt::trace::LaunchStats;
+
+    fn profile(warp_instrs: u64, transactions: u64) -> KernelProfile {
+        KernelProfile::new(
+            "p",
+            vec![0.0; schema::len()],
+            RawCounts {
+                warp_instrs,
+                thread_instrs: warp_instrs * 32,
+                global_accesses: transactions / 4,
+                global_transactions: transactions,
+                total_threads: 10_000,
+                ..RawCounts::default()
+            },
+            LaunchStats::default(),
+        )
+    }
+
+    #[test]
+    fn baseline_speedup_is_one() {
+        let profiles = vec![profile(1_000_000, 1000)];
+        let b = GpuConfig::baseline();
+        let sweep = speedups(&profiles, &b, &[b.clone()]);
+        assert!((sweep.points[0].speedups[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workloads_respond_differently() {
+        let compute = profile(10_000_000, 100);
+        let memory = profile(10_000, 10_000_000);
+        let b = GpuConfig::baseline();
+        let mut bw = b.clone();
+        bw.name = "2x-bw".into();
+        bw.mem_bandwidth *= 2.0;
+        let sweep = speedups(&[compute, memory], &b, &[bw]);
+        let s = &sweep.points[0].speedups;
+        assert!(s[1] > 1.5, "memory-bound gains: {s:?}");
+        assert!((s[0] - 1.0).abs() < 0.1, "compute-bound does not: {s:?}");
+    }
+
+    #[test]
+    fn subset_mean_matches_manual() {
+        let p = DesignPoint {
+            config: GpuConfig::baseline(),
+            speedups: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        assert_eq!(p.mean_speedup(), 2.5);
+        assert_eq!(p.subset_mean(&[1, 3]), 3.0);
+        assert_eq!(p.subset_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn default_space_is_distinct_and_named() {
+        let space = default_design_space();
+        assert!(space.len() >= 8);
+        let mut names: Vec<&str> = space.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), space.len());
+    }
+}

@@ -1,0 +1,8 @@
+//! Stand-alone workloads highlighted by the paper outside the three main
+//! suites.
+
+pub mod mummer_gpu;
+pub mod similarity_score;
+
+pub use mummer_gpu::MummerGpu;
+pub use similarity_score::SimilarityScore;

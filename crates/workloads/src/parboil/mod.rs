@@ -1,0 +1,15 @@
+//! Workloads from the Parboil benchmark suite.
+
+pub mod cp;
+pub mod mri_q;
+pub mod sad;
+pub mod spmv;
+pub mod stencil;
+pub mod tpacf;
+
+pub use cp::CoulombicPotential;
+pub use mri_q::MriQ;
+pub use sad::Sad;
+pub use spmv::Spmv;
+pub use stencil::Stencil;
+pub use tpacf::Tpacf;

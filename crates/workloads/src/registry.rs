@@ -1,0 +1,103 @@
+//! The workload registry: every benchmark in the study population.
+
+use crate::other::{MummerGpu, SimilarityScore};
+use crate::parboil::{CoulombicPotential, MriQ, Sad, Spmv, Stencil, Tpacf};
+use crate::rodinia::{
+    BackProp, Bfs, HotSpot, HybridSort, KMeansWorkload, NearestNeighbor, NeedlemanWunsch,
+    PathFinder, Srad,
+};
+use crate::sdk::{
+    BitonicSort, BlackScholes, ConvolutionSeparable, Histogram, MatrixMul, ParallelReduction,
+    ScanLargeArrays, Transpose, VectorAdd,
+};
+use crate::workload::{Workload, WorkloadMeta};
+
+/// Every workload in the study, each seeded deterministically from
+/// `seed` (a different derived seed per workload, so inputs are
+/// uncorrelated but the whole study is reproducible).
+pub fn all_workloads(seed: u64) -> Vec<Box<dyn Workload>> {
+    let s = |i: u64| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+    vec![
+        // CUDA SDK
+        Box::new(VectorAdd::new(s(1))),
+        Box::new(ParallelReduction::new(s(2))),
+        Box::new(ScanLargeArrays::new(s(3))),
+        Box::new(MatrixMul::new(s(4))),
+        Box::new(Transpose::new(s(5))),
+        Box::new(Histogram::new(s(6))),
+        Box::new(BlackScholes::new(s(7))),
+        Box::new(ConvolutionSeparable::new(s(8))),
+        Box::new(BitonicSort::new(s(9))),
+        // Parboil
+        Box::new(MriQ::new(s(10))),
+        Box::new(CoulombicPotential::new(s(11))),
+        Box::new(Sad::new(s(12))),
+        Box::new(Tpacf::new(s(13))),
+        Box::new(Spmv::new(s(14))),
+        Box::new(Stencil::new(s(15))),
+        // Rodinia
+        Box::new(KMeansWorkload::new(s(16))),
+        Box::new(NearestNeighbor::new(s(17))),
+        Box::new(BackProp::new(s(18))),
+        Box::new(HotSpot::new(s(19))),
+        Box::new(Srad::new(s(20))),
+        Box::new(NeedlemanWunsch::new(s(21))),
+        Box::new(Bfs::new(s(22))),
+        Box::new(PathFinder::new(s(23))),
+        Box::new(HybridSort::new(s(24))),
+        // Other
+        Box::new(MummerGpu::new(s(25))),
+        Box::new(SimilarityScore::new(s(26))),
+    ]
+}
+
+/// Metadata of every registered workload.
+pub fn all_metas(seed: u64) -> Vec<WorkloadMeta> {
+    all_workloads(seed).iter().map(|w| w.meta()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Suite;
+
+    #[test]
+    fn registry_has_26_workloads() {
+        assert_eq!(all_workloads(1).len(), 26);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_metas(1).iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 26);
+    }
+
+    #[test]
+    fn every_suite_is_represented() {
+        let metas = all_metas(1);
+        for suite in Suite::ALL {
+            assert!(
+                metas.iter().any(|m| m.suite == suite),
+                "no workload in {suite}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_highlighted_workloads_present() {
+        let metas = all_metas(1);
+        for name in [
+            "similarity_score",
+            "parallel_reduction",
+            "scan_large_arrays",
+            "mummer_gpu",
+            "hybrid_sort",
+            "nearest_neighbor",
+            "kmeans",
+        ] {
+            assert!(metas.iter().any(|m| m.name == name), "missing {name}");
+        }
+    }
+}

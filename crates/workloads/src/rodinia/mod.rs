@@ -1,0 +1,21 @@
+//! Workloads from the Rodinia benchmark suite.
+
+pub mod back_prop;
+pub mod bfs;
+pub mod hotspot;
+pub mod hybrid_sort;
+pub mod kmeans;
+pub mod nearest_neighbor;
+pub mod needleman_wunsch;
+pub mod pathfinder;
+pub mod srad;
+
+pub use back_prop::BackProp;
+pub use bfs::Bfs;
+pub use hotspot::HotSpot;
+pub use hybrid_sort::HybridSort;
+pub use kmeans::KMeansWorkload;
+pub use nearest_neighbor::NearestNeighbor;
+pub use needleman_wunsch::NeedlemanWunsch;
+pub use pathfinder::PathFinder;
+pub use srad::Srad;

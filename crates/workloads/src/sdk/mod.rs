@@ -1,0 +1,21 @@
+//! Workloads from the Nvidia CUDA SDK samples.
+
+pub mod bitonic_sort;
+pub mod black_scholes;
+pub mod convolution;
+pub mod histogram;
+pub mod matrix_mul;
+pub mod parallel_reduction;
+pub mod scan;
+pub mod transpose;
+pub mod vector_add;
+
+pub use bitonic_sort::BitonicSort;
+pub use black_scholes::BlackScholes;
+pub use convolution::ConvolutionSeparable;
+pub use histogram::Histogram;
+pub use matrix_mul::MatrixMul;
+pub use parallel_reduction::ParallelReduction;
+pub use scan::ScanLargeArrays;
+pub use transpose::Transpose;
+pub use vector_add::VectorAdd;

@@ -1,0 +1,58 @@
+//! Design-space evaluation: how well do cluster representatives predict
+//! the full population across GPU configurations?
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use gwc::core::analysis::ClusterAnalysis;
+use gwc::core::eval::{evaluate_subset, random_subset_errors, stress_selection};
+use gwc::core::reduce::ReducedSpace;
+use gwc::core::study::{Study, StudyConfig};
+use gwc::stats::describe::mean;
+use gwc::timing::sweep::default_design_space;
+use gwc::timing::GpuConfig;
+use gwc::workloads::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = Study::run(&StudyConfig {
+        seed: 7,
+        scale: Scale::Small,
+        verify: true,
+    })?;
+    let study = study.without_workload("vector_add");
+    let space = ReducedSpace::fit(&study.matrix(), 0.9)?;
+    let analysis = ClusterAnalysis::fit(space.scores(), 12, 7)?;
+    let reps = analysis.representatives().to_vec();
+    let labels = study.labels();
+    println!("representative subset ({} of {} kernels):", reps.len(), labels.len());
+    for &r in &reps {
+        println!("  {}", labels[r]);
+    }
+
+    let baseline = GpuConfig::baseline();
+    let configs = default_design_space();
+    let eval = evaluate_subset(&study, &baseline, &configs, &reps);
+    println!("\n{:<16} {:>10} {:>10} {:>8}", "design point", "truth", "estimate", "error");
+    for (name, truth, estimate, err) in &eval.rows {
+        println!("{name:<16} {truth:>10.3} {estimate:>10.3} {:>7.1}%", 100.0 * err);
+    }
+    println!(
+        "\nrepresentative-subset mean error: {:.2}% (max {:.2}%)",
+        100.0 * eval.mean_error(),
+        100.0 * eval.max_error()
+    );
+
+    let random = random_subset_errors(&study, &baseline, &configs, reps.len(), 20, 99);
+    println!(
+        "random subsets of the same size:  {:.2}% mean error over 20 draws",
+        100.0 * mean(&random)
+    );
+
+    println!("\nstress workloads per functional block:");
+    for sel in stress_selection(&study, 3) {
+        let names: Vec<&str> = sel.top.iter().map(|(n, _)| n.as_str()).collect();
+        println!("  {:<28} {}", sel.block, names.join(", "));
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! The paper's headline analysis: characterize the whole workload
+//! population, reduce dimensionality, cluster, and inspect subspace
+//! diversity.
+//!
+//! ```sh
+//! cargo run --release --example diversity_study
+//! ```
+
+use gwc::core::analysis::ClusterAnalysis;
+use gwc::core::diversity::suite_diversity;
+use gwc::core::reduce::ReducedSpace;
+use gwc::core::report;
+use gwc::core::study::{Study, StudyConfig};
+use gwc::core::subspace::{Subspace, SubspaceAnalysis};
+use gwc::workloads::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("running the characterization study (Small scale)...");
+    let study = Study::run(&StudyConfig {
+        seed: 7,
+        scale: Scale::Small,
+        verify: true,
+    })?;
+    // vector_add is our quickstart addition; keep the population faithful.
+    let study = study.without_workload("vector_add");
+    println!("characterized {} kernels\n", study.records().len());
+
+    let space = ReducedSpace::fit(&study.matrix(), 0.9)?;
+    println!(
+        "correlated dimensionality reduction: {} varying characteristics -> {} PCs ({:.1}% variance)\n",
+        space.varying_dims(),
+        space.kept(),
+        100.0 * space.variance_explained()
+    );
+
+    // PC1-PC2 scatter (the paper's workload-space figure).
+    let labels = study.labels();
+    let xs: Vec<f64> = (0..space.scores().rows()).map(|r| space.scores().get(r, 0)).collect();
+    let ys: Vec<f64> = (0..space.scores().rows()).map(|r| space.scores().get(r, 1)).collect();
+    println!("kernels in PC1-PC2:\n{}", report::render_scatter(&labels, &xs, &ys, 72, 24));
+
+    // Clustering.
+    let analysis = ClusterAnalysis::fit(space.scores(), 12, 7)?;
+    println!("k-means/BIC selected k = {}", analysis.k());
+    println!("cluster representatives:");
+    for &r in analysis.representatives() {
+        println!("  {}", labels[r]);
+    }
+    println!("\ndendrogram (average linkage):\n{}", analysis.dendrogram().render(&labels));
+
+    // Suite diversity.
+    println!("suite diversity in the common PC space:");
+    for d in suite_diversity(&study, space.scores()) {
+        println!(
+            "  {:<10} kernels {:>3}  mean pairwise {:.3}  reach {:.3}",
+            d.suite.name(),
+            d.kernels,
+            d.mean_pairwise,
+            d.mean_reach
+        );
+    }
+
+    // Subspace variation rankings — the abstract's named findings.
+    for sub in [Subspace::divergence(), Subspace::coalescing()] {
+        let a = SubspaceAnalysis::fit(&study, sub)?;
+        println!("\nworkload variation in the {} subspace:", a.subspace.name);
+        for (w, v) in a.variation.iter().take(8) {
+            println!("  {w:<22} {v:.3}");
+        }
+    }
+    Ok(())
+}

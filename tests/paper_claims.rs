@@ -1,0 +1,98 @@
+//! Checks of the falsifiable qualitative claims in the paper's abstract,
+//! measured on our reproduction (Small scale, seed 7 — the study
+//! configuration EXPERIMENTS.md reports).
+//!
+//! The abstract claims:
+//!
+//! 1. "Similarity Score, Scan of Large Arrays, MUMmerGPU, Hybrid Sort, and
+//!    Nearest Neighbor workloads exhibit relatively large variation in
+//!    branch divergence characteristics compared to others."
+//! 2. "Memory coalescing behavior is diverse in Scan of Large Arrays,
+//!    K-Means, Similarity Score and Parallel Reduction."
+//! 3. "...workloads such as Similarity Score, Parallel Reduction, and Scan
+//!    of Large Arrays show diverse characteristics in different workload
+//!    spaces."
+//!
+//! We check rank-level statements ("relatively large ... compared to
+//! others" = above the population median), not absolute numbers.
+
+use std::sync::OnceLock;
+
+use gwc::core::study::{Study, StudyConfig};
+use gwc::core::subspace::{Subspace, SubspaceAnalysis};
+use gwc::workloads::Scale;
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        Study::run(&StudyConfig {
+            seed: 7,
+            scale: Scale::Small,
+            verify: true,
+        })
+        .expect("study runs")
+        .without_workload("vector_add")
+    })
+}
+
+fn assert_top_half(analysis: &SubspaceAnalysis, names: &[&str]) {
+    let half = analysis.variation.len() / 2;
+    for name in names {
+        let rank = analysis
+            .rank_of(name)
+            .unwrap_or_else(|| panic!("{name} missing from ranking"));
+        assert!(
+            rank < half,
+            "{name} ranks {rank} of {} in {} (expected top half): {:?}",
+            analysis.variation.len(),
+            analysis.subspace.name,
+            analysis.variation
+        );
+    }
+}
+
+#[test]
+fn claim_branch_divergence_variation() {
+    let analysis = SubspaceAnalysis::fit(study(), Subspace::divergence()).unwrap();
+    assert_top_half(
+        &analysis,
+        &[
+            "similarity_score",
+            "scan_large_arrays",
+            "mummer_gpu",
+            "hybrid_sort",
+            "nearest_neighbor",
+        ],
+    );
+}
+
+#[test]
+fn claim_memory_coalescing_diversity() {
+    let analysis = SubspaceAnalysis::fit(study(), Subspace::coalescing()).unwrap();
+    assert_top_half(
+        &analysis,
+        &[
+            "scan_large_arrays",
+            "kmeans",
+            "similarity_score",
+            "parallel_reduction",
+        ],
+    );
+}
+
+#[test]
+fn claim_multi_space_diversity() {
+    // The three named workloads are diverse in BOTH subspaces.
+    let div = SubspaceAnalysis::fit(study(), Subspace::divergence()).unwrap();
+    let coal = SubspaceAnalysis::fit(study(), Subspace::coalescing()).unwrap();
+    for name in ["similarity_score", "parallel_reduction", "scan_large_arrays"] {
+        for a in [&div, &coal] {
+            let rank = a.rank_of(name).expect("present");
+            assert!(
+                rank < a.variation.len() * 2 / 3,
+                "{name} ranks {rank} in {}",
+                a.subspace.name
+            );
+        }
+    }
+}
