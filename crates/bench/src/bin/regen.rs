@@ -1,29 +1,55 @@
 //! Regenerates the study's experiment artifacts (tables and figures).
 //!
 //! ```sh
-//! cargo run --release -p gwc-bench --bin regen          # all of E1..E13
-//! cargo run --release -p gwc-bench --bin regen e5 e12   # a subset
+//! cargo run --release -p gwc-bench --bin regen               # all of E1..E13
+//! cargo run --release -p gwc-bench --bin regen e5 e12        # a subset
+//! cargo run --release -p gwc-bench --bin regen --threads 4   # parallel study
 //! ```
+//!
+//! `--threads N` fans the characterization study out across N worker
+//! threads (default: the machine's available parallelism; `--threads 1`
+//! forces the serial path). Output is bit-identical at any thread count.
 
-use gwc_bench::{all_experiments, run_experiment, StudyArtifacts};
+use gwc_bench::{all_experiments, render_experiments, StudyArtifacts};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<String> = if args.is_empty() {
-        all_experiments().iter().map(|s| s.to_string()).collect()
-    } else {
-        args.iter().map(|a| a.to_lowercase()).collect()
-    };
+    let mut threads = gwc_core::available_threads();
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--threads needs a value");
+                std::process::exit(2);
+            });
+            threads = v.parse().unwrap_or_else(|_| {
+                eprintln!("--threads: `{v}` is not a thread count");
+                std::process::exit(2);
+            });
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = v.parse().unwrap_or_else(|_| {
+                eprintln!("--threads: `{v}` is not a thread count");
+                std::process::exit(2);
+            });
+        } else {
+            ids.push(arg.to_lowercase());
+        }
+    }
+    if ids.is_empty() {
+        ids = all_experiments().iter().map(|s| s.to_string()).collect();
+    }
     for id in &ids {
         if !all_experiments().contains(&id.as_str()) {
             eprintln!("unknown experiment `{id}`; known: {:?}", all_experiments());
             std::process::exit(2);
         }
     }
-    eprintln!("running the characterization study (Small scale, seed 7)...");
-    let artifacts = StudyArtifacts::collect();
-    for id in ids {
-        println!("{}", "=".repeat(78));
-        println!("{}", run_experiment(&id, &artifacts));
-    }
+    let threads = threads.max(1);
+    eprintln!(
+        "running the characterization study (Small scale, seed 7, {threads} thread{})...",
+        if threads == 1 { "" } else { "s" }
+    );
+    let artifacts = StudyArtifacts::collect_threads(threads);
+    let ids: Vec<&str> = ids.iter().map(String::as_str).collect();
+    print!("{}", render_experiments(&ids, &artifacts));
 }

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use gwc_characterize::schema;
 use gwc_core::analysis::ClusterAnalysis;
 use gwc_core::diversity::suite_diversity;
-use gwc_core::eval::{evaluate_subset, random_subset_errors, stress_selection};
+use gwc_core::eval::{evaluate_subset_threads, random_subset_errors_threads, stress_selection};
 use gwc_core::reduce::ReducedSpace;
 use gwc_core::report;
 use gwc_core::study::{Study, StudyConfig};
@@ -34,17 +34,33 @@ pub struct StudyArtifacts {
     pub space: ReducedSpace,
     /// Whole-space clustering.
     pub analysis: ClusterAnalysis,
+    /// Worker threads for the parallelizable experiment stages (E12's
+    /// design-point sweep and random-subset draws).
+    pub threads: usize,
 }
 
 impl StudyArtifacts {
-    /// Runs the study and fits the shared artifacts.
+    /// Runs the study serially and fits the shared artifacts.
     ///
     /// # Panics
     ///
     /// Panics if the study fails — regeneration is a batch tool and a
     /// failed run has nothing to print.
     pub fn collect() -> Self {
-        let study = Study::run(&study_config())
+        Self::collect_threads(1)
+    }
+
+    /// Runs the study on up to `threads` worker threads (whole workloads
+    /// fan out; see [`Study::run_threads`]) and fits the shared
+    /// artifacts. Every artifact is bit-identical to [`Self::collect`]
+    /// at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the study fails — regeneration is a batch tool and a
+    /// failed run has nothing to print.
+    pub fn collect_threads(threads: usize) -> Self {
+        let study = Study::run_threads(&study_config(), threads)
             .expect("study runs and verifies")
             .without_workload("vector_add");
         let space = ReducedSpace::fit(&study.matrix(), 0.9).expect("reduction fits");
@@ -53,6 +69,7 @@ impl StudyArtifacts {
             study,
             space,
             analysis,
+            threads,
         }
     }
 }
@@ -62,7 +79,13 @@ pub fn e1_characteristics() -> String {
     let mut out = String::from("E1: microarchitecture-independent characteristics\n");
     let _ = writeln!(out, "{:<28} {:<12} description", "name", "group");
     for def in schema::SCHEMA {
-        let _ = writeln!(out, "{:<28} {:<12} {}", def.name, def.group.name(), def.desc);
+        let _ = writeln!(
+            out,
+            "{:<28} {:<12} {}",
+            def.name,
+            def.group.name(),
+            def.desc
+        );
     }
     out
 }
@@ -131,7 +154,11 @@ pub fn e4_pca_variance(a: &StudyArtifacts) -> String {
         if k > a.space.varying_dims() {
             break;
         }
-        let _ = writeln!(out, "  PC1..PC{k:<2} {:6.2}%", 100.0 * a.space.pca().variance_explained(k));
+        let _ = writeln!(
+            out,
+            "  PC1..PC{k:<2} {:6.2}%",
+            100.0 * a.space.pca().variance_explained(k)
+        );
     }
     out
 }
@@ -262,7 +289,7 @@ pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
         labels.len(),
         rep_names.join(", ")
     );
-    let eval = evaluate_subset(&a.study, &baseline, &configs, reps);
+    let eval = evaluate_subset_threads(&a.study, &baseline, &configs, reps, a.threads);
     let _ = writeln!(
         out,
         "\n{:<16} {:>10} {:>10} {:>8}",
@@ -281,15 +308,28 @@ pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
         100.0 * eval.mean_error(),
         100.0 * eval.max_error()
     );
-    let random = random_subset_errors(&a.study, &baseline, &configs, reps.len(), 20, 99);
+    let random =
+        random_subset_errors_threads(&a.study, &baseline, &configs, reps.len(), 20, 99, a.threads);
     let _ = writeln!(
         out,
         "random subsets (same size, 20 draws): mean error {:.2}%",
         100.0 * mean(&random)
     );
     for size in [2usize, 4, 8] {
-        let r = random_subset_errors(&a.study, &baseline, &configs, size, 20, 1234 + size as u64);
-        let _ = writeln!(out, "random subsets of size {size}: mean error {:.2}%", 100.0 * mean(&r));
+        let r = random_subset_errors_threads(
+            &a.study,
+            &baseline,
+            &configs,
+            size,
+            20,
+            1234 + size as u64,
+            a.threads,
+        );
+        let _ = writeln!(
+            out,
+            "random subsets of size {size}: mean error {:.2}%",
+            100.0 * mean(&r)
+        );
     }
     out
 }
@@ -335,6 +375,25 @@ pub fn run_experiment(id: &str, a: &StudyArtifacts) -> String {
         "e13" => e13_stress_selection(a),
         other => panic!("unknown experiment `{other}`"),
     }
+}
+
+/// Renders `ids` exactly as the `regen` binary prints them: a 78-char
+/// `=` separator line before each experiment, then its report, then a
+/// blank line. The golden-snapshot test compares this byte-for-byte
+/// against `results/regen_all_small_seed7.txt`.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn render_experiments(ids: &[&str], a: &StudyArtifacts) -> String {
+    let mut out = String::new();
+    for id in ids {
+        out.push_str(&"=".repeat(78));
+        out.push('\n');
+        out.push_str(&run_experiment(id, a));
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]

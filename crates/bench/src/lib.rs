@@ -12,4 +12,4 @@
 
 pub mod experiments;
 
-pub use experiments::{all_experiments, run_experiment, StudyArtifacts};
+pub use experiments::{all_experiments, render_experiments, run_experiment, StudyArtifacts};

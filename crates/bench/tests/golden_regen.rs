@@ -1,0 +1,61 @@
+//! Golden-snapshot test: regenerating every experiment (Small scale,
+//! seed 7 — the canonical `study_config()`) must reproduce
+//! `results/regen_all_small_seed7.txt` byte for byte.
+//!
+//! This pins the entire pipeline — workload PRNG, simulator, observers,
+//! PCA, clustering, timing model, report formatting — and, because the
+//! study runs at the machine's available parallelism, it doubles as a
+//! determinism check of the parallel runtime at Small scale.
+//!
+//! After an *intentional* output change (new characteristic, PRNG
+//! algorithm change, report tweak), re-bless the snapshot:
+//!
+//! ```sh
+//! GWC_BLESS=1 cargo test -p gwc-bench --test golden_regen
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use gwc_bench::{all_experiments, render_experiments, StudyArtifacts};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/regen_all_small_seed7.txt")
+}
+
+#[test]
+fn regen_matches_golden_snapshot() {
+    let artifacts = StudyArtifacts::collect_threads(gwc_core::available_threads());
+    let got = render_experiments(&all_experiments(), &artifacts);
+
+    let path = golden_path();
+    if std::env::var_os("GWC_BLESS").is_some() {
+        fs::write(&path, &got).expect("write blessed snapshot");
+        eprintln!("blessed {} ({} bytes)", path.display(), got.len());
+        return;
+    }
+
+    let want =
+        fs::read_to_string(&path).expect("golden snapshot missing; create it with GWC_BLESS=1");
+    if got == want {
+        return;
+    }
+    let mismatch = got
+        .lines()
+        .zip(want.lines())
+        .enumerate()
+        .find(|(_, (g, w))| g != w);
+    match mismatch {
+        Some((line, (g, w))) => panic!(
+            "regen output diverged from the golden snapshot at line {}:\n  got:  {g}\n  want: {w}\n\
+             If the change is intentional, re-bless with GWC_BLESS=1.",
+            line + 1
+        ),
+        None => panic!(
+            "regen output diverged in length only: got {} lines, golden has {}.\n\
+             If the change is intentional, re-bless with GWC_BLESS=1.",
+            got.lines().count(),
+            want.lines().count()
+        ),
+    }
+}

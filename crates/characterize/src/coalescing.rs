@@ -135,9 +135,8 @@ impl TraceObserver for CoalescingObserver {
                 if segs == 1 && addrs.iter().all(|&a| a == addrs[0]) {
                     self.broadcast += 1;
                 }
-                if addrs.len() > 1 && addrs.windows(2).all(|w| w[1].wrapping_sub(w[0]) == 4) {
-                    self.unit_stride += 1;
-                } else if addrs.len() == 1 {
+                // A single active lane is trivially unit-stride (empty windows).
+                if addrs.windows(2).all(|w| w[1].wrapping_sub(w[0]) == 4) {
                     self.unit_stride += 1;
                 }
                 if segs > 8 {
@@ -150,6 +149,18 @@ impl TraceObserver for CoalescingObserver {
             }
             _ => {}
         }
+    }
+}
+
+impl crate::merge::MergeableObserver for CoalescingObserver {
+    fn merge(&mut self, later: Self) {
+        self.global_accesses += later.global_accesses;
+        self.global_segments += later.global_segments;
+        self.unit_stride += later.unit_stride;
+        self.broadcast += later.broadcast;
+        self.scatter += later.scatter;
+        self.shared_accesses += later.shared_accesses;
+        self.shared_serialized += later.shared_serialized;
     }
 }
 
@@ -170,11 +181,7 @@ mod tests {
     use super::*;
     use gwc_simt::trace::AccessKind;
 
-    fn mem_event<'a>(
-        space: Space,
-        arr: &'a [u32; WARP_SIZE],
-        mask: u32,
-    ) -> MemEvent<'a> {
+    fn mem_event<'a>(space: Space, arr: &'a [u32; WARP_SIZE], mask: u32) -> MemEvent<'a> {
         MemEvent {
             block: 0,
             warp: 0,

@@ -1,15 +1,36 @@
 //! Branch-divergence observer.
 
 use gwc_simt::trace::{BranchEvent, InstrEvent, TraceObserver};
+use gwc_simt::WARP_SIZE;
+
+use crate::merge::MergeableObserver;
 
 /// Streams branch outcomes and warp activity into divergence metrics.
-#[derive(Debug, Clone, Default)]
+///
+/// Activity is accumulated in integer domain — active lanes bucketed by
+/// live-lane count — so that shard merges are exact: the mean activity is
+/// only converted to floating point at read time, in a fixed order.
+#[derive(Debug, Clone)]
 pub struct DivergenceObserver {
     warp_instrs: u64,
     diverged_warp_instrs: u64,
-    activity_sum: f64,
+    /// `active_by_live[m]` sums active-lane counts over warp instructions
+    /// issued with exactly `m` live lanes (index 0 unused).
+    active_by_live: [u64; WARP_SIZE + 1],
     branches: u64,
     divergent_branches: u64,
+}
+
+impl Default for DivergenceObserver {
+    fn default() -> Self {
+        Self {
+            warp_instrs: 0,
+            diverged_warp_instrs: 0,
+            active_by_live: [0; WARP_SIZE + 1],
+            branches: 0,
+            divergent_branches: 0,
+        }
+    }
 }
 
 impl DivergenceObserver {
@@ -40,10 +61,12 @@ impl DivergenceObserver {
     /// (1.0 = never diverged).
     pub fn simd_activity(&self) -> f64 {
         if self.warp_instrs == 0 {
-            0.0
-        } else {
-            self.activity_sum / self.warp_instrs as f64
+            return 0.0;
         }
+        let activity_sum: f64 = (1..=WARP_SIZE)
+            .map(|m| self.active_by_live[m] as f64 / m as f64)
+            .sum();
+        activity_sum / self.warp_instrs as f64
     }
 
     /// Fraction of warp instructions issued with a diverged mask.
@@ -65,7 +88,7 @@ impl TraceObserver for DivergenceObserver {
     fn on_instr(&mut self, e: &InstrEvent<'_>) {
         self.warp_instrs += 1;
         let live = e.live.count_ones().max(1);
-        self.activity_sum += e.active_lanes() as f64 / live as f64;
+        self.active_by_live[live as usize] += e.active_lanes() as u64;
         if e.active != e.live {
             self.diverged_warp_instrs += 1;
         }
@@ -76,6 +99,18 @@ impl TraceObserver for DivergenceObserver {
         if e.divergent() {
             self.divergent_branches += 1;
         }
+    }
+}
+
+impl MergeableObserver for DivergenceObserver {
+    fn merge(&mut self, later: Self) {
+        self.warp_instrs += later.warp_instrs;
+        self.diverged_warp_instrs += later.diverged_warp_instrs;
+        for (a, b) in self.active_by_live.iter_mut().zip(later.active_by_live) {
+            *a += b;
+        }
+        self.branches += later.branches;
+        self.divergent_branches += later.divergent_branches;
     }
 }
 

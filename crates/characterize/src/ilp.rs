@@ -47,7 +47,9 @@ pub struct IlpObserver {
     warps: HashMap<(u32, u32), WarpIlp>,
     folded_weighted: f64,
     folded_instrs: u64,
-    dep_distance_sum: f64,
+    /// Exact integer sum of producer→consumer distances (distances are
+    /// integral, so shard merges stay bit-identical to serial).
+    dep_distance_sum: u128,
     dep_count: u64,
 }
 
@@ -96,13 +98,42 @@ impl IlpObserver {
         if self.dep_count == 0 {
             0.0
         } else {
-            self.dep_distance_sum / self.dep_count as f64
+            self.dep_distance_sum as f64 / self.dep_count as f64
+        }
+    }
+}
+
+impl crate::merge::MergeableObserver for IlpObserver {
+    fn merge(&mut self, later: Self) {
+        // Shards of one launch hold warps with disjoint (block, warp)
+        // keys and have never folded (only the master sees `on_launch`);
+        // the union therefore reproduces exactly the warp map a serial
+        // observer would hold, and the next fold iterates it in sorted
+        // key order either way.
+        debug_assert_eq!(
+            later.folded_instrs, 0,
+            "shard observers must not span launch boundaries"
+        );
+        for (key, warp) in later.warps {
+            let clash = self.warps.insert(key, warp);
+            debug_assert!(clash.is_none(), "shard block ranges overlap: {key:?}");
+        }
+        self.folded_weighted += later.folded_weighted;
+        self.folded_instrs += later.folded_instrs;
+        self.dep_distance_sum += later.dep_distance_sum;
+        self.dep_count += later.dep_count;
+        if self.regs == 0 {
+            self.regs = later.regs;
         }
     }
 }
 
 impl TraceObserver for IlpObserver {
-    fn on_launch(&mut self, kernel: &gwc_simt::kernel::Kernel, _config: &gwc_simt::launch::LaunchConfig) {
+    fn on_launch(
+        &mut self,
+        kernel: &gwc_simt::kernel::Kernel,
+        _config: &gwc_simt::launch::LaunchConfig,
+    ) {
         let (weighted, instrs) = Self::fold_of(&self.warps);
         self.folded_weighted += weighted;
         self.folded_instrs += instrs;
@@ -129,7 +160,7 @@ impl TraceObserver for IlpObserver {
                 if src_level > 0 {
                     level = level.max(src_level);
                     let dist = idx.saturating_sub(w.write_idx[slot]);
-                    self.dep_distance_sum += dist as f64;
+                    self.dep_distance_sum += u128::from(dist);
                     self.dep_count += 1;
                 }
             }
@@ -207,7 +238,7 @@ mod tests {
         o.on_instr(&ev(0b11, Some(Reg(0)), &[]));
         o.on_instr(&ev(0b01, Some(Reg(0)), &SRC)); // lane 0 dependent
         o.on_instr(&ev(0b10, Some(Reg(0)), &[])); // lane 1 independent
-        // lane0: 2 instrs, crit 2 -> 1.0; lane1: 2 instrs, crit 1 -> 2.0.
+                                                  // lane0: 2 instrs, crit 2 -> 1.0; lane1: 2 instrs, crit 1 -> 2.0.
         let expect = (1.0 * 2.0 + 2.0 * 2.0) / 4.0;
         assert!((o.ilp() - expect).abs() < 1e-12, "{}", o.ilp());
     }

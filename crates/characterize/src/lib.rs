@@ -49,11 +49,15 @@ pub mod coalescing;
 pub mod divergence;
 pub mod ilp;
 pub mod locality;
+pub mod merge;
 pub mod mix;
 pub mod profile;
 pub mod profiler;
+pub mod runtime;
 pub mod schema;
 
+pub use merge::MergeableObserver;
 pub use profile::{KernelProfile, RawCounts};
 pub use profiler::{characterize_launch, Profiler};
+pub use runtime::{characterize_launch_sharded, profile_launch_sharded};
 pub use schema::{Group, SCHEMA};

@@ -1,0 +1,40 @@
+//! Order-aware merging of observer state, the reduction half of the
+//! parallel characterization runtime.
+//!
+//! When one launch's blocks are sharded across threads (see
+//! `Device::run_block_range`), each shard streams its events into a fresh
+//! observer; afterwards the shards are folded back into the master
+//! observer **in ascending block order**. Every observer guarantees that
+//! this reduction is *bit-identical* to having observed the whole stream
+//! serially — which is why the accumulators are kept in integer domains
+//! (exact, associative) and only converted to floating point at read
+//! time, in a fixed order.
+
+use gwc_simt::trace::{LaunchStats, TraceObserver};
+
+/// An observer whose per-shard state can be reduced in block order.
+///
+/// # Contract
+///
+/// `self.merge(later)` must leave `self` in exactly the state a single
+/// observer would hold after seeing `self`'s event stream followed by
+/// `later`'s. Callers must merge shards in ascending block order, and
+/// `later` must have observed only events of the *same* launch that
+/// `self`'s most recent events belong to (shards never span launch
+/// boundaries; the master observer alone sees `on_launch` /
+/// `on_launch_end`).
+pub trait MergeableObserver: TraceObserver {
+    /// Absorbs `later`, whose events all follow `self`'s in block order.
+    fn merge(&mut self, later: Self);
+}
+
+/// Field-wise sum of per-shard launch statistics; with shard stats
+/// produced by disjoint block ranges of one launch, the sum equals the
+/// serial launch's stats exactly.
+pub fn merge_stats(total: &mut LaunchStats, shard: &LaunchStats) {
+    total.warp_instrs += shard.warp_instrs;
+    total.thread_instrs += shard.thread_instrs;
+    total.blocks += shard.blocks;
+    total.warps += shard.warps;
+    total.barriers += shard.barriers;
+}

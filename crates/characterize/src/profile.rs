@@ -56,7 +56,12 @@ impl KernelProfile {
     ///
     /// Panics if `values.len() != schema::len()` (programming error in an
     /// observer, not user input).
-    pub fn new(name: impl Into<String>, values: Vec<f64>, raw: RawCounts, stats: LaunchStats) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        values: Vec<f64>,
+        raw: RawCounts,
+        stats: LaunchStats,
+    ) -> Self {
         assert_eq!(values.len(), schema::len(), "characteristic vector size");
         Self {
             name: name.into(),
@@ -126,7 +131,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "characteristic vector size")]
     fn wrong_length_panics() {
-        KernelProfile::new("k", vec![0.0; 3], RawCounts::default(), LaunchStats::default());
+        KernelProfile::new(
+            "k",
+            vec![0.0; 3],
+            RawCounts::default(),
+            LaunchStats::default(),
+        );
     }
 
     #[test]

@@ -5,15 +5,14 @@ use gwc_simt::exec::Device;
 use gwc_simt::instr::{InstrClass, Value};
 use gwc_simt::kernel::Kernel;
 use gwc_simt::launch::LaunchConfig;
-use gwc_simt::trace::{
-    BranchEvent, InstrEvent, LaunchStats, MemEvent, TraceObserver,
-};
+use gwc_simt::trace::{BranchEvent, InstrEvent, LaunchStats, MemEvent, TraceObserver};
 use gwc_simt::SimtError;
 
 use crate::coalescing::CoalescingObserver;
 use crate::divergence::DivergenceObserver;
 use crate::ilp::IlpObserver;
 use crate::locality::LocalityObserver;
+use crate::merge::MergeableObserver;
 use crate::mix::MixObserver;
 use crate::profile::{KernelProfile, RawCounts};
 use crate::schema;
@@ -40,11 +39,23 @@ impl Profiler {
         Self::default()
     }
 
+    /// Creates a profiler for one *shard* of a launch: block-range events
+    /// will be streamed into it without launch boundary events (the
+    /// master profiler owns those), and it is later folded back into the
+    /// master with [`MergeableObserver::merge`].
+    pub fn shard(kernel: &Kernel, config: &LaunchConfig) -> Self {
+        let mut p = Self::new();
+        // Prime the ILP observer with the kernel's register count; the
+        // fold inside is a no-op on a fresh observer, and `launch_shape`
+        // stays unset so merging never double-counts the launch.
+        p.ilp.on_launch(kernel, config);
+        p
+    }
+
     /// Finalizes the accumulated observations into a [`KernelProfile`]
     /// named `name`.
     pub fn finish(self, name: impl Into<String>) -> KernelProfile {
-        let (total_threads, threads_per_block, blocks) =
-            self.launch_shape.unwrap_or((0, 0, 0));
+        let (total_threads, threads_per_block, blocks) = self.launch_shape.unwrap_or((0, 0, 0));
         let thread_instrs = self.mix.total().max(1);
         let mut v = vec![0.0; schema::len()];
         let mut set = |n: &str, val: f64| v[schema::index_of(n)] = val;
@@ -106,10 +117,7 @@ impl Profiler {
                 .max(1.0)
                 .log2(),
         );
-        set(
-            "shape_block_occupancy",
-            threads_per_block as f64 / 1024.0,
-        );
+        set("shape_block_occupancy", threads_per_block as f64 / 1024.0);
         set(
             "shape_log_footprint",
             (self.locality.footprint_lines().max(1) as f64).log2(),
@@ -160,6 +168,25 @@ impl TraceObserver for Profiler {
         self.stats.blocks += stats.blocks;
         self.stats.warps += stats.warps;
         self.stats.barriers += stats.barriers;
+    }
+}
+
+impl MergeableObserver for Profiler {
+    /// Folds a shard profiler (created with [`Profiler::shard`]) back
+    /// into the master, in ascending block order. Shards carry no launch
+    /// boundary state — the master accumulates `launch_shape` and stats
+    /// through its own `on_launch`/`on_launch_end` — so only the
+    /// streaming observers merge here.
+    fn merge(&mut self, later: Self) {
+        debug_assert!(
+            later.launch_shape.is_none(),
+            "merge expects a shard profiler, not one that saw on_launch"
+        );
+        self.mix.merge(later.mix);
+        self.ilp.merge(later.ilp);
+        self.divergence.merge(later.divergence);
+        self.coalescing.merge(later.coalescing);
+        self.locality.merge(later.locality);
     }
 }
 
@@ -242,8 +269,8 @@ mod tests {
         let k = b.build().unwrap();
 
         let (mut dev, buf) = device_with(256);
-        let p = characterize_launch(&mut dev, &k, &LaunchConfig::new(2, 128), &[buf.arg()])
-            .unwrap();
+        let p =
+            characterize_launch(&mut dev, &k, &LaunchConfig::new(2, 128), &[buf.arg()]).unwrap();
         assert!(p.get("div_branch_frac") > 0.0, "guard branch diverges");
         assert!(
             p.get("div_simd_activity") < 0.8,
@@ -284,10 +311,7 @@ mod tests {
         .unwrap();
         assert!(p.get("loc_reuse_le16") > 0.9, "table reuse is near");
         assert!(p.get("loc_cold_frac") < 0.1);
-        assert!(
-            p.get("share_inter_warp") > 0.0,
-            "table shared across warps"
-        );
+        assert!(p.get("share_inter_warp") > 0.0, "table shared across warps");
     }
 
     #[test]
@@ -309,7 +333,11 @@ mod tests {
         let p = characterize_launch(&mut dev, &k, &LaunchConfig::new(4, 128), &[]).unwrap();
         assert!(p.get("mix_mem_shared") > 0.0);
         assert!(p.get("sync_barrier_kinstr") > 0.0);
-        assert_eq!(p.get("smem_bank_conflict"), 1.0, "reversal is conflict-free");
+        assert_eq!(
+            p.get("smem_bank_conflict"),
+            1.0,
+            "reversal is conflict-free"
+        );
     }
 
     #[test]

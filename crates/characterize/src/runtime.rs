@@ -1,0 +1,239 @@
+//! Block-sharded launch execution: the std-only parallel path that runs
+//! one launch's blocks across threads and reduces the shard observers
+//! back to a state bit-identical to serial execution.
+//!
+//! # How a sharded launch runs
+//!
+//! 1. The master [`Profiler`] sees `on_launch` (launch shape, ILP fold).
+//! 2. The grid's blocks are split into ≤ `threads` contiguous ranges;
+//!    each range executes on a [`Device::fork`] with its own copy of
+//!    global memory, streaming into a fresh [`Profiler::shard`].
+//! 3. In ascending block order, each shard is folded into the master
+//!    ([`MergeableObserver::merge`]), its stats summed, and its global
+//!    writes absorbed ([`Device::absorb_writes`]).
+//! 4. The master sees `on_launch_end` with the summed stats — exactly
+//!    the stats the serial launch reports.
+//!
+//! # Safety contract
+//!
+//! Sharding is only applied when [`Kernel::is_block_shardable`] holds
+//! (no global atomics in the IR — see its docs for why plain global
+//! stores are fine under the CUDA block-independence model). Kernels
+//! that fail the check, single-block grids, and `threads <= 1` all fall
+//! back to the serial path, so this function is always safe to call.
+
+use std::thread;
+
+use gwc_simt::exec::Device;
+use gwc_simt::instr::Value;
+use gwc_simt::kernel::Kernel;
+use gwc_simt::launch::LaunchConfig;
+use gwc_simt::trace::{LaunchStats, TraceObserver};
+use gwc_simt::SimtError;
+
+use crate::merge::{merge_stats, MergeableObserver};
+use crate::profile::KernelProfile;
+use crate::profiler::Profiler;
+
+/// Minimum blocks per shard; below this the fork + merge overhead beats
+/// any speedup, so the launch runs serially.
+const MIN_BLOCKS_PER_SHARD: usize = 2;
+
+/// Runs one launch into `profiler`, sharding its blocks across up to
+/// `threads` threads when the kernel meets the block-sharding contract,
+/// and falling back to [`Device::launch_observed`] otherwise. The
+/// profiler ends up in a state bit-identical to the serial path either
+/// way.
+///
+/// # Errors
+///
+/// Propagates any [`SimtError`]; with several failing shards, the error
+/// of the lowest block range wins (the one serial execution would have
+/// hit first). The instruction budget applies per shard.
+pub fn profile_launch_sharded(
+    device: &mut Device,
+    kernel: &Kernel,
+    config: &LaunchConfig,
+    args: &[Value],
+    profiler: &mut Profiler,
+    threads: usize,
+) -> Result<LaunchStats, SimtError> {
+    let blocks = config.blocks();
+    let shards = threads.min(blocks / MIN_BLOCKS_PER_SHARD);
+    if shards <= 1 || !kernel.is_block_shardable() {
+        return device.launch_observed(kernel, config, args, profiler);
+    }
+
+    config.validate()?;
+    kernel.check_args(args)?;
+    profiler.on_launch(kernel, config);
+
+    let base = device.global_image().to_vec();
+    let dev = &*device;
+    let results: Vec<Result<(Device, Profiler, LaunchStats), SimtError>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|i| {
+                let first = (blocks * i / shards) as u32;
+                let last = (blocks * (i + 1) / shards) as u32;
+                scope.spawn(move || {
+                    let mut shard_dev = dev.fork();
+                    let mut shard = Profiler::shard(kernel, config);
+                    let stats =
+                        shard_dev.run_block_range(kernel, config, args, first, last, &mut shard)?;
+                    Ok((shard_dev, shard, stats))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+
+    let mut total = LaunchStats::default();
+    for result in results {
+        let (shard_dev, shard, stats) = result?;
+        profiler.merge(shard);
+        merge_stats(&mut total, &stats);
+        device.absorb_writes(&base, &shard_dev);
+    }
+    profiler.on_launch_end(&total);
+    Ok(total)
+}
+
+/// Characterizes a single launch like
+/// [`characterize_launch`](crate::characterize_launch), but sharded
+/// across up to `threads` threads.
+///
+/// # Errors
+///
+/// Propagates any [`SimtError`] from the launch.
+pub fn characterize_launch_sharded(
+    device: &mut Device,
+    kernel: &Kernel,
+    config: &LaunchConfig,
+    args: &[Value],
+    threads: usize,
+) -> Result<KernelProfile, SimtError> {
+    let mut profiler = Profiler::new();
+    profile_launch_sharded(device, kernel, config, args, &mut profiler, threads)?;
+    Ok(profiler.finish(kernel.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gwc_simt::builder::KernelBuilder;
+
+    /// A kernel that stresses every observer: divergence, shared memory
+    /// with barrier, global loads of a shared table (reuse + sharing),
+    /// and a strided store.
+    fn busy_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("busy");
+        let table = b.param_u32("table");
+        let out = b.param_u32("out");
+        let smem = b.alloc_shared(64 * 4);
+        let i = b.global_tid_x();
+        let tid = b.var_u32(b.tid_x());
+        let sa = b.index(smem, tid, 4);
+        b.st_shared_u32(sa, i);
+        b.barrier();
+        let bit = b.and_u32(i, Value::U32(1));
+        let odd = b.eq_u32(bit, Value::U32(1));
+        let acc = b.var_f32(Value::F32(0.0));
+        b.if_(odd, |b| {
+            b.for_range_u32(Value::U32(0), Value::U32(8), 1, |b, j| {
+                let sel = b.rem_u32(j, Value::U32(16));
+                let ta = b.index(table, sel, 4);
+                let v = b.ld_global_f32(ta);
+                let n = b.add_f32(acc, v);
+                b.assign(acc, n);
+            });
+        });
+        let oi = b.index(out, i, 4);
+        b.st_global_f32(oi, acc);
+        b.build().unwrap()
+    }
+
+    fn setup(dev: &mut Device) -> Vec<Value> {
+        let table = dev.alloc_f32(&[1.5; 16]);
+        let out = dev.alloc_zeroed_f32(64 * 24);
+        vec![table.arg(), out.arg()]
+    }
+
+    #[test]
+    fn sharded_profile_is_bit_identical_to_serial() {
+        let k = busy_kernel();
+        let config = LaunchConfig::new(24, 64);
+
+        let mut dev_s = Device::new();
+        let args = setup(&mut dev_s);
+        let serial = crate::characterize_launch(&mut dev_s, &k, &config, &args).unwrap();
+
+        for threads in [2, 3, 4, 8] {
+            let mut dev_p = Device::new();
+            let args = setup(&mut dev_p);
+            let sharded =
+                characterize_launch_sharded(&mut dev_p, &k, &config, &args, threads).unwrap();
+            for (i, (a, b)) in serial.values().iter().zip(sharded.values()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "dim {i} differs at {threads} threads: {a} vs {b}"
+                );
+            }
+            assert_eq!(serial.raw(), sharded.raw());
+            assert_eq!(
+                dev_s.global_image(),
+                dev_p.global_image(),
+                "global memory diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn global_atomics_fall_back_to_serial() {
+        let mut b = KernelBuilder::new("atomic");
+        let out = b.param_u32("out");
+        let i = b.global_tid_x();
+        let slot = b.rem_u32(i, Value::U32(4));
+        let oa = b.index(out, slot, 4);
+        b.atomic_add_global_u32(oa, Value::U32(1));
+        let k = b.build().unwrap();
+        assert!(!k.is_block_shardable());
+
+        let config = LaunchConfig::new(16, 32);
+        let mut dev_s = Device::new();
+        let out_s = dev_s.alloc_zeroed_u32(4);
+        let serial = crate::characterize_launch(&mut dev_s, &k, &config, &[out_s.arg()]).unwrap();
+
+        let mut dev_p = Device::new();
+        let out_p = dev_p.alloc_zeroed_u32(4);
+        let sharded =
+            characterize_launch_sharded(&mut dev_p, &k, &config, &[out_p.arg()], 4).unwrap();
+        assert_eq!(serial.values(), sharded.values());
+        assert_eq!(dev_s.read_u32(&out_s), dev_p.read_u32(&out_p));
+        assert_eq!(dev_s.read_u32(&out_s), vec![128; 4]);
+    }
+
+    #[test]
+    fn sharded_write_back_reproduces_serial_memory() {
+        let mut b = KernelBuilder::new("stream");
+        let out = b.param_u32("out");
+        let i = b.global_tid_x();
+        let sq = b.mul_u32(i, i);
+        let oi = b.index(out, i, 4);
+        b.st_global_u32(oi, sq);
+        let k = b.build().unwrap();
+
+        let n = 1024;
+        let config = LaunchConfig::linear(n, 64);
+        let mut dev = Device::new();
+        let out = dev.alloc_zeroed_u32(n as usize);
+        characterize_launch_sharded(&mut dev, &k, &config, &[out.arg()], 4).unwrap();
+        let got = dev.read_u32(&out);
+        for (i, &v) in got.iter().enumerate() {
+            assert_eq!(v, (i as u32).wrapping_mul(i as u32), "element {i}");
+        }
+    }
+}

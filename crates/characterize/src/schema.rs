@@ -59,47 +59,179 @@ pub struct CharacteristicDef {
 /// The canonical schema: 33 microarchitecture-independent characteristics.
 pub const SCHEMA: &[CharacteristicDef] = &[
     // --- instruction mix (fractions of thread-level dynamic instructions) ---
-    CharacteristicDef { name: "mix_int_alu", group: Group::Mix, desc: "integer ALU fraction" },
-    CharacteristicDef { name: "mix_fp_alu", group: Group::Mix, desc: "floating-point ALU fraction" },
-    CharacteristicDef { name: "mix_sfu", group: Group::Mix, desc: "special-function-unit fraction" },
-    CharacteristicDef { name: "mix_mem_global", group: Group::Mix, desc: "global load/store fraction" },
-    CharacteristicDef { name: "mix_mem_shared", group: Group::Mix, desc: "shared load/store fraction" },
-    CharacteristicDef { name: "mix_mem_other", group: Group::Mix, desc: "local+const access fraction" },
-    CharacteristicDef { name: "mix_ctrl", group: Group::Mix, desc: "control-flow fraction" },
-    CharacteristicDef { name: "mix_sync", group: Group::Mix, desc: "barrier fraction" },
-    CharacteristicDef { name: "mix_atomic", group: Group::Mix, desc: "atomic fraction" },
-    CharacteristicDef { name: "mix_move", group: Group::Mix, desc: "move/select/convert fraction" },
+    CharacteristicDef {
+        name: "mix_int_alu",
+        group: Group::Mix,
+        desc: "integer ALU fraction",
+    },
+    CharacteristicDef {
+        name: "mix_fp_alu",
+        group: Group::Mix,
+        desc: "floating-point ALU fraction",
+    },
+    CharacteristicDef {
+        name: "mix_sfu",
+        group: Group::Mix,
+        desc: "special-function-unit fraction",
+    },
+    CharacteristicDef {
+        name: "mix_mem_global",
+        group: Group::Mix,
+        desc: "global load/store fraction",
+    },
+    CharacteristicDef {
+        name: "mix_mem_shared",
+        group: Group::Mix,
+        desc: "shared load/store fraction",
+    },
+    CharacteristicDef {
+        name: "mix_mem_other",
+        group: Group::Mix,
+        desc: "local+const access fraction",
+    },
+    CharacteristicDef {
+        name: "mix_ctrl",
+        group: Group::Mix,
+        desc: "control-flow fraction",
+    },
+    CharacteristicDef {
+        name: "mix_sync",
+        group: Group::Mix,
+        desc: "barrier fraction",
+    },
+    CharacteristicDef {
+        name: "mix_atomic",
+        group: Group::Mix,
+        desc: "atomic fraction",
+    },
+    CharacteristicDef {
+        name: "mix_move",
+        group: Group::Mix,
+        desc: "move/select/convert fraction",
+    },
     // --- ILP -----------------------------------------------------------------
-    CharacteristicDef { name: "ilp_dataflow", group: Group::Ilp, desc: "per-thread instrs / register-dataflow critical path" },
-    CharacteristicDef { name: "ilp_dep_distance", group: Group::Ilp, desc: "mean producer-consumer distance in instructions" },
+    CharacteristicDef {
+        name: "ilp_dataflow",
+        group: Group::Ilp,
+        desc: "per-thread instrs / register-dataflow critical path",
+    },
+    CharacteristicDef {
+        name: "ilp_dep_distance",
+        group: Group::Ilp,
+        desc: "mean producer-consumer distance in instructions",
+    },
     // --- branch divergence ---------------------------------------------------
-    CharacteristicDef { name: "div_branch_density", group: Group::Divergence, desc: "conditional branches per warp instruction" },
-    CharacteristicDef { name: "div_branch_frac", group: Group::Divergence, desc: "fraction of dynamic branches that diverge the warp" },
-    CharacteristicDef { name: "div_simd_activity", group: Group::Divergence, desc: "mean active/live lane ratio per warp instruction" },
-    CharacteristicDef { name: "div_warp_instr_frac", group: Group::Divergence, desc: "fraction of warp instructions issued diverged" },
+    CharacteristicDef {
+        name: "div_branch_density",
+        group: Group::Divergence,
+        desc: "conditional branches per warp instruction",
+    },
+    CharacteristicDef {
+        name: "div_branch_frac",
+        group: Group::Divergence,
+        desc: "fraction of dynamic branches that diverge the warp",
+    },
+    CharacteristicDef {
+        name: "div_simd_activity",
+        group: Group::Divergence,
+        desc: "mean active/live lane ratio per warp instruction",
+    },
+    CharacteristicDef {
+        name: "div_warp_instr_frac",
+        group: Group::Divergence,
+        desc: "fraction of warp instructions issued diverged",
+    },
     // --- memory coalescing ---------------------------------------------------
-    CharacteristicDef { name: "coal_segments_per_access", group: Group::Coalescing, desc: "mean 128B segments touched per global warp access" },
-    CharacteristicDef { name: "coal_unit_stride_frac", group: Group::Coalescing, desc: "fraction of global accesses with unit-stride lanes" },
-    CharacteristicDef { name: "coal_broadcast_frac", group: Group::Coalescing, desc: "fraction of global accesses where lanes share one address" },
-    CharacteristicDef { name: "coal_scatter_frac", group: Group::Coalescing, desc: "fraction of global accesses touching > 8 segments" },
+    CharacteristicDef {
+        name: "coal_segments_per_access",
+        group: Group::Coalescing,
+        desc: "mean 128B segments touched per global warp access",
+    },
+    CharacteristicDef {
+        name: "coal_unit_stride_frac",
+        group: Group::Coalescing,
+        desc: "fraction of global accesses with unit-stride lanes",
+    },
+    CharacteristicDef {
+        name: "coal_broadcast_frac",
+        group: Group::Coalescing,
+        desc: "fraction of global accesses where lanes share one address",
+    },
+    CharacteristicDef {
+        name: "coal_scatter_frac",
+        group: Group::Coalescing,
+        desc: "fraction of global accesses touching > 8 segments",
+    },
     // --- shared memory -------------------------------------------------------
-    CharacteristicDef { name: "smem_bank_conflict", group: Group::SharedMem, desc: "mean serialization degree of shared accesses (1 = conflict-free)" },
+    CharacteristicDef {
+        name: "smem_bank_conflict",
+        group: Group::SharedMem,
+        desc: "mean serialization degree of shared accesses (1 = conflict-free)",
+    },
     // --- temporal locality ---------------------------------------------------
-    CharacteristicDef { name: "loc_reuse_le16", group: Group::Locality, desc: "global-line reuses with stack distance <= 16 lines" },
-    CharacteristicDef { name: "loc_reuse_le256", group: Group::Locality, desc: "reuses with stack distance <= 256 lines" },
-    CharacteristicDef { name: "loc_reuse_le4096", group: Group::Locality, desc: "reuses with stack distance <= 4096 lines" },
-    CharacteristicDef { name: "loc_cold_frac", group: Group::Locality, desc: "fraction of line touches that are first-touch" },
+    CharacteristicDef {
+        name: "loc_reuse_le16",
+        group: Group::Locality,
+        desc: "global-line reuses with stack distance <= 16 lines",
+    },
+    CharacteristicDef {
+        name: "loc_reuse_le256",
+        group: Group::Locality,
+        desc: "reuses with stack distance <= 256 lines",
+    },
+    CharacteristicDef {
+        name: "loc_reuse_le4096",
+        group: Group::Locality,
+        desc: "reuses with stack distance <= 4096 lines",
+    },
+    CharacteristicDef {
+        name: "loc_cold_frac",
+        group: Group::Locality,
+        desc: "fraction of line touches that are first-touch",
+    },
     // --- data sharing ---------------------------------------------------------
-    CharacteristicDef { name: "share_inter_warp", group: Group::Sharing, desc: "fraction of lines touched by more than one warp" },
-    CharacteristicDef { name: "share_inter_block", group: Group::Sharing, desc: "fraction of lines touched by more than one block" },
+    CharacteristicDef {
+        name: "share_inter_warp",
+        group: Group::Sharing,
+        desc: "fraction of lines touched by more than one warp",
+    },
+    CharacteristicDef {
+        name: "share_inter_block",
+        group: Group::Sharing,
+        desc: "fraction of lines touched by more than one block",
+    },
     // --- synchronization -------------------------------------------------------
-    CharacteristicDef { name: "sync_barrier_kinstr", group: Group::Sync, desc: "barriers per 1000 warp instructions" },
-    CharacteristicDef { name: "sync_atomic_kinstr", group: Group::Sync, desc: "atomics per 1000 thread instructions" },
+    CharacteristicDef {
+        name: "sync_barrier_kinstr",
+        group: Group::Sync,
+        desc: "barriers per 1000 warp instructions",
+    },
+    CharacteristicDef {
+        name: "sync_atomic_kinstr",
+        group: Group::Sync,
+        desc: "atomics per 1000 thread instructions",
+    },
     // --- kernel shape ----------------------------------------------------------
-    CharacteristicDef { name: "shape_log_threads", group: Group::Shape, desc: "log2 of total threads" },
-    CharacteristicDef { name: "shape_log_instrs_per_thread", group: Group::Shape, desc: "log2 of mean dynamic instructions per thread" },
-    CharacteristicDef { name: "shape_block_occupancy", group: Group::Shape, desc: "threads per block / 1024" },
-    CharacteristicDef { name: "shape_log_footprint", group: Group::Shape, desc: "log2 of global footprint in 128B lines" },
+    CharacteristicDef {
+        name: "shape_log_threads",
+        group: Group::Shape,
+        desc: "log2 of total threads",
+    },
+    CharacteristicDef {
+        name: "shape_log_instrs_per_thread",
+        group: Group::Shape,
+        desc: "log2 of mean dynamic instructions per thread",
+    },
+    CharacteristicDef {
+        name: "shape_block_occupancy",
+        group: Group::Shape,
+        desc: "threads per block / 1024",
+    },
+    CharacteristicDef {
+        name: "shape_log_footprint",
+        group: Group::Shape,
+        desc: "log2 of global footprint in 128B lines",
+    },
 ];
 
 /// Number of characteristic dimensions.

@@ -29,8 +29,8 @@ pub fn suite_diversity(study: &Study, scores: &Matrix) -> Vec<SuiteDiversity> {
     let n = scores.rows();
     let mut global_centroid = vec![0.0; dims];
     for r in 0..n {
-        for c in 0..dims {
-            global_centroid[c] += scores.get(r, c);
+        for (c, v) in global_centroid.iter_mut().enumerate() {
+            *v += scores.get(r, c);
         }
     }
     for v in &mut global_centroid {

@@ -11,6 +11,7 @@ use gwc_characterize::schema;
 use gwc_stats::describe::{mean, relative_error};
 use gwc_timing::{speedups, DesignPoint, GpuConfig};
 
+use crate::parallel::parallel_map;
 use crate::study::Study;
 
 /// Per-design-point estimation errors of a subset-based evaluation.
@@ -42,22 +43,33 @@ pub fn evaluate_subset(
     configs: &[GpuConfig],
     subset: &[usize],
 ) -> SubsetEvaluation {
+    evaluate_subset_threads(study, baseline, configs, subset, 1)
+}
+
+/// [`evaluate_subset`] with the design-point sweep fanned out across up
+/// to `threads` threads (one task per design point). Each point's
+/// timing model runs unchanged on one thread and rows are reassembled
+/// in config order, so the result is bit-identical to the serial sweep.
+pub fn evaluate_subset_threads(
+    study: &Study,
+    baseline: &GpuConfig,
+    configs: &[GpuConfig],
+    subset: &[usize],
+    threads: usize,
+) -> SubsetEvaluation {
     let profiles: Vec<_> = study.records().iter().map(|r| r.profile.clone()).collect();
-    let sweep = speedups(&profiles, baseline, configs);
-    let rows = sweep
-        .points
-        .iter()
-        .map(|p: &DesignPoint| {
-            let truth = p.mean_speedup();
-            let estimate = p.subset_mean(subset);
-            (
-                p.config.name.clone(),
-                truth,
-                estimate,
-                relative_error(estimate, truth),
-            )
-        })
-        .collect();
+    let rows = parallel_map(configs.len(), threads, |i| {
+        let sweep = speedups(&profiles, baseline, &configs[i..i + 1]);
+        let p: &DesignPoint = &sweep.points[0];
+        let truth = p.mean_speedup();
+        let estimate = p.subset_mean(subset);
+        (
+            p.config.name.clone(),
+            truth,
+            estimate,
+            relative_error(estimate, truth),
+        )
+    });
     SubsetEvaluation {
         subset: subset.to_vec(),
         rows,
@@ -75,6 +87,23 @@ pub fn random_subset_errors(
     count: usize,
     seed: u64,
 ) -> Vec<f64> {
+    random_subset_errors_threads(study, baseline, configs, size, count, seed, 1)
+}
+
+/// [`random_subset_errors`] with the draws fanned out across up to
+/// `threads` threads. The subsets themselves are drawn serially from the
+/// seeded generator before any evaluation starts, so the returned errors
+/// are bit-identical to the serial path at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn random_subset_errors_threads(
+    study: &Study,
+    baseline: &GpuConfig,
+    configs: &[GpuConfig],
+    size: usize,
+    count: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<f64> {
     let n = study.records().len();
     let mut state = seed.wrapping_mul(2).wrapping_add(1);
     let mut next = move || {
@@ -85,7 +114,7 @@ pub fn random_subset_errors(
         state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
         state
     };
-    (0..count)
+    let subsets: Vec<Vec<usize>> = (0..count)
         .map(|_| {
             let mut subset: Vec<usize> = Vec::with_capacity(size);
             while subset.len() < size.min(n) {
@@ -94,9 +123,12 @@ pub fn random_subset_errors(
                     subset.push(pick);
                 }
             }
-            evaluate_subset(study, baseline, configs, &subset).mean_error()
+            subset
         })
-        .collect()
+        .collect();
+    parallel_map(subsets.len(), threads, |i| {
+        evaluate_subset(study, baseline, configs, &subsets[i]).mean_error()
+    })
 }
 
 /// A stress-workload recommendation: the kernels that exercise one
@@ -117,7 +149,11 @@ pub fn stress_selection(study: &Study, top_n: usize) -> Vec<StressSelection> {
     // (block, characteristic, higher-is-more-stress)
     let specs: [(&str, &str, bool); 5] = [
         ("divergence handling", "div_simd_activity", false),
-        ("memory coalescing hardware", "coal_segments_per_access", true),
+        (
+            "memory coalescing hardware",
+            "coal_segments_per_access",
+            true,
+        ),
         ("shared memory banks", "smem_bank_conflict", true),
         ("special function units", "mix_sfu", true),
         ("atomic units", "sync_atomic_kinstr", true),
@@ -196,15 +232,17 @@ mod tests {
         // Black-Scholes or MRI-Q should top the SFU ranking.
         let names: Vec<&str> = sfu.top.iter().map(|(n, _)| n.as_str()).collect();
         assert!(
-            names
-                .iter()
-                .any(|n| n.contains("black_scholes") || n.contains("compute_q") || n.contains("cp_lattice")),
+            names.iter().any(|n| n.contains("black_scholes")
+                || n.contains("compute_q")
+                || n.contains("cp_lattice")),
             "SFU top-5: {names:?}"
         );
         let atomics = sel.iter().find(|x| x.block == "atomic units").unwrap();
         let names: Vec<&str> = atomics.top.iter().map(|(n, _)| n.as_str()).collect();
         assert!(
-            names.iter().any(|n| n.contains("histogram") || n.contains("bucket") || n.contains("tpacf")),
+            names
+                .iter()
+                .any(|n| n.contains("histogram") || n.contains("bucket") || n.contains("tpacf")),
             "atomic top-5: {names:?}"
         );
     }

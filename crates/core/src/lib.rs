@@ -42,9 +42,11 @@
 pub mod analysis;
 pub mod diversity;
 pub mod eval;
+pub mod parallel;
 pub mod reduce;
 pub mod report;
 pub mod study;
 pub mod subspace;
 
+pub use parallel::{available_threads, parallel_map};
 pub use study::{KernelRecord, Study, StudyConfig};

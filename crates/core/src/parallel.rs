@@ -1,0 +1,128 @@
+//! Std-only work-stealing thread pool for the characterization pipeline.
+//!
+//! The runtime has no external dependencies: [`parallel_map`] is built on
+//! [`std::thread::scope`] plus an atomic work counter, so idle workers
+//! steal the next index as soon as they finish one — a chunked
+//! work-stealing schedule without any channel or queue machinery.
+//!
+//! Determinism contract: the *schedule* (which worker runs which index,
+//! and in what wall-clock order) is nondeterministic, but results are
+//! always reassembled in index order, so any computation whose items are
+//! independent produces output bit-identical to a serial loop. Every
+//! parallel path in the pipeline (workload fan-out in
+//! [`Study::run_threads`](crate::study::Study::run_threads), the E12
+//! design-point sweep in [`eval`](crate::eval)) is built on this
+//! property, and `tests/determinism.rs` verifies it end to end.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Threads to use by default: the machine's available parallelism, or 1
+/// if that cannot be determined.
+pub fn available_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..n` on up to `threads` worker
+/// threads and returns the results in index order.
+///
+/// Workers pull indices from a shared atomic counter (work stealing), so
+/// uneven item costs balance automatically. With `threads <= 1` (or a
+/// single item) this is exactly a serial loop on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the first panicking worker observed).
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, f(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|v| v.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(100, threads, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        parallel_map(hits.len(), 7, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different costs still land in order.
+        let got = parallel_map(32, 4, |i| {
+            let spin = if i % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = i as u64;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        for (i, (idx, _)) in got.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

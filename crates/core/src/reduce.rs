@@ -138,9 +138,9 @@ mod tests {
         let space = ReducedSpace::fit(&m, 0.9).unwrap();
         for r in 0..m.rows() {
             let p = space.project(m.row(r)).unwrap();
-            for c in 0..space.kept() {
+            for (c, &pv) in p.iter().enumerate().take(space.kept()) {
                 assert!(
-                    (p[c] - space.scores().get(r, c)).abs() < 1e-9,
+                    (pv - space.scores().get(r, c)).abs() < 1e-9,
                     "row {r} pc {c}"
                 );
             }

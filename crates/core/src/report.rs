@@ -30,7 +30,13 @@ pub fn render_matrix(labels: &[String], headers: &[&str], m: &Matrix) -> String 
 /// Renders a 2-D ASCII scatter plot of (x, y) points labelled by index
 /// markers, with a legend mapping markers back to labels. This is the
 /// textual stand-in for the paper's PC scatter figures.
-pub fn render_scatter(labels: &[String], xs: &[f64], ys: &[f64], width: usize, height: usize) -> String {
+pub fn render_scatter(
+    labels: &[String],
+    xs: &[f64],
+    ys: &[f64],
+    width: usize,
+    height: usize,
+) -> String {
     assert_eq!(labels.len(), xs.len());
     assert_eq!(xs.len(), ys.len());
     if xs.is_empty() {
@@ -50,7 +56,9 @@ pub fn render_scatter(labels: &[String], xs: &[f64], ys: &[f64], width: usize, h
         grid[cy][cx] = marker(i);
     }
     let mut out = String::new();
-    out.push_str(&format!("y: [{y_lo:.2}, {y_hi:.2}]  x: [{x_lo:.2}, {x_hi:.2}]\n"));
+    out.push_str(&format!(
+        "y: [{y_lo:.2}, {y_hi:.2}]  x: [{x_lo:.2}, {x_hi:.2}]\n"
+    ));
     for row in grid {
         out.push('|');
         out.extend(row);
@@ -109,11 +117,7 @@ mod tests {
     #[test]
     fn matrix_table_contains_labels_and_values() {
         let m = Matrix::from_rows(&[vec![1.5, 2.0], vec![-0.25, 4.0]]).unwrap();
-        let t = render_matrix(
-            &["alpha".into(), "beta".into()],
-            &["pc1", "pc2"],
-            &m,
-        );
+        let t = render_matrix(&["alpha".into(), "beta".into()], &["pc1", "pc2"], &m);
         assert!(t.contains("alpha"));
         assert!(t.contains("pc2"));
         assert!(t.contains("1.5000"));

@@ -1,11 +1,14 @@
 //! Stage 1: run the workload population and collect kernel profiles.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
-use gwc_characterize::{KernelProfile, Profiler};
+use gwc_characterize::{profile_launch_sharded, KernelProfile, Profiler};
 use gwc_simt::exec::Device;
 use gwc_stats::Matrix;
 use gwc_workloads::{registry, Scale, Suite, Workload, WorkloadError};
+
+use crate::parallel::parallel_map;
 
 /// Configuration of a characterization study.
 #[derive(Debug, Clone, Copy)]
@@ -66,10 +69,45 @@ impl Study {
     ///
     /// Returns the first simulation or verification error.
     pub fn run(config: &StudyConfig) -> Result<Study, WorkloadError> {
+        Self::run_threads(config, 1)
+    }
+
+    /// Runs the full registry like [`Study::run`], fanning whole
+    /// workloads out across up to `threads` worker threads.
+    ///
+    /// Each workload still executes on exactly one thread (its launches
+    /// are sequentially dependent), so the result is bit-identical to the
+    /// serial run: records are reassembled in registry order and every
+    /// profile is computed by the same code on the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest-registered failing workload —
+    /// the one the serial run would have hit first. (Unlike the serial
+    /// run, later workloads may already have executed by then.)
+    pub fn run_threads(config: &StudyConfig, threads: usize) -> Result<Study, WorkloadError> {
         let mut workloads = registry::all_workloads(config.seed);
+        if threads <= 1 {
+            let mut records = Vec::new();
+            for w in workloads.iter_mut() {
+                records.extend(Self::run_one(w.as_mut(), config)?);
+            }
+            return Ok(Study { records });
+        }
+        // Hand each worker exclusive ownership of the workloads it steals.
+        let slots: Vec<Mutex<Option<Box<dyn Workload>>>> =
+            workloads.into_iter().map(|w| Mutex::new(Some(w))).collect();
+        let results = parallel_map(slots.len(), threads, |i| {
+            let mut w = slots[i]
+                .lock()
+                .expect("workload slot poisoned")
+                .take()
+                .expect("each slot taken once");
+            Self::run_one(w.as_mut(), config)
+        });
         let mut records = Vec::new();
-        for w in workloads.iter_mut() {
-            records.extend(Self::run_one(w.as_mut(), config)?);
+        for r in results {
+            records.extend(r?);
         }
         Ok(Study { records })
     }
@@ -83,6 +121,22 @@ impl Study {
         workload: &mut dyn Workload,
         config: &StudyConfig,
     ) -> Result<Vec<KernelRecord>, WorkloadError> {
+        Self::run_one_threads(workload, config, 1)
+    }
+
+    /// Runs a single workload, sharding each launch's blocks across up to
+    /// `threads` threads when its kernel meets the block-sharding
+    /// contract (see `gwc_characterize::runtime`). Profiles are
+    /// bit-identical to [`Study::run_one`] at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation or verification error.
+    pub fn run_one_threads(
+        workload: &mut dyn Workload,
+        config: &StudyConfig,
+        threads: usize,
+    ) -> Result<Vec<KernelRecord>, WorkloadError> {
         let meta = workload.meta();
         let mut dev = Device::new();
         let launches = workload.setup(&mut dev, config.scale)?;
@@ -95,7 +149,14 @@ impl Study {
                 profilers.insert(launch.label.clone(), Profiler::new());
             }
             let profiler = profilers.get_mut(&launch.label).expect("just inserted");
-            dev.launch_observed(&launch.kernel, &launch.config, &launch.args, profiler)?;
+            profile_launch_sharded(
+                &mut dev,
+                &launch.kernel,
+                &launch.config,
+                &launch.args,
+                profiler,
+                threads,
+            )?;
         }
         if config.verify {
             workload.verify(&dev)?;

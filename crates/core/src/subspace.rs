@@ -117,8 +117,8 @@ fn workload_spread(scores: &Matrix, rows: &[usize]) -> f64 {
     let dims = scores.cols();
     let mut centroid = vec![0.0; dims];
     for &r in rows {
-        for c in 0..dims {
-            centroid[c] += scores.get(r, c);
+        for (c, v) in centroid.iter_mut().enumerate() {
+            *v += scores.get(r, c);
         }
     }
     for v in &mut centroid {
@@ -158,9 +158,7 @@ mod tests {
     fn spread_grows_with_scatter() {
         let tight = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.0]]).unwrap();
         let wide = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0]]).unwrap();
-        assert!(
-            workload_spread(&wide, &[0, 1]) > workload_spread(&tight, &[0, 1]) * 10.0
-        );
+        assert!(workload_spread(&wide, &[0, 1]) > workload_spread(&tight, &[0, 1]) * 10.0);
     }
 
     #[test]

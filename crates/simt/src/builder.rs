@@ -265,51 +265,256 @@ impl KernelBuilder {
 
     // --- arithmetic ---------------------------------------------------------
 
-    bin_method!(#[doc = "`u32` wrapping addition."] add_u32, BinOp::Add, Type::U32);
-    bin_method!(#[doc = "`u32` wrapping subtraction."] sub_u32, BinOp::Sub, Type::U32);
-    bin_method!(#[doc = "`u32` wrapping multiplication."] mul_u32, BinOp::Mul, Type::U32);
-    bin_method!(#[doc = "`u32` division (runtime error on zero divisor)."] div_u32, BinOp::Div, Type::U32);
-    bin_method!(#[doc = "`u32` remainder (runtime error on zero divisor)."] rem_u32, BinOp::Rem, Type::U32);
-    bin_method!(#[doc = "`u32` minimum."] min_u32, BinOp::Min, Type::U32);
-    bin_method!(#[doc = "`u32` maximum."] max_u32, BinOp::Max, Type::U32);
-    bin_method!(#[doc = "Bitwise and."] and_u32, BinOp::And, Type::U32);
-    bin_method!(#[doc = "Bitwise or."] or_u32, BinOp::Or, Type::U32);
-    bin_method!(#[doc = "Bitwise xor."] xor_u32, BinOp::Xor, Type::U32);
-    bin_method!(#[doc = "Left shift (count mod 32)."] shl_u32, BinOp::Shl, Type::U32);
-    bin_method!(#[doc = "Logical right shift (count mod 32)."] shr_u32, BinOp::Shr, Type::U32);
+    bin_method!(
+        #[doc = "`u32` wrapping addition."]
+        add_u32,
+        BinOp::Add,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "`u32` wrapping subtraction."]
+        sub_u32,
+        BinOp::Sub,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "`u32` wrapping multiplication."]
+        mul_u32,
+        BinOp::Mul,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "`u32` division (runtime error on zero divisor)."]
+        div_u32,
+        BinOp::Div,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "`u32` remainder (runtime error on zero divisor)."]
+        rem_u32,
+        BinOp::Rem,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "`u32` minimum."]
+        min_u32,
+        BinOp::Min,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "`u32` maximum."]
+        max_u32,
+        BinOp::Max,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "Bitwise and."]
+        and_u32,
+        BinOp::And,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "Bitwise or."]
+        or_u32,
+        BinOp::Or,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "Bitwise xor."]
+        xor_u32,
+        BinOp::Xor,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "Left shift (count mod 32)."]
+        shl_u32,
+        BinOp::Shl,
+        Type::U32
+    );
+    bin_method!(
+        #[doc = "Logical right shift (count mod 32)."]
+        shr_u32,
+        BinOp::Shr,
+        Type::U32
+    );
 
-    bin_method!(#[doc = "`i32` wrapping addition."] add_i32, BinOp::Add, Type::I32);
-    bin_method!(#[doc = "`i32` wrapping subtraction."] sub_i32, BinOp::Sub, Type::I32);
-    bin_method!(#[doc = "`i32` wrapping multiplication."] mul_i32, BinOp::Mul, Type::I32);
-    bin_method!(#[doc = "`i32` division (runtime error on zero divisor)."] div_i32, BinOp::Div, Type::I32);
-    bin_method!(#[doc = "`i32` remainder (runtime error on zero divisor)."] rem_i32, BinOp::Rem, Type::I32);
-    bin_method!(#[doc = "`i32` minimum."] min_i32, BinOp::Min, Type::I32);
-    bin_method!(#[doc = "`i32` maximum."] max_i32, BinOp::Max, Type::I32);
-    bin_method!(#[doc = "`i32` arithmetic right shift."] shr_i32, BinOp::Shr, Type::I32);
+    bin_method!(
+        #[doc = "`i32` wrapping addition."]
+        add_i32,
+        BinOp::Add,
+        Type::I32
+    );
+    bin_method!(
+        #[doc = "`i32` wrapping subtraction."]
+        sub_i32,
+        BinOp::Sub,
+        Type::I32
+    );
+    bin_method!(
+        #[doc = "`i32` wrapping multiplication."]
+        mul_i32,
+        BinOp::Mul,
+        Type::I32
+    );
+    bin_method!(
+        #[doc = "`i32` division (runtime error on zero divisor)."]
+        div_i32,
+        BinOp::Div,
+        Type::I32
+    );
+    bin_method!(
+        #[doc = "`i32` remainder (runtime error on zero divisor)."]
+        rem_i32,
+        BinOp::Rem,
+        Type::I32
+    );
+    bin_method!(
+        #[doc = "`i32` minimum."]
+        min_i32,
+        BinOp::Min,
+        Type::I32
+    );
+    bin_method!(
+        #[doc = "`i32` maximum."]
+        max_i32,
+        BinOp::Max,
+        Type::I32
+    );
+    bin_method!(
+        #[doc = "`i32` arithmetic right shift."]
+        shr_i32,
+        BinOp::Shr,
+        Type::I32
+    );
 
-    bin_method!(#[doc = "`f32` addition."] add_f32, BinOp::Add, Type::F32);
-    bin_method!(#[doc = "`f32` subtraction."] sub_f32, BinOp::Sub, Type::F32);
-    bin_method!(#[doc = "`f32` multiplication."] mul_f32, BinOp::Mul, Type::F32);
-    bin_method!(#[doc = "`f32` division (IEEE semantics)."] div_f32, BinOp::Div, Type::F32);
-    bin_method!(#[doc = "`f32` minimum."] min_f32, BinOp::Min, Type::F32);
-    bin_method!(#[doc = "`f32` maximum."] max_f32, BinOp::Max, Type::F32);
+    bin_method!(
+        #[doc = "`f32` addition."]
+        add_f32,
+        BinOp::Add,
+        Type::F32
+    );
+    bin_method!(
+        #[doc = "`f32` subtraction."]
+        sub_f32,
+        BinOp::Sub,
+        Type::F32
+    );
+    bin_method!(
+        #[doc = "`f32` multiplication."]
+        mul_f32,
+        BinOp::Mul,
+        Type::F32
+    );
+    bin_method!(
+        #[doc = "`f32` division (IEEE semantics)."]
+        div_f32,
+        BinOp::Div,
+        Type::F32
+    );
+    bin_method!(
+        #[doc = "`f32` minimum."]
+        min_f32,
+        BinOp::Min,
+        Type::F32
+    );
+    bin_method!(
+        #[doc = "`f32` maximum."]
+        max_f32,
+        BinOp::Max,
+        Type::F32
+    );
 
-    bin_method!(#[doc = "Predicate logical and."] and_pred, BinOp::And, Type::Pred);
-    bin_method!(#[doc = "Predicate logical or."] or_pred, BinOp::Or, Type::Pred);
+    bin_method!(
+        #[doc = "Predicate logical and."]
+        and_pred,
+        BinOp::And,
+        Type::Pred
+    );
+    bin_method!(
+        #[doc = "Predicate logical or."]
+        or_pred,
+        BinOp::Or,
+        Type::Pred
+    );
 
-    un_method!(#[doc = "`i32` negation."] neg_i32, UnOp::Neg, Type::I32);
-    un_method!(#[doc = "`f32` negation."] neg_f32, UnOp::Neg, Type::F32);
-    un_method!(#[doc = "`i32` absolute value."] abs_i32, UnOp::Abs, Type::I32);
-    un_method!(#[doc = "`f32` absolute value."] abs_f32, UnOp::Abs, Type::F32);
-    un_method!(#[doc = "Bitwise not."] not_u32, UnOp::Not, Type::U32);
-    un_method!(#[doc = "Predicate logical not."] not_pred, UnOp::Not, Type::Pred);
-    un_method!(#[doc = "Square root (SFU)."] sqrt_f32, UnOp::Sqrt, Type::F32);
-    un_method!(#[doc = "Reciprocal square root (SFU)."] rsqrt_f32, UnOp::Rsqrt, Type::F32);
-    un_method!(#[doc = "Base-2 exponential (SFU)."] exp2_f32, UnOp::Exp2, Type::F32);
-    un_method!(#[doc = "Base-2 logarithm (SFU)."] log2_f32, UnOp::Log2, Type::F32);
-    un_method!(#[doc = "Sine (SFU)."] sin_f32, UnOp::Sin, Type::F32);
-    un_method!(#[doc = "Cosine (SFU)."] cos_f32, UnOp::Cos, Type::F32);
-    un_method!(#[doc = "Reciprocal (SFU)."] recip_f32, UnOp::Recip, Type::F32);
+    un_method!(
+        #[doc = "`i32` negation."]
+        neg_i32,
+        UnOp::Neg,
+        Type::I32
+    );
+    un_method!(
+        #[doc = "`f32` negation."]
+        neg_f32,
+        UnOp::Neg,
+        Type::F32
+    );
+    un_method!(
+        #[doc = "`i32` absolute value."]
+        abs_i32,
+        UnOp::Abs,
+        Type::I32
+    );
+    un_method!(
+        #[doc = "`f32` absolute value."]
+        abs_f32,
+        UnOp::Abs,
+        Type::F32
+    );
+    un_method!(
+        #[doc = "Bitwise not."]
+        not_u32,
+        UnOp::Not,
+        Type::U32
+    );
+    un_method!(
+        #[doc = "Predicate logical not."]
+        not_pred,
+        UnOp::Not,
+        Type::Pred
+    );
+    un_method!(
+        #[doc = "Square root (SFU)."]
+        sqrt_f32,
+        UnOp::Sqrt,
+        Type::F32
+    );
+    un_method!(
+        #[doc = "Reciprocal square root (SFU)."]
+        rsqrt_f32,
+        UnOp::Rsqrt,
+        Type::F32
+    );
+    un_method!(
+        #[doc = "Base-2 exponential (SFU)."]
+        exp2_f32,
+        UnOp::Exp2,
+        Type::F32
+    );
+    un_method!(
+        #[doc = "Base-2 logarithm (SFU)."]
+        log2_f32,
+        UnOp::Log2,
+        Type::F32
+    );
+    un_method!(
+        #[doc = "Sine (SFU)."]
+        sin_f32,
+        UnOp::Sin,
+        Type::F32
+    );
+    un_method!(
+        #[doc = "Cosine (SFU)."]
+        cos_f32,
+        UnOp::Cos,
+        Type::F32
+    );
+    un_method!(
+        #[doc = "Reciprocal (SFU)."]
+        recip_f32,
+        UnOp::Recip,
+        Type::F32
+    );
 
     /// `u32` fused multiply-add: `a * b + c`.
     pub fn mad_u32(
@@ -347,12 +552,36 @@ impl KernelBuilder {
 
     // --- comparisons ----------------------------------------------------------
 
-    cmp_method!(#[doc = "`a == b` (any numeric type)."] eq_u32, CmpOp::Eq);
-    cmp_method!(#[doc = "`a != b` (any numeric type)."] ne_u32, CmpOp::Ne);
-    cmp_method!(#[doc = "`a < b`."] lt_u32, CmpOp::Lt);
-    cmp_method!(#[doc = "`a <= b`."] le_u32, CmpOp::Le);
-    cmp_method!(#[doc = "`a > b`."] gt_u32, CmpOp::Gt);
-    cmp_method!(#[doc = "`a >= b`."] ge_u32, CmpOp::Ge);
+    cmp_method!(
+        #[doc = "`a == b` (any numeric type)."]
+        eq_u32,
+        CmpOp::Eq
+    );
+    cmp_method!(
+        #[doc = "`a != b` (any numeric type)."]
+        ne_u32,
+        CmpOp::Ne
+    );
+    cmp_method!(
+        #[doc = "`a < b`."]
+        lt_u32,
+        CmpOp::Lt
+    );
+    cmp_method!(
+        #[doc = "`a <= b`."]
+        le_u32,
+        CmpOp::Le
+    );
+    cmp_method!(
+        #[doc = "`a > b`."]
+        gt_u32,
+        CmpOp::Gt
+    );
+    cmp_method!(
+        #[doc = "`a >= b`."]
+        ge_u32,
+        CmpOp::Ge
+    );
 
     /// `a < b` on `f32` operands (alias of the generic comparison; the
     /// comparison opcode is untyped, the operands decide).
@@ -477,24 +706,102 @@ impl KernelBuilder {
         }
     }
 
-    ld_method!(#[doc = "Load `f32` from global memory."] ld_global_f32, Space::Global, Type::F32);
-    ld_method!(#[doc = "Load `u32` from global memory."] ld_global_u32, Space::Global, Type::U32);
-    ld_method!(#[doc = "Load `i32` from global memory."] ld_global_i32, Space::Global, Type::I32);
-    ld_method!(#[doc = "Load `f32` from shared memory."] ld_shared_f32, Space::Shared, Type::F32);
-    ld_method!(#[doc = "Load `u32` from shared memory."] ld_shared_u32, Space::Shared, Type::U32);
-    ld_method!(#[doc = "Load `i32` from shared memory."] ld_shared_i32, Space::Shared, Type::I32);
-    ld_method!(#[doc = "Load `f32` from per-thread local memory."] ld_local_f32, Space::Local, Type::F32);
-    ld_method!(#[doc = "Load `u32` from per-thread local memory."] ld_local_u32, Space::Local, Type::U32);
-    ld_method!(#[doc = "Load `f32` from constant memory."] ld_const_f32, Space::Const, Type::F32);
-    ld_method!(#[doc = "Load `u32` from constant memory."] ld_const_u32, Space::Const, Type::U32);
+    ld_method!(
+        #[doc = "Load `f32` from global memory."]
+        ld_global_f32,
+        Space::Global,
+        Type::F32
+    );
+    ld_method!(
+        #[doc = "Load `u32` from global memory."]
+        ld_global_u32,
+        Space::Global,
+        Type::U32
+    );
+    ld_method!(
+        #[doc = "Load `i32` from global memory."]
+        ld_global_i32,
+        Space::Global,
+        Type::I32
+    );
+    ld_method!(
+        #[doc = "Load `f32` from shared memory."]
+        ld_shared_f32,
+        Space::Shared,
+        Type::F32
+    );
+    ld_method!(
+        #[doc = "Load `u32` from shared memory."]
+        ld_shared_u32,
+        Space::Shared,
+        Type::U32
+    );
+    ld_method!(
+        #[doc = "Load `i32` from shared memory."]
+        ld_shared_i32,
+        Space::Shared,
+        Type::I32
+    );
+    ld_method!(
+        #[doc = "Load `f32` from per-thread local memory."]
+        ld_local_f32,
+        Space::Local,
+        Type::F32
+    );
+    ld_method!(
+        #[doc = "Load `u32` from per-thread local memory."]
+        ld_local_u32,
+        Space::Local,
+        Type::U32
+    );
+    ld_method!(
+        #[doc = "Load `f32` from constant memory."]
+        ld_const_f32,
+        Space::Const,
+        Type::F32
+    );
+    ld_method!(
+        #[doc = "Load `u32` from constant memory."]
+        ld_const_u32,
+        Space::Const,
+        Type::U32
+    );
 
-    st_method!(#[doc = "Store to global memory."] st_global_f32, Space::Global);
-    st_method!(#[doc = "Store to global memory."] st_global_u32, Space::Global);
-    st_method!(#[doc = "Store to global memory."] st_global_i32, Space::Global);
-    st_method!(#[doc = "Store to shared memory."] st_shared_f32, Space::Shared);
-    st_method!(#[doc = "Store to shared memory."] st_shared_u32, Space::Shared);
-    st_method!(#[doc = "Store to per-thread local memory."] st_local_f32, Space::Local);
-    st_method!(#[doc = "Store to per-thread local memory."] st_local_u32, Space::Local);
+    st_method!(
+        #[doc = "Store to global memory."]
+        st_global_f32,
+        Space::Global
+    );
+    st_method!(
+        #[doc = "Store to global memory."]
+        st_global_u32,
+        Space::Global
+    );
+    st_method!(
+        #[doc = "Store to global memory."]
+        st_global_i32,
+        Space::Global
+    );
+    st_method!(
+        #[doc = "Store to shared memory."]
+        st_shared_f32,
+        Space::Shared
+    );
+    st_method!(
+        #[doc = "Store to shared memory."]
+        st_shared_u32,
+        Space::Shared
+    );
+    st_method!(
+        #[doc = "Store to per-thread local memory."]
+        st_local_f32,
+        Space::Local
+    );
+    st_method!(
+        #[doc = "Store to per-thread local memory."]
+        st_local_u32,
+        Space::Local
+    );
 
     fn atom(
         &mut self,
@@ -589,10 +896,7 @@ impl KernelBuilder {
     ///
     /// Panics if the label was already placed.
     pub fn place(&mut self, label: Label) {
-        assert!(
-            self.labels[label.0].is_none(),
-            "label placed twice"
-        );
+        assert!(self.labels[label.0].is_none(), "label placed twice");
         self.labels[label.0] = Some(self.instrs.len());
     }
 
@@ -802,7 +1106,13 @@ mod tests {
         assert_eq!(k.instrs().len(), 5);
         assert!(matches!(k.instrs()[1], Instr::Bra { target: 4, .. }));
         assert!(
-            matches!(k.instrs()[3], Instr::Bra { target: 5, cond: None }),
+            matches!(
+                k.instrs()[3],
+                Instr::Bra {
+                    target: 5,
+                    cond: None
+                }
+            ),
             "{:?}",
             k.instrs()[3]
         );
@@ -893,9 +1203,6 @@ mod tests {
         let v = b.ld_global_f32(addr);
         let _ = v;
         let k = b.build().unwrap();
-        assert!(k
-            .instrs()
-            .iter()
-            .any(|i| matches!(i, Instr::Mad { .. })));
+        assert!(k.instrs().iter().any(|i| matches!(i, Instr::Mad { .. })));
     }
 }

@@ -51,14 +51,12 @@ impl Cfg {
             match ins {
                 Instr::Bra { target, .. } => {
                     leader[*target] = true;
-                    if pc + 1 <= n {
+                    if pc < n {
                         leader[pc + 1] = true;
                     }
                 }
-                Instr::Ret => {
-                    if pc + 1 <= n {
-                        leader[pc + 1] = true;
-                    }
+                Instr::Ret if pc < n => {
+                    leader[pc + 1] = true;
                 }
                 _ => {}
             }
@@ -67,8 +65,8 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of = vec![0usize; n];
         let mut start = 0;
-        for pc in 0..n {
-            if pc > start && leader[pc] {
+        for (pc, &is_leader) in leader.iter().enumerate().take(n) {
+            if pc > start && is_leader {
                 blocks.push(Block {
                     start,
                     end: pc,
@@ -85,9 +83,7 @@ impl Cfg {
             });
         }
         for (bi, b) in blocks.iter().enumerate() {
-            for pc in b.start..b.end {
-                block_of[pc] = bi;
-            }
+            block_of[b.start..b.end].fill(bi);
         }
 
         // Successors.
@@ -98,24 +94,28 @@ impl Cfg {
                 block_of[pc]
             }
         };
-        let nb = blocks.len();
-        for bi in 0..nb {
-            let last = blocks[bi].end - 1;
-            let succs: Vec<usize> = match &instrs[last] {
-                Instr::Bra { target, cond } => {
-                    let mut s = vec![block_index_of_pc(*target)];
-                    if cond.is_some() {
-                        let ft = block_index_of_pc(last + 1);
-                        if !s.contains(&ft) {
-                            s.push(ft);
+        let succs_list: Vec<Vec<usize>> = blocks
+            .iter()
+            .map(|b| {
+                let last = b.end - 1;
+                match &instrs[last] {
+                    Instr::Bra { target, cond } => {
+                        let mut s = vec![block_index_of_pc(*target)];
+                        if cond.is_some() {
+                            let ft = block_index_of_pc(last + 1);
+                            if !s.contains(&ft) {
+                                s.push(ft);
+                            }
                         }
+                        s
                     }
-                    s
+                    Instr::Ret => vec![EXIT],
+                    _ => vec![block_index_of_pc(last + 1)],
                 }
-                Instr::Ret => vec![EXIT],
-                _ => vec![block_index_of_pc(last + 1)],
-            };
-            blocks[bi].succs = succs;
+            })
+            .collect();
+        for (b, s) in blocks.iter_mut().zip(succs_list) {
+            b.succs = s;
         }
 
         Cfg { blocks, block_of }
@@ -229,9 +229,7 @@ impl Cfg {
                     pc: self.blocks[bi].start,
                 });
             }
-            let mut strict: Vec<usize> = (0..nb)
-                .filter(|&o| o != bi && pdom[bi][o])
-                .collect();
+            let mut strict: Vec<usize> = (0..nb).filter(|&o| o != bi && pdom[bi][o]).collect();
             if strict.is_empty() {
                 ipdom[bi] = EXIT;
                 continue;
@@ -241,9 +239,7 @@ impl Cfg {
             strict.sort_unstable();
             let mut best = None;
             for &cand in &strict {
-                let dominates_all = strict
-                    .iter()
-                    .all(|&o| o == cand || pdom[cand][o]);
+                let dominates_all = strict.iter().all(|&o| o == cand || pdom[cand][o]);
                 if dominates_all {
                     best = Some(cand);
                     break;
@@ -261,10 +257,7 @@ impl Cfg {
     /// # Errors
     ///
     /// Propagates [`Cfg::immediate_postdoms`] failures.
-    pub fn reconvergence_table(
-        &self,
-        instrs: &[Instr],
-    ) -> Result<Vec<Option<usize>>, SimtError> {
+    pub fn reconvergence_table(&self, instrs: &[Instr]) -> Result<Vec<Option<usize>>, SimtError> {
         let ipdom = self.immediate_postdoms()?;
         let n = instrs.len();
         let mut table = vec![None; n];

@@ -6,9 +6,7 @@
 
 use std::fmt::Write as _;
 
-use crate::instr::{
-    Addr, AtomOp, BinOp, CmpOp, Instr, Operand, SpecialReg, UnOp, Value,
-};
+use crate::instr::{Addr, AtomOp, BinOp, CmpOp, Instr, Operand, SpecialReg, UnOp, Value};
 use crate::kernel::Kernel;
 
 fn fmt_value(v: &Value) -> String {
@@ -144,7 +142,12 @@ pub fn disassemble_instr(ins: &Instr) -> String {
             format!("ld.{} r{}, {}", space.name(), dst.0, fmt_addr(addr))
         }
         Instr::St { space, addr, src } => {
-            format!("st.{} {}, {}", space.name(), fmt_addr(addr), fmt_operand(src))
+            format!(
+                "st.{} {}, {}",
+                space.name(),
+                fmt_addr(addr),
+                fmt_operand(src)
+            )
         }
         Instr::Atom {
             op,
@@ -263,7 +266,14 @@ mod tests {
         b.ret();
         let k = b.build().expect("valid");
         let d = disassemble(&k);
-        for needle in ["min", "selp", "atom.cas.global", "bar.sync", "ret", "[r0+8]"] {
+        for needle in [
+            "min",
+            "selp",
+            "atom.cas.global",
+            "bar.sync",
+            "ret",
+            "[r0+8]",
+        ] {
             assert!(d.contains(needle), "missing `{needle}` in:\n{d}");
         }
     }

@@ -91,8 +91,15 @@ impl fmt::Display for SimtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimtError::UndefinedLabel { label } => write!(f, "undefined label l{label}"),
-            SimtError::TypeMismatch { pc, expected, found } => {
-                write!(f, "type mismatch at pc {pc}: expected {expected}, found {found}")
+            SimtError::TypeMismatch {
+                pc,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch at pc {pc}: expected {expected}, found {found}"
+                )
             }
             SimtError::BadRegister { pc, reg } => {
                 write!(f, "register r{reg} out of range at pc {pc}")
@@ -108,7 +115,12 @@ impl fmt::Display for SimtError {
                 write!(f, "block size {threads} outside 1..=1024")
             }
             SimtError::BadGridSize => write!(f, "grid dimensions must be non-zero"),
-            SimtError::OutOfBounds { pc, space, addr, size } => write!(
+            SimtError::OutOfBounds {
+                pc,
+                space,
+                addr,
+                size,
+            } => write!(
                 f,
                 "out-of-bounds {space} access at pc {pc}: address {addr} in space of {size} bytes"
             ),

@@ -100,7 +100,7 @@ impl Device {
 
     /// Allocates `len` zeroed bytes of global memory (256-byte aligned).
     pub fn alloc_bytes(&mut self, len: usize) -> BufferHandle {
-        let base = (self.global.len() + ALLOC_ALIGN - 1) / ALLOC_ALIGN * ALLOC_ALIGN;
+        let base = self.global.len().div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
         self.global.resize(base + len, 0);
         BufferHandle {
             addr: base as u32,
@@ -141,7 +141,7 @@ impl Device {
 
     /// Allocates and initializes an `f32` buffer in constant memory.
     pub fn alloc_const_f32(&mut self, data: &[f32]) -> BufferHandle {
-        let base = (self.const_mem.len() + ALLOC_ALIGN - 1) / ALLOC_ALIGN * ALLOC_ALIGN;
+        let base = self.const_mem.len().div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
         self.const_mem.resize(base + data.len() * 4, 0);
         for (i, v) in data.iter().enumerate() {
             self.const_mem[base + i * 4..base + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
@@ -252,6 +252,50 @@ impl Device {
         config.validate()?;
         kernel.check_args(args)?;
         observer.on_launch(kernel, config);
+        let stats =
+            self.run_block_range(kernel, config, args, 0, config.blocks() as u32, observer)?;
+        observer.on_launch_end(&stats);
+        Ok(stats)
+    }
+
+    /// Executes blocks `[first, last)` of a launch, streaming events to
+    /// `observer`. This is the block-sharding primitive of the parallel
+    /// characterization runtime: [`Device::fork`]ed devices each run a
+    /// disjoint block range of one launch, and the shard observers are
+    /// merged back in ascending block order.
+    ///
+    /// Unlike [`Device::launch_observed`] this emits no
+    /// `on_launch`/`on_launch_end` events — the caller owns the launch
+    /// boundary — and the returned stats count only the executed range
+    /// (`stats.blocks == last - first`). The instruction budget applies
+    /// to the range, i.e. per shard when sharded.
+    ///
+    /// Sharded use is only valid for kernels meeting the block-sharding
+    /// contract ([`Kernel::is_block_shardable`]); otherwise run the whole
+    /// launch serially.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Device::launch_observed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first > last` or `last` exceeds the grid's block count.
+    pub fn run_block_range(
+        &mut self,
+        kernel: &Kernel,
+        config: &LaunchConfig,
+        args: &[Value],
+        first: u32,
+        last: u32,
+        observer: &mut dyn TraceObserver,
+    ) -> Result<LaunchStats, SimtError> {
+        config.validate()?;
+        kernel.check_args(args)?;
+        assert!(
+            first <= last && last as usize <= config.blocks(),
+            "block range {first}..{last} out of grid bounds"
+        );
 
         // Static per-pc data reused across all warps.
         let classes: Vec<InstrClass> = kernel
@@ -263,7 +307,7 @@ impl Device {
         let dsts: Vec<Option<Reg>> = kernel.instrs().iter().map(|i| i.dst_reg()).collect();
 
         let mut stats = LaunchStats {
-            blocks: config.blocks() as u64,
+            blocks: (last - first) as u64,
             ..LaunchStats::default()
         };
 
@@ -280,11 +324,59 @@ impl Device {
             stats: &mut stats,
         };
 
-        for block in 0..config.blocks() as u32 {
+        for block in first..last {
             ctx.run_block(block, observer)?;
         }
-        observer.on_launch_end(&stats);
         Ok(stats)
+    }
+
+    /// Clones the device — global and constant memory plus limits — so a
+    /// shard can execute a block range against its own copy of global
+    /// memory while other shards run concurrently.
+    pub fn fork(&self) -> Device {
+        Device {
+            global: self.global.clone(),
+            const_mem: self.const_mem.clone(),
+            limits: self.limits,
+        }
+    }
+
+    /// The current global-memory image (e.g. to snapshot before forking).
+    pub fn global_image(&self) -> &[u8] {
+        &self.global
+    }
+
+    /// Copies every byte where `shard`'s global memory differs from
+    /// `base` (the pre-launch snapshot all forks started from) into this
+    /// device. Applying shards in ascending block order reproduces the
+    /// serial memory image for kernels meeting the block-sharding
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three memory images have different lengths (the
+    /// shard must have been forked from this device after `base` was
+    /// snapshotted, and kernels cannot allocate).
+    pub fn absorb_writes(&mut self, base: &[u8], shard: &Device) {
+        assert_eq!(self.global.len(), shard.global.len());
+        assert_eq!(self.global.len(), base.len());
+        // Chunked comparison: slice equality is a fast memcmp, and almost
+        // all chunks are untouched.
+        const CHUNK: usize = 64;
+        let n = self.global.len();
+        let mut i = 0;
+        while i < n {
+            let end = (i + CHUNK).min(n);
+            if shard.global[i..end] != base[i..end] {
+                let dst = &mut self.global[i..end];
+                for ((d, &s), &b) in dst.iter_mut().zip(&shard.global[i..end]).zip(&base[i..end]) {
+                    if s != b {
+                        *d = s;
+                    }
+                }
+            }
+            i = end;
+        }
     }
 }
 
@@ -366,12 +458,12 @@ impl LaunchCtx<'_> {
 
         loop {
             let mut progressed = false;
-            for wi in 0..warps.len() {
-                if warps[wi].done() || warps[wi].at_barrier {
+            for warp in &mut warps {
+                if warp.done() || warp.at_barrier {
                     continue;
                 }
                 progressed = true;
-                self.run_warp(block, &mut warps[wi], &mut shared, &mut local, observer)?;
+                self.run_warp(block, warp, &mut shared, &mut local, observer)?;
             }
             if warps.iter().all(Warp::done) {
                 break;
@@ -724,7 +816,6 @@ impl LaunchCtx<'_> {
             }
         }
     }
-
 }
 
 fn lanes(mask: u32) -> impl Iterator<Item = usize> {

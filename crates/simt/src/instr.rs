@@ -260,7 +260,13 @@ impl UnOp {
     pub fn is_sfu(&self) -> bool {
         matches!(
             self,
-            UnOp::Sqrt | UnOp::Rsqrt | UnOp::Exp2 | UnOp::Log2 | UnOp::Sin | UnOp::Cos | UnOp::Recip
+            UnOp::Sqrt
+                | UnOp::Rsqrt
+                | UnOp::Exp2
+                | UnOp::Log2
+                | UnOp::Sin
+                | UnOp::Cos
+                | UnOp::Recip
         )
     }
 }

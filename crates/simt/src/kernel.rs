@@ -111,6 +111,36 @@ impl Kernel {
         self.reconv.get(pc).copied().flatten()
     }
 
+    /// Whether the kernel contains any global-memory atomic.
+    pub fn has_global_atomics(&self) -> bool {
+        self.instrs.iter().any(|i| {
+            matches!(
+                i,
+                Instr::Atom {
+                    space: Space::Global,
+                    ..
+                }
+            )
+        })
+    }
+
+    /// Whether this kernel's blocks may be executed as disjoint block
+    /// ranges on forked devices (see `Device::run_block_range`) with
+    /// results identical to serial execution.
+    ///
+    /// The static contract, checked from the IR: no global-memory atomics.
+    /// Shared-memory atomics and barriers are block-local and always safe.
+    /// Plain global loads/stores are permitted because the CUDA execution
+    /// model the workloads are written against already forbids depending
+    /// on cross-block store→load ordering within a launch (blocks may run
+    /// in any order, even sequentially); kernels that break that rule are
+    /// not shardable and must go through the serial path. The determinism
+    /// test suite cross-checks every registered workload against this
+    /// contract.
+    pub fn is_block_shardable(&self) -> bool {
+        !self.has_global_atomics()
+    }
+
     /// Checks launch arguments against the parameter declarations.
     ///
     /// # Errors
@@ -172,14 +202,15 @@ impl Validator<'_> {
             Operand::Reg(r) => self.reg_ty(pc, *r),
             Operand::Imm(v) => Ok(v.ty()),
             Operand::Sreg(_) => Ok(Type::U32),
-            Operand::Param(i) => self
-                .params
-                .get(*i as usize)
-                .map(|p| p.ty)
-                .ok_or(SimtError::BadParam {
-                    pc,
-                    param: *i as usize,
-                }),
+            Operand::Param(i) => {
+                self.params
+                    .get(*i as usize)
+                    .map(|p| p.ty)
+                    .ok_or(SimtError::BadParam {
+                        pc,
+                        param: *i as usize,
+                    })
+            }
         }
     }
 

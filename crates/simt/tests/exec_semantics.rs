@@ -47,8 +47,8 @@ fn vec_add_exact() {
     )
     .unwrap();
     let out = dev.read_f32(&hout);
-    for i in 0..n {
-        assert_eq!(out[i], 3.0 * i as f32);
+    for (i, &v) in out.iter().enumerate() {
+        assert_eq!(v, 3.0 * i as f32);
     }
 }
 
@@ -158,7 +158,7 @@ fn nested_divergence() {
     dev.launch(&k, &LaunchConfig::new(1, 32), &[hout.arg()])
         .unwrap();
     let out = dev.read_u32(&hout);
-    for i in 0..32usize {
+    for (i, &v) in out.iter().enumerate() {
         let expect = if i % 2 == 0 {
             if i % 4 == 0 {
                 4
@@ -168,7 +168,7 @@ fn nested_divergence() {
         } else {
             1
         };
-        assert_eq!(out[i], expect, "thread {i}");
+        assert_eq!(v, expect, "thread {i}");
     }
 }
 
@@ -380,8 +380,8 @@ fn const_memory_broadcast() {
     dev.launch(&k, &LaunchConfig::new(1, 32), &[htab.arg(), hout.arg()])
         .unwrap();
     let out = dev.read_f32(&hout);
-    for i in 0..32usize {
-        assert_eq!(out[i], 1.5 + (i % 4) as f32);
+    for (i, &v) in out.iter().enumerate() {
+        assert_eq!(v, 1.5 + (i % 4) as f32);
     }
 }
 
@@ -403,8 +403,8 @@ fn ret_in_divergent_flow() {
     dev.launch(&k, &LaunchConfig::new(1, 64), &[hout.arg()])
         .unwrap();
     let out = dev.read_u32(&hout);
-    for i in 0..64usize {
-        assert_eq!(out[i], if i % 2 == 0 { 7 } else { 0 }, "thread {i}");
+    for (i, &v) in out.iter().enumerate() {
+        assert_eq!(v, if i % 2 == 0 { 7 } else { 0 }, "thread {i}");
     }
 }
 
@@ -537,7 +537,10 @@ fn trace_observes_divergence_and_activity() {
 
     assert_eq!(rec.stats, Some(stats));
     assert_eq!(stats.warp_instrs, rec.warp_instrs);
-    assert!(rec.active_lanes < rec.warp_instrs * 32, "divergence visible");
+    assert!(
+        rec.active_lanes < rec.warp_instrs * 32,
+        "divergence visible"
+    );
 }
 
 #[test]
@@ -614,8 +617,8 @@ fn sfu_and_float_ops() {
     dev.launch(&k, &LaunchConfig::new(1, 32), &[hout.arg()])
         .unwrap();
     let out = dev.read_f32(&hout);
-    for i in 0..32usize {
-        assert!((out[i] - (i as f32 + 1.0)).abs() < 1e-4, "thread {i}: {}", out[i]);
+    for (i, &v) in out.iter().enumerate() {
+        assert!((v - (i as f32 + 1.0)).abs() < 1e-4, "thread {i}: {v}");
     }
 }
 

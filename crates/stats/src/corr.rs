@@ -26,7 +26,11 @@ pub fn correlation_matrix(m: &Matrix) -> Result<Matrix, StatsError> {
     for i in 0..n {
         for j in (i + 1)..n {
             let denom = (cov.get(i, i) * cov.get(j, j)).sqrt();
-            let r = if denom > 0.0 { cov.get(i, j) / denom } else { 0.0 };
+            let r = if denom > 0.0 {
+                cov.get(i, j) / denom
+            } else {
+                0.0
+            };
             corr.set(i, j, r);
             corr.set(j, i, r);
         }
@@ -134,7 +138,10 @@ mod tests {
         assert_eq!(total, 4);
         let g0 = groups.iter().find(|g| g.contains(&0)).unwrap();
         assert!(g0.contains(&1), "0 and 1 should group: {groups:?}");
-        assert!(g0.contains(&3), "anti-correlation groups by |r|: {groups:?}");
+        assert!(
+            g0.contains(&3),
+            "anti-correlation groups by |r|: {groups:?}"
+        );
         assert!(!g0.contains(&2));
     }
 

@@ -156,17 +156,21 @@ pub fn hierarchical(data: &Matrix, linkage: Linkage) -> Result<Dendrogram, Stats
     let mut active: Vec<(usize, usize)> = (0..n).map(|i| (i, 1)).collect();
     // Distance matrix between active clusters, indexed by position in `active`.
     let mut dist: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| euclidean(data.row(i), data.row(j))).collect())
+        .map(|i| {
+            (0..n)
+                .map(|j| euclidean(data.row(i), data.row(j)))
+                .collect()
+        })
         .collect();
 
     let mut merges = Vec::with_capacity(n.saturating_sub(1));
     while active.len() > 1 {
         // Find the closest pair (deterministic tie-break on indices).
         let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
-        for i in 0..active.len() {
-            for j in (i + 1)..active.len() {
-                if dist[i][j] < best {
-                    best = dist[i][j];
+        for (i, row) in dist.iter().enumerate().take(active.len()) {
+            for (j, &d) in row.iter().enumerate().take(active.len()).skip(i + 1) {
+                if d < best {
+                    best = d;
                     bi = i;
                     bj = j;
                 }
@@ -185,19 +189,20 @@ pub fn hierarchical(data: &Matrix, linkage: Linkage) -> Result<Dendrogram, Stats
 
         // Lance–Williams distance update from the merged cluster to others.
         let mut new_row = Vec::with_capacity(active.len());
-        for k in 0..active.len() {
+        for (k, (&dak, &dbk)) in dist[bi]
+            .iter()
+            .zip(&dist[bj])
+            .enumerate()
+            .take(active.len())
+        {
             if k == bi || k == bj {
                 new_row.push(0.0);
                 continue;
             }
-            let dak = dist[bi][k];
-            let dbk = dist[bj][k];
             let d = match linkage {
                 Linkage::Single => dak.min(dbk),
                 Linkage::Complete => dak.max(dbk),
-                Linkage::Average => {
-                    (size_a as f64 * dak + size_b as f64 * dbk) / new_size as f64
-                }
+                Linkage::Average => (size_a as f64 * dak + size_b as f64 * dbk) / new_size as f64,
             };
             new_row.push(d);
         }

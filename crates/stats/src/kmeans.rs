@@ -34,7 +34,7 @@ impl KMeans {
         for (i, row) in data.iter_rows().enumerate() {
             let c = self.labels[i];
             let d = sq_euclidean(row, self.centroids.row(c));
-            if best[c].map_or(true, |(_, bd)| d < bd) {
+            if best[c].is_none_or(|(_, bd)| d < bd) {
                 best[c] = Some((i, d));
             }
         }
@@ -115,10 +115,10 @@ pub fn kmeans(data: &Matrix, k: usize, seed: u64) -> Result<KMeans, StatsError> 
         for c in 0..dims {
             centroids.set(ci, c, data.get(pick, c));
         }
-        for i in 0..n {
+        for (i, slot) in min_d2.iter_mut().enumerate() {
             let d2 = sq_euclidean(data.row(i), centroids.row(ci));
-            if d2 < min_d2[i] {
-                min_d2[i] = d2;
+            if d2 < *slot {
+                *slot = d2;
             }
         }
     }
@@ -130,7 +130,7 @@ pub fn kmeans(data: &Matrix, k: usize, seed: u64) -> Result<KMeans, StatsError> 
         iterations = iter + 1;
         // Assign.
         let mut changed = false;
-        for i in 0..n {
+        for (i, label) in labels.iter_mut().enumerate() {
             let (mut best_c, mut best_d) = (0usize, f64::INFINITY);
             for c in 0..k {
                 let d = sq_euclidean(data.row(i), centroids.row(c));
@@ -139,8 +139,8 @@ pub fn kmeans(data: &Matrix, k: usize, seed: u64) -> Result<KMeans, StatsError> 
                     best_c = c;
                 }
             }
-            if labels[i] != best_c {
-                labels[i] = best_c;
+            if *label != best_c {
+                *label = best_c;
                 changed = true;
             }
         }
@@ -156,8 +156,8 @@ pub fn kmeans(data: &Matrix, k: usize, seed: u64) -> Result<KMeans, StatsError> 
                 sums.set(labels[i], c, sums.get(labels[i], c) + data.get(i, c));
             }
         }
-        for ci in 0..k {
-            if counts[ci] == 0 {
+        for (ci, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Re-seed an empty cluster at the point farthest from its centroid.
                 let far = (0..n)
                     .max_by(|&a, &b| {
@@ -171,7 +171,7 @@ pub fn kmeans(data: &Matrix, k: usize, seed: u64) -> Result<KMeans, StatsError> 
                 }
             } else {
                 for c in 0..dims {
-                    centroids.set(ci, c, sums.get(ci, c) / counts[ci] as f64);
+                    centroids.set(ci, c, sums.get(ci, c) / count as f64);
                 }
             }
         }
@@ -200,7 +200,7 @@ pub fn kmeans_best_bic(data: &Matrix, max_k: usize, seed: u64) -> Result<KMeans,
     for k in 1..=max_k {
         let run = kmeans(data, k, seed ^ (k as u64).wrapping_mul(0x9E37_79B9))?;
         let bic = run.bic(data);
-        if best.as_ref().map_or(true, |(b, _)| bic > *b) {
+        if best.as_ref().is_none_or(|(b, _)| bic > *b) {
             best = Some((bic, run));
         }
     }

@@ -113,7 +113,10 @@ impl Matrix {
     /// Panics if `r` or `c` is out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -124,7 +127,10 @@ impl Matrix {
     /// Panics if `r` or `c` is out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 

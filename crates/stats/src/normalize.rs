@@ -65,7 +65,11 @@ pub fn minmax(m: &Matrix) -> Matrix {
         let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let span = hi - lo;
         for r in 0..m.rows() {
-            let v = if span > 0.0 { (m.get(r, c) - lo) / span } else { 0.0 };
+            let v = if span > 0.0 {
+                (m.get(r, c) - lo) / span
+            } else {
+                0.0
+            };
             out.set(r, c, v);
         }
     }
@@ -114,8 +118,8 @@ mod tests {
         let m = sample();
         let (z, stats) = zscore(&m);
         let projected = stats.apply(m.row(1));
-        for c in 0..3 {
-            assert!((projected[c] - z.get(1, c)).abs() < 1e-12);
+        for (c, &p) in projected.iter().enumerate().take(3) {
+            assert!((p - z.get(1, c)).abs() < 1e-12);
         }
     }
 

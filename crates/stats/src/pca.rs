@@ -107,8 +107,8 @@ fn sorted_eigen(m: Matrix, v: Matrix) -> Eigen {
             .max_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite"))
             .unwrap_or(1.0);
         let sign = if max < 0.0 { -1.0 } else { 1.0 };
-        for r in 0..n {
-            vectors.set(r, new_col, sign * col[r]);
+        for (r, &v) in col.iter().enumerate() {
+            vectors.set(r, new_col, sign * v);
         }
     }
     Eigen { values, vectors }
@@ -187,13 +187,7 @@ impl Pca {
         if self.total_variance <= 0.0 {
             return 1.0;
         }
-        let kept: f64 = self
-            .eigen
-            .values
-            .iter()
-            .take(k)
-            .map(|v| v.max(0.0))
-            .sum();
+        let kept: f64 = self.eigen.values.iter().take(k).map(|v| v.max(0.0)).sum();
         kept / self.total_variance
     }
 

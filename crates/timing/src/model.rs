@@ -211,10 +211,10 @@ mod tests {
             cache_lines: 0,
             ..GpuConfig::fermi_like()
         };
-        let gain_reuser = estimate_cycles(&reuser, &uncached).total
-            / estimate_cycles(&reuser, &cached).total;
-        let gain_streamer = estimate_cycles(&streamer, &uncached).total
-            / estimate_cycles(&streamer, &cached).total;
+        let gain_reuser =
+            estimate_cycles(&reuser, &uncached).total / estimate_cycles(&reuser, &cached).total;
+        let gain_streamer =
+            estimate_cycles(&streamer, &uncached).total / estimate_cycles(&streamer, &cached).total;
         assert!(gain_reuser > 1.5, "reuser gains from cache: {gain_reuser}");
         assert!(
             (gain_streamer - 1.0).abs() < 0.05,

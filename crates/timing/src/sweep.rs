@@ -81,15 +81,34 @@ pub fn speedups(
 pub fn default_design_space() -> Vec<GpuConfig> {
     let b = GpuConfig::baseline();
     let mut space = Vec::new();
-    let variants: Vec<(&str, Box<dyn Fn(&mut GpuConfig)>)> = vec![
+    type Tweak = Box<dyn Fn(&mut GpuConfig)>;
+    let variants: Vec<(&str, Tweak)> = vec![
         ("2x-sms", Box::new(|c: &mut GpuConfig| c.sm_count *= 2)),
         ("half-sms", Box::new(|c: &mut GpuConfig| c.sm_count /= 2)),
-        ("2x-bandwidth", Box::new(|c: &mut GpuConfig| c.mem_bandwidth *= 2.0)),
-        ("half-latency", Box::new(|c: &mut GpuConfig| c.mem_latency /= 2.0)),
-        ("add-16kb-cache", Box::new(|c: &mut GpuConfig| c.cache_lines = 128)),
-        ("add-64kb-cache", Box::new(|c: &mut GpuConfig| c.cache_lines = 512)),
-        ("2x-occupancy", Box::new(|c: &mut GpuConfig| c.warps_per_sm *= 2)),
-        ("dual-issue", Box::new(|c: &mut GpuConfig| c.issue_per_cycle = 2.0)),
+        (
+            "2x-bandwidth",
+            Box::new(|c: &mut GpuConfig| c.mem_bandwidth *= 2.0),
+        ),
+        (
+            "half-latency",
+            Box::new(|c: &mut GpuConfig| c.mem_latency /= 2.0),
+        ),
+        (
+            "add-16kb-cache",
+            Box::new(|c: &mut GpuConfig| c.cache_lines = 128),
+        ),
+        (
+            "add-64kb-cache",
+            Box::new(|c: &mut GpuConfig| c.cache_lines = 512),
+        ),
+        (
+            "2x-occupancy",
+            Box::new(|c: &mut GpuConfig| c.warps_per_sm *= 2),
+        ),
+        (
+            "dual-issue",
+            Box::new(|c: &mut GpuConfig| c.issue_per_cycle = 2.0),
+        ),
     ];
     for (name, apply) in variants {
         let mut cfg = b.clone();
@@ -127,7 +146,7 @@ mod tests {
     fn baseline_speedup_is_one() {
         let profiles = vec![profile(1_000_000, 1000)];
         let b = GpuConfig::baseline();
-        let sweep = speedups(&profiles, &b, &[b.clone()]);
+        let sweep = speedups(&profiles, &b, std::slice::from_ref(&b));
         assert!((sweep.points[0].speedups[0] - 1.0).abs() < 1e-9);
     }
 

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod registry;
+pub mod rng;
 pub mod workload;
 
 pub mod other;

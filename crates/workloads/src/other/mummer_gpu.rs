@@ -11,13 +11,12 @@
 //! DNA strings; the trie structure, walk loop and access patterns are the
 //! ones that matter for characterization.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_u32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -102,7 +101,7 @@ impl Workload for MummerGpu {
         let ref_len = scale.pick(256, 1024, 4096);
         let n_queries = scale.pick(256, 1024, 8192);
         let query_len = MAX_DEPTH;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let reference: Vec<u8> = (0..ref_len).map(|_| rng.gen_range(0..4u8)).collect();
         let trie = SuffixTrie::build(&reference, MAX_DEPTH);
 

@@ -10,13 +10,12 @@
 //! seeded synthetic term vectors with Zipf-distributed lengths; the
 //! merge-loop control structure and gather pattern are preserved.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -45,14 +44,14 @@ impl SimilarityScore {
 }
 
 /// Generates a sorted sparse term vector with a Zipf-ish length.
-fn gen_doc(rng: &mut StdRng, vocab: u32, max_len: usize) -> (Vec<u32>, Vec<f32>) {
+fn gen_doc(rng: &mut SeededRng, vocab: u32, max_len: usize) -> (Vec<u32>, Vec<f32>) {
     // Zipf-like: length = max_len / rank, rank uniform in 1..=8.
-    let rank = rng.gen_range(1..=8);
+    let rank = rng.gen_range(1usize..=8);
     gen_doc_len(rng, vocab, (max_len / rank).max(2))
 }
 
 /// Generates a sorted sparse term vector of (roughly) an exact length.
-fn gen_doc_len(rng: &mut StdRng, vocab: u32, len: usize) -> (Vec<u32>, Vec<f32>) {
+fn gen_doc_len(rng: &mut SeededRng, vocab: u32, len: usize) -> (Vec<u32>, Vec<f32>) {
     let len = len.max(2);
     let mut terms: Vec<u32> = (0..len).map(|_| rng.gen_range(0..vocab)).collect();
     terms.sort_unstable();
@@ -74,7 +73,7 @@ impl Workload for SimilarityScore {
         let n_docs = scale.pick(256, 1024, 4096);
         let vocab = scale.pick(512, 2048, 8192) as u32;
         let max_len = scale.pick(32, 64, 128);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
 
         // Dense and sparse query documents (lengths forced, not Zipf).
         let (q_long_terms, q_long_weights) = gen_doc_len(&mut rng, vocab, max_len * 4);
@@ -241,7 +240,7 @@ mod tests {
 
     #[test]
     fn gen_doc_is_sorted_unique() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SeededRng::seed_from_u64(0);
         for _ in 0..10 {
             let (t, w) = gen_doc(&mut rng, 100, 32);
             assert_eq!(t.len(), w.len());

@@ -4,13 +4,12 @@
 //! memory), accumulating `q / sqrt(d² + ε)`. Compute-bound with `rsqrt`
 //! SFU work, broadcast constant reads and perfectly coalesced output.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -47,7 +46,7 @@ impl Workload for CoulombicPotential {
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let dim = scale.pick(16, 32, 64) as u32; // lattice dim x dim
         let atoms = scale.pick(16, 64, 128) as u32;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let ax: Vec<f32> = (0..atoms).map(|_| rng.gen_range(0.0..dim as f32)).collect();
         let ay: Vec<f32> = (0..atoms).map(|_| rng.gen_range(0.0..dim as f32)).collect();
         let aq: Vec<f32> = (0..atoms).map(|_| rng.gen_range(-1.0f32..1.0)).collect();

@@ -6,13 +6,12 @@
 //! constant memory and broadcast to the whole warp — compute-bound SFU
 //! work with perfect coalescing.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -55,8 +54,8 @@ impl Workload for MriQ {
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let num_x = scale.pick(128, 512, 2048) as u32;
         let num_k = scale.pick(32, 64, 256) as u32;
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let r = |rng: &mut StdRng| rng.gen_range(-1.0f32..1.0);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
+        let r = |rng: &mut SeededRng| rng.gen_range(-1.0f32..1.0);
         let kx: Vec<f32> = (0..num_k).map(|_| r(&mut rng)).collect();
         let ky: Vec<f32> = (0..num_k).map(|_| r(&mut rng)).collect();
         let kz: Vec<f32> = (0..num_k).map(|_| r(&mut rng)).collect();
@@ -75,8 +74,7 @@ impl Workload for MriQ {
         let mut eqi = vec![0.0f32; num_x as usize];
         for i in 0..num_x as usize {
             for k in 0..num_k as usize {
-                let arg = 2.0 * std::f32::consts::PI
-                    * (kx[k] * x[i] + ky[k] * y[i] + kz[k] * z[i]);
+                let arg = 2.0 * std::f32::consts::PI * (kx[k] * x[i] + ky[k] * y[i] + kz[k] * z[i]);
                 eqr[i] += self.expected_phi[k] * arg.cos();
                 eqi[i] += self.expected_phi[k] * arg.sin();
             }

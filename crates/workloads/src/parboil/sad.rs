@@ -5,13 +5,12 @@
 //! partially coalesced (row-wise neighbouring loads), with boundary guards
 //! that diverge at frame edges.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_u32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -47,6 +46,7 @@ impl Sad {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cpu_sad(cur: &[u32], rf: &[u32], w: i32, h: i32, bx: i32, by: i32, dx: i32, dy: i32) -> u32 {
     let mut acc = 0u32;
     for py in 0..BLOCK_PIX {
@@ -77,7 +77,7 @@ impl Workload for Sad {
         let h = w;
         let bw = w / BLOCK_PIX;
         let bh = h / BLOCK_PIX;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let cur: Vec<u32> = (0..w * h).map(|_| rng.gen_range(0..256)).collect();
         let rf: Vec<u32> = (0..w * h).map(|_| rng.gen_range(0..256)).collect();
 

@@ -4,13 +4,12 @@
 //! row loop and the `x[col]` gathers scatter across memory — the classic
 //! irregular workload.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -44,7 +43,7 @@ impl Workload for Spmv {
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let rows = scale.pick(256, 1024, 4096) as u32;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         // Skewed row lengths: most rows short, a few long.
         let mut row_ptr = vec![0u32];
         let mut cols = Vec::new();

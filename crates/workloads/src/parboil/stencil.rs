@@ -4,13 +4,12 @@
 //! neighbours (mostly coalesced with one-row strides), boundary threads
 //! simply copy — a mild but persistent source of divergence at tile edges.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -62,7 +61,7 @@ impl Workload for Stencil {
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let w = scale.pick(32, 64, 128) as u32;
         let h = w;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let input: Vec<f32> = (0..w * h).map(|_| rng.gen_range(0.0..10.0)).collect();
         let mut cur = input.clone();
         for _ in 0..ITERS {
@@ -72,7 +71,7 @@ impl Workload for Stencil {
 
         let ha = device.alloc_f32(&input);
         let hb = device.alloc_f32(&input);
-        self.result = Some(if ITERS % 2 == 0 { ha } else { hb });
+        self.result = Some(if ITERS.is_multiple_of(2) { ha } else { hb });
 
         let mut b = KernelBuilder::new("stencil_sweep");
         let psrc = b.param_u32("src");

@@ -1,0 +1,202 @@
+//! Internal seeded PRNG for workload input generation.
+//!
+//! The workloads previously drew their inputs from the external `rand`
+//! crate. Input generation only needs a fast, *reproducible* stream of
+//! uniform values, so this module provides a small self-contained
+//! generator (xoshiro256++ seeded via splitmix64) and the narrow slice
+//! of the `rand` API the workloads actually use: `seed_from_u64`,
+//! `gen_range` over integer/float ranges, and `gen_bool`.
+//!
+//! Determinism contract: the sequence produced for a given seed is part
+//! of the repo's reproducibility surface — the golden regen snapshot and
+//! the determinism test suite both depend on it. Changing the algorithm
+//! or the range-mapping below invalidates `results/` snapshots (re-bless
+//! with `GWC_BLESS=1`).
+
+/// A small deterministic PRNG: xoshiro256++ state, splitmix64 seeding.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    s: [u64; 4],
+}
+
+impl SeededRng {
+    /// Seeds the generator from a single `u64`, expanding it with
+    /// splitmix64 (the canonical xoshiro seeding procedure).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform value in `range` (half-open `a..b` or inclusive `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// A range that [`SeededRng::gen_range`] can sample uniformly, producing
+/// values of type `T` (the type parameter lets literal ranges infer their
+/// element type from the use site, as `rand`'s `SampleRange` does).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut SeededRng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut SeededRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) * span) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut SeededRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let off = (u128::from(rng.next_u64()) * span) >> 64;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample(self, rng: &mut SeededRng) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.next_f32() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut SeededRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::seed_from_u64(7);
+        let mut b = SeededRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::seed_from_u64(1);
+        let mut b = SeededRng::seed_from_u64(2);
+        assert!((0..16).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = SeededRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&w));
+            let x = rng.gen_range(1u32..=8);
+            assert!((1..=8).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = SeededRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SeededRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let w = rng.gen_range(0.25f64..10.0);
+            assert!((0.25..10.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_range() {
+        let mut rng = SeededRng::seed_from_u64(5);
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.0f64..1.0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.05 && hi > 0.95, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SeededRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.1)).count();
+        assert!((700..1300).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SeededRng::seed_from_u64(0).gen_range(5..5);
+    }
+}

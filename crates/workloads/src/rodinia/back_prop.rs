@@ -5,13 +5,12 @@
 //! tree). `adjust_weights`: streaming weight update from the hidden
 //! deltas — an outer-product write pattern.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -53,13 +52,15 @@ impl Workload for BackProp {
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let inputs = (scale.pick(128, 512, 2048) as u32 / BLOCK).max(1) * BLOCK;
         let hidden_units = scale.pick(8, 16, 64) as u32;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let input: Vec<f32> = (0..inputs).map(|_| rng.gen_range(0.0..1.0)).collect();
         // Weights stored input-major: w[i * hidden + j].
         let weights: Vec<f32> = (0..inputs * hidden_units)
             .map(|_| rng.gen_range(-0.1..0.1))
             .collect();
-        let deltas: Vec<f32> = (0..hidden_units).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let deltas: Vec<f32> = (0..hidden_units)
+            .map(|_| rng.gen_range(-0.5..0.5))
+            .collect();
 
         // CPU reference. The GPU reduces block-partials in thread order, so
         // use a per-chunk tree-compatible sum with tolerance in verify.

@@ -6,13 +6,12 @@
 //! the updating mask to the next frontier and raises a "still work"
 //! flag. The host relaunches until the flag stays down.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_u32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -47,8 +46,8 @@ fn cpu_bfs(row_ptr: &[u32], edges: &[u32], n: usize, src: usize) -> Vec<u32> {
         level += 1;
         let mut next = Vec::new();
         for &v in &frontier {
-            for e in row_ptr[v] as usize..row_ptr[v + 1] as usize {
-                let u = edges[e] as usize;
+            for &eu in &edges[row_ptr[v] as usize..row_ptr[v + 1] as usize] {
+                let u = eu as usize;
                 if cost[u] == UNREACHED {
                     cost[u] = level;
                     next.push(u);
@@ -71,7 +70,7 @@ impl Workload for Bfs {
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let n = scale.pick(256, 1024, 8192);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         // Random graph with average degree ~4 plus a ring for connectivity.
         let mut adj: Vec<Vec<u32>> = (0..n).map(|v| vec![((v + 1) % n) as u32]).collect();
         for _ in 0..3 * n {

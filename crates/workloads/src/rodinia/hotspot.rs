@@ -4,13 +4,12 @@
 //! map: `t' = t + c_p * p + c_n * (neighbours - 4t)`, with clamped
 //! boundaries. Ping-pong buffers over several time steps.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -67,7 +66,7 @@ impl Workload for HotSpot {
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let w = scale.pick(32, 64, 128) as u32;
         let h = w;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let temp: Vec<f32> = (0..w * h).map(|_| rng.gen_range(40.0..80.0)).collect();
         let power: Vec<f32> = (0..w * h).map(|_| rng.gen_range(0.0..5.0)).collect();
         let mut cur = temp.clone();
@@ -79,7 +78,7 @@ impl Workload for HotSpot {
         let ha = device.alloc_f32(&temp);
         let hb = device.alloc_f32(&temp);
         let hp = device.alloc_f32(&power);
-        self.result = Some(if STEPS % 2 == 0 { ha } else { hb });
+        self.result = Some(if STEPS.is_multiple_of(2) { ha } else { hb });
 
         let mut b = KernelBuilder::new("hotspot_step");
         let psrc = b.param_u32("src");
@@ -139,13 +138,7 @@ impl Workload for HotSpot {
                 label: "hotspot_step".into(),
                 kernel: kernel.clone(),
                 config: grid,
-                args: vec![
-                    src.arg(),
-                    dst.arg(),
-                    hp.arg(),
-                    Value::U32(w),
-                    Value::U32(h),
-                ],
+                args: vec![src.arg(), dst.arg(), hp.arg(), Value::U32(w), Value::U32(h)],
             });
         }
         Ok(launches)

@@ -11,13 +11,12 @@
 //! which is exactly why the paper lists Hybrid Sort among the workloads
 //! with large intra-workload variation.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -57,12 +56,10 @@ impl Workload for HybridSort {
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let n = scale.pick(512, 1024, 2048);
         self.n = n;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         // Keys in [0, BUCKETS * 2^16); bucket = key >> 16. Uniform keys keep
         // every bucket under BUCKET_CAP at these sizes.
-        let keys: Vec<u32> = (0..n)
-            .map(|_| rng.gen_range(0..BUCKETS << 16))
-            .collect();
+        let keys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..BUCKETS << 16)).collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         self.expected_sorted = sorted;
@@ -176,7 +173,12 @@ impl Workload for HybridSort {
                 label: "bucket_scatter".into(),
                 kernel: scatter,
                 config: LaunchConfig::linear(n as u32, 256),
-                args: vec![hkeys.arg(), hcursors.arg(), hbuckets.arg(), Value::U32(n as u32)],
+                args: vec![
+                    hkeys.arg(),
+                    hcursors.arg(),
+                    hbuckets.arg(),
+                    Value::U32(n as u32),
+                ],
             },
             LaunchSpec {
                 label: "bucket_sort".into(),

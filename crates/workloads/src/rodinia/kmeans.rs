@@ -5,13 +5,12 @@
 //! paper attributes to K-Means); kernel 2 accumulates per-cluster feature
 //! sums and counts with global atomics, from which new centroids follow.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{
     check_f32, check_u32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta,
@@ -54,7 +53,7 @@ impl Workload for KMeansWorkload {
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let n = scale.pick(256, 1024, 8192) as u32;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         // Points around K well-separated centers, point-major layout.
         let centers: Vec<Vec<f32>> = (0..K)
             .map(|c| (0..DIMS).map(|d| (c * 10 + d) as f32).collect())
@@ -63,7 +62,7 @@ impl Workload for KMeansWorkload {
         for p in 0..n as usize {
             let c = rng.gen_range(0..K as usize);
             for d in 0..DIMS as usize {
-                points[p * DIMS as usize + d] = centers[c][d] + rng.gen_range(-0.5..0.5);
+                points[p * DIMS as usize + d] = centers[c][d] + rng.gen_range(-0.5f32..0.5);
             }
         }
         // Initial centroids, feature-major: centroid[d * K + c].
@@ -168,7 +167,12 @@ impl Workload for KMeansWorkload {
                 label: "kmeans_assign".into(),
                 kernel: assign_kernel,
                 config: LaunchConfig::linear(n, 128),
-                args: vec![hpoints.arg(), hcentroids.arg(), hassign.arg(), Value::U32(n)],
+                args: vec![
+                    hpoints.arg(),
+                    hcentroids.arg(),
+                    hassign.arg(),
+                    Value::U32(n),
+                ],
             },
             LaunchSpec {
                 label: "kmeans_accumulate".into(),

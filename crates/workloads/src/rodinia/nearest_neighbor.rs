@@ -6,13 +6,12 @@
 //! monotonic-bits `atomicMin` trick used on real GPUs for positive
 //! floats.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -50,7 +49,7 @@ impl Workload for NearestNeighbor {
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let n = scale.pick(512, 4096, 32768) as u32;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let lat: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..90.0)).collect();
         let lng: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..180.0)).collect();
         let (qlat, qlng) = (30.0f32, 90.0f32);

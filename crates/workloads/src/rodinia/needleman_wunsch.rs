@@ -5,13 +5,12 @@
 //! dependent launches whose occupancy keeps changing, plus the three-way
 //! max recurrence per cell.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -69,7 +68,7 @@ impl Workload for NeedlemanWunsch {
         let n = scale.pick(24, 48, 96);
         self.n = n;
         let dim = n + 1;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let a: Vec<i32> = (0..n).map(|_| rng.gen_range(0..4)).collect();
         let bseq: Vec<i32> = (0..n).map(|_| rng.gen_range(0..4)).collect();
         self.expected = cpu_nw(&a, &bseq, n);

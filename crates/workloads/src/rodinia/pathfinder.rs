@@ -5,13 +5,12 @@
 //! reads keep accesses well coalesced; the edge clamps diverge the first
 //! and last warps.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_u32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -46,7 +45,7 @@ impl Workload for PathFinder {
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let cols = scale.pick(256, 1024, 4096);
         let rows = scale.pick(8, 16, 64);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let data: Vec<u32> = (0..rows * cols).map(|_| rng.gen_range(0..10)).collect();
 
         // CPU reference.
@@ -67,7 +66,7 @@ impl Workload for PathFinder {
         let hb = device.alloc_zeroed_u32(cols);
         // Rows - 1 DP steps: result lands in ha when steps is even.
         let steps = rows - 1;
-        self.result = Some(if steps % 2 == 0 { ha } else { hb });
+        self.result = Some(if steps.is_multiple_of(2) { ha } else { hb });
 
         let mut b = KernelBuilder::new("pathfinder_row");
         let pdata = b.param_u32("data");

@@ -5,13 +5,12 @@
 //! rational expression and clamping branches); `srad2` applies the
 //! divergence update using the coefficients of the east/south neighbours.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -90,14 +89,15 @@ impl Workload for Srad {
         WorkloadMeta {
             name: "srad",
             suite: Suite::Rodinia,
-            description: "speckle-reducing anisotropic diffusion; gradient/coefficient and update kernels",
+            description:
+                "speckle-reducing anisotropic diffusion; gradient/coefficient and update kernels",
         }
     }
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let w = scale.pick(32, 64, 128) as u32;
         let h = w;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let img: Vec<f32> = (0..w * h).map(|_| rng.gen_range(0.5..2.0)).collect();
         self.expected = cpu_iter(&img, w as usize, h as usize);
 

@@ -6,13 +6,12 @@
 //! barrier between stages — a dense mix of divergence, shared traffic and
 //! synchronization.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_u32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -49,7 +48,7 @@ impl Workload for BitonicSort {
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let blocks = scale.pick(2, 16, 128) as u32;
         let n = blocks * TILE;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let data: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1 << 24)).collect();
         // Expected: each tile independently sorted ascending.
         let mut expected = data.clone();

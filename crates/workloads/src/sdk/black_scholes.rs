@@ -5,13 +5,12 @@
 //! cumulative-normal polynomial. Fully coalesced, zero divergence apart
 //! from the sign select — the compute-bound corner of the workload space.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::{Reg, Value};
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -45,13 +44,13 @@ impl BlackScholes {
 /// CPU reference: cumulative normal distribution (A&S 26.2.17).
 fn cnd(d: f32) -> f32 {
     const A1: f32 = 0.319_381_53;
-    const A2: f32 = -0.356_563_782;
-    const A3: f32 = 1.781_477_937;
-    const A4: f32 = -1.821_255_978;
-    const A5: f32 = 1.330_274_429;
+    const A2: f32 = -0.356_563_78;
+    const A3: f32 = 1.781_477_9;
+    const A4: f32 = -1.821_255_9;
+    const A5: f32 = 1.330_274_5;
     let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
     let poly = k * (A1 + k * (A2 + k * (A3 + k * (A4 + k * A5))));
-    let cnd = (-0.5 * d * d).exp() * poly * 0.398_942_28;
+    let cnd = (-0.5 * d * d).exp() * poly * 0.398_942_3;
     if d > 0.0 {
         1.0 - cnd
     } else {
@@ -61,8 +60,8 @@ fn cnd(d: f32) -> f32 {
 
 fn reference(s: f32, x: f32, t: f32) -> (f32, f32) {
     let sqrt_t = t.sqrt();
-    let d1 = ((s / x).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t)
-        / (VOLATILITY * sqrt_t);
+    let d1 =
+        ((s / x).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t) / (VOLATILITY * sqrt_t);
     let d2 = d1 - VOLATILITY * sqrt_t;
     let exp_rt = (-RISK_FREE * t).exp();
     let call = s * cnd(d1) - x * exp_rt * cnd(d2);
@@ -81,7 +80,7 @@ impl Workload for BlackScholes {
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let n = scale.pick(1 << 9, 1 << 12, 1 << 15) as u32;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let price: Vec<f32> = (0..n).map(|_| rng.gen_range(5.0..30.0)).collect();
         let strike: Vec<f32> = (0..n).map(|_| rng.gen_range(1.0..100.0)).collect();
         let time: Vec<f32> = (0..n).map(|_| rng.gen_range(0.25..10.0)).collect();
@@ -122,10 +121,7 @@ impl Workload for BlackScholes {
         let ratio = b.div_f32(s, x);
         let l2 = b.log2_f32(ratio);
         let ln_sx = b.div_f32(l2, Value::F32(LOG2_E));
-        let drift = b.mul_f32(
-            Value::F32(RISK_FREE + 0.5 * VOLATILITY * VOLATILITY),
-            t,
-        );
+        let drift = b.mul_f32(Value::F32(RISK_FREE + 0.5 * VOLATILITY * VOLATILITY), t);
         let num = b.add_f32(ln_sx, drift);
         let denom = b.mul_f32(Value::F32(VOLATILITY), sqrt_t);
         let d1 = b.div_f32(num, denom);
@@ -140,16 +136,16 @@ impl Workload for BlackScholes {
             let ad = b.abs_f32(d);
             let kd = b.mad_f32(Value::F32(0.231_641_9), ad, Value::F32(1.0));
             let k = b.recip_f32(kd);
-            let p = b.mad_f32(Value::F32(1.330_274_429), k, Value::F32(-1.821_255_978));
-            let p = b.mad_f32(p, k, Value::F32(1.781_477_937));
-            let p = b.mad_f32(p, k, Value::F32(-0.356_563_782));
+            let p = b.mad_f32(Value::F32(1.330_274_5), k, Value::F32(-1.821_255_9));
+            let p = b.mad_f32(p, k, Value::F32(1.781_477_9));
+            let p = b.mad_f32(p, k, Value::F32(-0.356_563_78));
             let p = b.mad_f32(p, k, Value::F32(0.319_381_53));
             let poly = b.mul_f32(p, k);
             let dd = b.mul_f32(d, d);
             let e_arg = b.mul_f32(dd, Value::F32(-0.5 * LOG2_E));
             let e = b.exp2_f32(e_arg);
             let tail = b.mul_f32(e, poly);
-            let cnd = b.mul_f32(tail, Value::F32(0.398_942_28));
+            let cnd = b.mul_f32(tail, Value::F32(0.398_942_3));
             let pos = b.gt_f32(d, Value::F32(0.0));
             let flipped = b.sub_f32(Value::F32(1.0), cnd);
             b.sel_f32(pos, flipped, cnd)

@@ -6,13 +6,12 @@
 //! profiles — exactly the kind of intra-workload diversity the study looks
 //! for.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -71,32 +70,37 @@ fn pass_kernel(name: &str, rows: bool) -> Result<gwc_simt::kernel::Kernel, SimtE
     let acc = b.var_f32(Value::F32(0.0));
     let w_minus1 = b.sub_u32(pw, Value::U32(1));
     let h_minus1 = b.sub_u32(ph, Value::U32(1));
-    b.for_range_u32(Value::U32(0), Value::U32(2 * RADIUS as u32 + 1), 1, |b, f| {
-        // off = f - RADIUS, computed in i32 then clamped in u32 space by
-        // min/max against the borders.
-        let xi = b.to_i32(x);
-        let yi = b.to_i32(y);
-        let fi = b.to_i32(f);
-        let off = b.add_i32(fi, Value::I32(-RADIUS));
-        let (sx, sy) = if rows {
-            let s = b.add_i32(xi, off);
-            let clamped = b.max_i32(s, Value::I32(0));
-            let sxu = b.to_u32(clamped);
-            (b.min_u32(sxu, w_minus1), b.to_u32(yi))
-        } else {
-            let s = b.add_i32(yi, off);
-            let clamped = b.max_i32(s, Value::I32(0));
-            let syu = b.to_u32(clamped);
-            (b.to_u32(xi), b.min_u32(syu, h_minus1))
-        };
-        let idx = b.mad_u32(sy, pw, sx);
-        let ia = b.index(pin, idx, 4);
-        let v = b.ld_global_f32(ia);
-        let fa = b.index(pfilter, f, 4);
-        let fv = b.ld_const_f32(fa);
-        let next = b.mad_f32(v, fv, acc);
-        b.assign(acc, next);
-    });
+    b.for_range_u32(
+        Value::U32(0),
+        Value::U32(2 * RADIUS as u32 + 1),
+        1,
+        |b, f| {
+            // off = f - RADIUS, computed in i32 then clamped in u32 space by
+            // min/max against the borders.
+            let xi = b.to_i32(x);
+            let yi = b.to_i32(y);
+            let fi = b.to_i32(f);
+            let off = b.add_i32(fi, Value::I32(-RADIUS));
+            let (sx, sy) = if rows {
+                let s = b.add_i32(xi, off);
+                let clamped = b.max_i32(s, Value::I32(0));
+                let sxu = b.to_u32(clamped);
+                (b.min_u32(sxu, w_minus1), b.to_u32(yi))
+            } else {
+                let s = b.add_i32(yi, off);
+                let clamped = b.max_i32(s, Value::I32(0));
+                let syu = b.to_u32(clamped);
+                (b.to_u32(xi), b.min_u32(syu, h_minus1))
+            };
+            let idx = b.mad_u32(sy, pw, sx);
+            let ia = b.index(pin, idx, 4);
+            let v = b.ld_global_f32(ia);
+            let fa = b.index(pfilter, f, 4);
+            let fv = b.ld_const_f32(fa);
+            let next = b.mad_f32(v, fv, acc);
+            b.assign(acc, next);
+        },
+    );
     let idx = b.mad_u32(y, pw, x);
     let oa = b.index(pout, idx, 4);
     b.st_global_f32(oa, acc);
@@ -108,14 +112,15 @@ impl Workload for ConvolutionSeparable {
         WorkloadMeta {
             name: "convolution_separable",
             suite: Suite::CudaSdk,
-            description: "separable 2-D convolution; row and column passes with a const-memory filter",
+            description:
+                "separable 2-D convolution; row and column passes with a const-memory filter",
         }
     }
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let w = scale.pick(32, 64, 128) as u32;
         let h = w;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let input: Vec<f32> = (0..w * h).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let filter: Vec<f32> = (0..2 * RADIUS + 1)
             .map(|i| 1.0 / (1.0 + (i - RADIUS).abs() as f32))

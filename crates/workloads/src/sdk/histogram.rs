@@ -8,13 +8,12 @@
 //!   histogram, then merges it into the global one (shared atomics plus a
 //!   short merge phase).
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_u32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -47,13 +46,14 @@ impl Workload for Histogram {
         WorkloadMeta {
             name: "histogram",
             suite: Suite::CudaSdk,
-            description: "64-bin histogram; direct global atomics and shared-memory privatized variants",
+            description:
+                "64-bin histogram; direct global atomics and shared-memory privatized variants",
         }
     }
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let n = scale.pick(1 << 10, 1 << 14, 1 << 17) as u32;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let data: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1 << 20)).collect();
         let mut expected = vec![0u32; BINS as usize];
         for &v in &data {

@@ -4,13 +4,12 @@
 //! tile, streaming A and B tiles through shared memory with two barriers
 //! per tile. Coalesced global traffic, heavy shared reuse, no divergence.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -46,7 +45,7 @@ impl Workload for MatrixMul {
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let n = scale.pick(32, 64, 128) as u32; // square matrices n x n
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let bm: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let mut c = vec![0.0f32; (n * n) as usize];

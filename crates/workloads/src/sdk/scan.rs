@@ -11,14 +11,13 @@
 //! pure streaming), which is why the paper calls Scan of Large Arrays out
 //! as diverse in both the divergence and coalescing subspaces.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::kernel::Kernel;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -138,7 +137,7 @@ impl Workload for ScanLargeArrays {
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let blocks = scale.pick(4, 32, 256) as u32;
         let n = blocks * BLOCK;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let data: Vec<f32> = (0..n).map(|_| rng.gen_range(0..4) as f32).collect();
         let mut acc = 0.0;
         self.expected = data

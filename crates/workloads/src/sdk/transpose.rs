@@ -5,13 +5,12 @@
 //! the tiled version stages a 16×16 tile through shared memory (padded to
 //! 17 columns to dodge bank conflicts) so both global accesses coalesce.
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -49,7 +48,7 @@ impl Workload for Transpose {
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let n = scale.pick(32, 64, 128) as u32;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let input: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-9.0..9.0)).collect();
         let mut t = vec![0.0f32; (n * n) as usize];
         for y in 0..n as usize {

@@ -5,13 +5,12 @@
 //! Excluded from suite-diversity statistics (it is our quickstart
 //! addition, not part of the paper's population).
 
+use crate::rng::SeededRng;
 use gwc_simt::builder::KernelBuilder;
 use gwc_simt::exec::{BufferHandle, Device};
 use gwc_simt::instr::Value;
 use gwc_simt::launch::LaunchConfig;
 use gwc_simt::SimtError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{check_f32, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
 
@@ -45,7 +44,7 @@ impl Workload for VectorAdd {
 
     fn setup(&mut self, device: &mut Device, scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
         let n = scale.pick(1 << 10, 1 << 14, 1 << 17);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let a: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let b: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         self.expected = a.iter().zip(&b).map(|(x, y)| x + y).collect();

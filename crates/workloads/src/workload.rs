@@ -152,7 +152,10 @@ impl From<VerifyError> for WorkloadError {
 /// The flow is `setup → (execute the returned launches in order) →
 /// verify`. Implementations stash buffer handles and expected outputs in
 /// `&mut self` during `setup`.
-pub trait Workload {
+///
+/// `Send` is a supertrait so a study can fan whole workloads out across
+/// worker threads (each workload still runs on exactly one thread).
+pub trait Workload: Send {
     /// Static metadata.
     fn meta(&self) -> WorkloadMeta;
 

@@ -41,7 +41,11 @@ impl Workload for CollatzSteps {
                 let mut v = i as u64 + 1;
                 let mut steps = 0u32;
                 while v != 1 {
-                    v = if v % 2 == 0 { v / 2 } else { 3 * v + 1 };
+                    v = if v.is_multiple_of(2) {
+                        v / 2
+                    } else {
+                        3 * v + 1
+                    };
                     steps += 1;
                 }
                 steps

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analysis = ClusterAnalysis::fit(space.scores(), 12, 7)?;
     let reps = analysis.representatives().to_vec();
     let labels = study.labels();
-    println!("representative subset ({} of {} kernels):", reps.len(), labels.len());
+    println!(
+        "representative subset ({} of {} kernels):",
+        reps.len(),
+        labels.len()
+    );
     for &r in &reps {
         println!("  {}", labels[r]);
     }
@@ -33,9 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline = GpuConfig::baseline();
     let configs = default_design_space();
     let eval = evaluate_subset(&study, &baseline, &configs, &reps);
-    println!("\n{:<16} {:>10} {:>10} {:>8}", "design point", "truth", "estimate", "error");
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>8}",
+        "design point", "truth", "estimate", "error"
+    );
     for (name, truth, estimate, err) in &eval.rows {
-        println!("{name:<16} {truth:>10.3} {estimate:>10.3} {:>7.1}%", 100.0 * err);
+        println!(
+            "{name:<16} {truth:>10.3} {estimate:>10.3} {:>7.1}%",
+            100.0 * err
+        );
     }
     println!(
         "\nrepresentative-subset mean error: {:.2}% (max {:.2}%)",

@@ -35,9 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // PC1-PC2 scatter (the paper's workload-space figure).
     let labels = study.labels();
-    let xs: Vec<f64> = (0..space.scores().rows()).map(|r| space.scores().get(r, 0)).collect();
-    let ys: Vec<f64> = (0..space.scores().rows()).map(|r| space.scores().get(r, 1)).collect();
-    println!("kernels in PC1-PC2:\n{}", report::render_scatter(&labels, &xs, &ys, 72, 24));
+    let xs: Vec<f64> = (0..space.scores().rows())
+        .map(|r| space.scores().get(r, 0))
+        .collect();
+    let ys: Vec<f64> = (0..space.scores().rows())
+        .map(|r| space.scores().get(r, 1))
+        .collect();
+    println!(
+        "kernels in PC1-PC2:\n{}",
+        report::render_scatter(&labels, &xs, &ys, 72, 24)
+    );
 
     // Clustering.
     let analysis = ClusterAnalysis::fit(space.scores(), 12, 7)?;
@@ -46,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &r in analysis.representatives() {
         println!("  {}", labels[r]);
     }
-    println!("\ndendrogram (average linkage):\n{}", analysis.dendrogram().render(&labels));
+    println!(
+        "\ndendrogram (average linkage):\n{}",
+        analysis.dendrogram().render(&labels)
+    );
 
     // Suite diversity.
     println!("suite diversity in the common PC space:");

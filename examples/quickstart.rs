@@ -38,7 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut dev,
         &kernel,
         &LaunchConfig::linear(elems as u32, 256),
-        &[Value::F32(3.0), hx.arg(), hy.arg(), Value::U32(elems as u32)],
+        &[
+            Value::F32(3.0),
+            hx.arg(),
+            hy.arg(),
+            Value::U32(elems as u32),
+        ],
     )?;
 
     // Correctness first.

@@ -1,0 +1,2 @@
+//! See ../Cargo.toml — this crate only exists to host network-dependent
+//! property tests and benches outside the offline workspace.

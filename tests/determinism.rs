@@ -1,0 +1,116 @@
+//! Determinism suite: the parallel characterization runtime must be
+//! bit-identical to the serial one.
+//!
+//! Three guarantees, each checked over the full workload registry:
+//!
+//! 1. **Block sharding** — profiling a workload with its launches
+//!    sharded across {2, 4, 8} threads yields the same 33-dimension
+//!    characteristic vector, bit for bit, as the serial run
+//!    (`Study::run_one_threads` vs `Study::run_one`). Kernels outside
+//!    the block-sharding contract fall back to serial, so this holds
+//!    for *every* workload, atomics and all.
+//! 2. **Workload fan-out** — `Study::run_threads` distributes whole
+//!    workloads across workers and reassembles records in registry
+//!    order; the study matrix matches the serial study bitwise.
+//! 3. **Seed stability** — two runs with the same seed and thread
+//!    count are identical, and runs at different thread counts agree.
+//!
+//! Floating-point equality here is deliberate and exact
+//! (`f64::to_bits`): the observers accumulate in integer domain and
+//! convert to `f64` only at read time in a fixed order, so any
+//! difference is a real merge bug, not roundoff.
+
+use gwc::core::study::{KernelRecord, Study, StudyConfig};
+use gwc::workloads::{registry, Scale};
+
+fn tiny_config(seed: u64) -> StudyConfig {
+    StudyConfig {
+        seed,
+        scale: Scale::Tiny,
+        verify: true,
+    }
+}
+
+/// Asserts two record sets are bitwise-identical profiles.
+fn assert_records_identical(serial: &[KernelRecord], parallel: &[KernelRecord], what: &str) {
+    assert_eq!(serial.len(), parallel.len(), "{what}: record count");
+    for (s, p) in serial.iter().zip(parallel) {
+        assert_eq!(s.workload, p.workload, "{what}: workload order");
+        assert_eq!(s.kernel, p.kernel, "{what}: kernel label order");
+        assert_eq!(
+            s.profile.raw(),
+            p.profile.raw(),
+            "{what}: raw counters of {}",
+            s.label()
+        );
+        for (dim, (a, b)) in s
+            .profile
+            .values()
+            .iter()
+            .zip(p.profile.values())
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{what}: {} dim {dim}: {a} vs {b}",
+                s.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_workload_block_sharded_matches_serial() {
+    let config = tiny_config(7);
+    let serial: Vec<Vec<KernelRecord>> = registry::all_workloads(config.seed)
+        .iter_mut()
+        .map(|w| Study::run_one(w.as_mut(), &config).expect("serial run"))
+        .collect();
+    for threads in [2usize, 4, 8] {
+        let sharded: Vec<Vec<KernelRecord>> = registry::all_workloads(config.seed)
+            .iter_mut()
+            .map(|w| Study::run_one_threads(w.as_mut(), &config, threads).expect("sharded run"))
+            .collect();
+        for (s, p) in serial.iter().zip(&sharded) {
+            let name = s.first().map_or("<empty>", |r| r.workload);
+            assert_records_identical(s, p, &format!("{name} at {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn study_fanout_matches_serial() {
+    let config = tiny_config(7);
+    let serial = Study::run(&config).expect("serial study");
+    for threads in [2usize, 4, 8] {
+        let parallel = Study::run_threads(&config, threads).expect("parallel study");
+        assert_records_identical(
+            serial.records(),
+            parallel.records(),
+            &format!("study fan-out at {threads} threads"),
+        );
+    }
+}
+
+#[test]
+fn same_seed_repeats_identically() {
+    let config = tiny_config(13);
+    let a = Study::run_threads(&config, 4).expect("first run");
+    let b = Study::run_threads(&config, 4).expect("second run");
+    assert_records_identical(a.records(), b.records(), "repeated seed-13 runs");
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Sanity check that the suite isn't vacuous: seeds actually steer
+    // the workload inputs, so some characteristic must move.
+    let a = Study::run_threads(&tiny_config(7), 2).expect("seed 7");
+    let b = Study::run_threads(&tiny_config(8), 2).expect("seed 8");
+    let moved = a
+        .records()
+        .iter()
+        .zip(b.records())
+        .any(|(x, y)| x.profile.values() != y.profile.values());
+    assert!(moved, "changing the seed changed no characteristic at all");
+}

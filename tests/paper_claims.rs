@@ -85,7 +85,11 @@ fn claim_multi_space_diversity() {
     // The three named workloads are diverse in BOTH subspaces.
     let div = SubspaceAnalysis::fit(study(), Subspace::divergence()).unwrap();
     let coal = SubspaceAnalysis::fit(study(), Subspace::coalescing()).unwrap();
-    for name in ["similarity_score", "parallel_reduction", "scan_large_arrays"] {
+    for name in [
+        "similarity_score",
+        "parallel_reduction",
+        "scan_large_arrays",
+    ] {
         for a in [&div, &coal] {
             let rank = a.rank_of(name).expect("present");
             assert!(
