@@ -1,0 +1,37 @@
+//! Validates a metrics report produced by `regen --metrics`.
+//!
+//! ```sh
+//! cargo run -p gwc-bench --bin metrics_check -- metrics.json
+//! ```
+//!
+//! Parses the file with the `gwc-obs` JSON parser, checks the schema
+//! version and required keys, and round-trips it (parse -> render ->
+//! parse -> compare) to prove the writer and parser agree. Exits 0 on a
+//! valid report, 1 on a bad one, 2 on usage errors.
+
+use gwc_obs::report::validate_str;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: metrics_check FILE.json");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("metrics_check: cannot read `{path}`: {e}");
+        std::process::exit(2);
+    });
+    match validate_str(&text) {
+        Ok(doc) => {
+            let stages = doc
+                .get("stages")
+                .and_then(|s| s.as_arr())
+                .map_or(0, |a| a.len());
+            println!("{path}: valid metrics report (schema v1, {stages} stages)");
+        }
+        Err(e) => {
+            eprintln!("metrics_check: `{path}` is not a valid metrics report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

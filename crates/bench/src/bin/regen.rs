@@ -4,52 +4,141 @@
 //! cargo run --release -p gwc-bench --bin regen               # all of E1..E13
 //! cargo run --release -p gwc-bench --bin regen e5 e12        # a subset
 //! cargo run --release -p gwc-bench --bin regen --threads 4   # parallel study
+//! cargo run --release -p gwc-bench --bin regen -- e1 --metrics m.json
 //! ```
 //!
 //! `--threads N` fans the characterization study out across N worker
 //! threads (default: the machine's available parallelism; `--threads 1`
 //! forces the serial path). Output is bit-identical at any thread count.
+//!
+//! `--metrics PATH` installs the metrics recorder and writes a
+//! schema-versioned JSON report (per-stage wall times, per-worker pool
+//! utilization, per-workload kernel counts; see `gwc_obs::report`) to
+//! PATH after the run. `--trace-summary` prints the top spans to stderr.
+//! Neither flag perturbs the experiment output on stdout.
+
+use std::sync::Arc;
 
 use gwc_bench::{all_experiments, render_experiments, StudyArtifacts};
+use gwc_obs::metrics::MetricsRecorder;
+use gwc_obs::report::{build_report, render_summary, validate, ReportContext};
+
+const USAGE: &str = "\
+usage: regen [EXPERIMENT...] [OPTIONS]
+
+Regenerates experiment artifacts E1..E13 (all of them when no ids are
+given) to stdout.
+
+options:
+  --threads N        worker threads for the study (default: available
+                     parallelism; 1 forces the serial path)
+  --metrics PATH     write a schema-versioned JSON metrics report to PATH
+  --trace-summary    print the top spans by total time to stderr
+  -h, --help         print this help
+";
+
+struct Cli {
+    threads: usize,
+    ids: Vec<String>,
+    metrics: Option<String>,
+    trace_summary: bool,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("regen: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
+    let mut cli = Cli {
+        threads: gwc_core::available_threads(),
+        ids: Vec::new(),
+        metrics: None,
+        trace_summary: false,
+    };
+    let mut argv = argv.peekable();
+    while let Some(arg) = argv.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| argv.next())
+                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--threads" => {
+                let v = value("--threads");
+                cli.threads = v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--threads: `{v}` is not a thread count"))
+                });
+            }
+            "--metrics" => cli.metrics = Some(value("--metrics")),
+            "--trace-summary" => cli.trace_summary = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            _ if arg.starts_with('-') => usage_error(&format!("unknown option `{arg}`")),
+            _ => cli.ids.push(arg.to_lowercase()),
+        }
+    }
+    if cli.ids.is_empty() {
+        cli.ids = all_experiments().iter().map(|s| s.to_string()).collect();
+    }
+    for id in &cli.ids {
+        if !all_experiments().contains(&id.as_str()) {
+            usage_error(&format!(
+                "unknown experiment `{id}`; known: {:?}",
+                all_experiments()
+            ));
+        }
+    }
+    cli.threads = cli.threads.max(1);
+    cli
+}
 
 fn main() {
-    let mut threads = gwc_core::available_threads();
-    let mut ids: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--threads" {
-            let v = args.next().unwrap_or_else(|| {
-                eprintln!("--threads needs a value");
-                std::process::exit(2);
-            });
-            threads = v.parse().unwrap_or_else(|_| {
-                eprintln!("--threads: `{v}` is not a thread count");
-                std::process::exit(2);
-            });
-        } else if let Some(v) = arg.strip_prefix("--threads=") {
-            threads = v.parse().unwrap_or_else(|_| {
-                eprintln!("--threads: `{v}` is not a thread count");
-                std::process::exit(2);
-            });
-        } else {
-            ids.push(arg.to_lowercase());
-        }
-    }
-    if ids.is_empty() {
-        ids = all_experiments().iter().map(|s| s.to_string()).collect();
-    }
-    for id in &ids {
-        if !all_experiments().contains(&id.as_str()) {
-            eprintln!("unknown experiment `{id}`; known: {:?}", all_experiments());
-            std::process::exit(2);
-        }
-    }
-    let threads = threads.max(1);
+    let cli = parse_args(std::env::args().skip(1));
+    let recorder = (cli.metrics.is_some() || cli.trace_summary).then(|| {
+        let rec = Arc::new(MetricsRecorder::default());
+        let guard = gwc_obs::install(rec.clone());
+        (rec, guard)
+    });
     eprintln!(
-        "running the characterization study (Small scale, seed 7, {threads} thread{})...",
-        if threads == 1 { "" } else { "s" }
+        "running the characterization study (Small scale, seed 7, {} thread{})...",
+        cli.threads,
+        if cli.threads == 1 { "" } else { "s" }
     );
-    let artifacts = StudyArtifacts::collect_threads(threads);
-    let ids: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let artifacts = StudyArtifacts::collect_threads(cli.threads);
+    let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
     print!("{}", render_experiments(&ids, &artifacts));
+    let Some((rec, guard)) = recorder else {
+        return;
+    };
+    drop(guard);
+    let snap = rec.snapshot();
+    if cli.trace_summary {
+        eprint!("{}", render_summary(&snap, 10));
+    }
+    if let Some(path) = &cli.metrics {
+        let report = build_report(
+            &snap,
+            &ReportContext {
+                threads: cli.threads,
+                experiment_ids: cli.ids.clone(),
+            },
+        );
+        if let Err(e) = validate(&report) {
+            eprintln!("regen: internal error: metrics report failed validation: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, report.render()) {
+            eprintln!("regen: cannot write metrics to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics report written to {path}");
+    }
 }

@@ -60,11 +60,20 @@ impl StudyArtifacts {
     /// Panics if the study fails — regeneration is a batch tool and a
     /// failed run has nothing to print.
     pub fn collect_threads(threads: usize) -> Self {
-        let study = Study::run_threads(&study_config(), threads)
-            .expect("study runs and verifies")
-            .without_workload("vector_add");
-        let space = ReducedSpace::fit(&study.matrix(), 0.9).expect("reduction fits");
-        let analysis = ClusterAnalysis::fit(space.scores(), 12, 7).expect("clustering fits");
+        let study = {
+            let _span = gwc_obs::span!("study");
+            Study::run_threads(&study_config(), threads)
+                .expect("study runs and verifies")
+                .without_workload("vector_add")
+        };
+        let space = {
+            let _span = gwc_obs::span!("reduce");
+            ReducedSpace::fit(&study.matrix(), 0.9).expect("reduction fits")
+        };
+        let analysis = {
+            let _span = gwc_obs::span!("cluster");
+            ClusterAnalysis::fit(space.scores(), 12, 7).expect("clustering fits")
+        };
         Self {
             study,
             space,
@@ -359,6 +368,7 @@ pub fn all_experiments() -> Vec<&'static str> {
 ///
 /// Panics on an unknown id.
 pub fn run_experiment(id: &str, a: &StudyArtifacts) -> String {
+    let _span = gwc_obs::span!("experiment/{id}");
     match id {
         "e1" => e1_characteristics(),
         "e2" => e2_workloads(a),

@@ -1,0 +1,102 @@
+//! End-to-end shape test for the `--metrics` report: runs a small
+//! experiment subset with the metrics recorder installed — exactly what
+//! `regen --metrics` does — and asserts the report carries per-stage
+//! wall times, per-worker pool utilization, and per-workload kernel
+//! counts.
+//!
+//! This test installs the global recorder, so it lives in its own
+//! integration-test binary: it never shares a process with the
+//! recorder-free determinism and golden-snapshot tests.
+
+use std::sync::Arc;
+
+use gwc_bench::{render_experiments, StudyArtifacts};
+use gwc_obs::metrics::MetricsRecorder;
+use gwc_obs::report::{build_report, validate_str, ReportContext, REQUIRED_KEYS};
+
+#[test]
+fn metrics_report_has_stages_pools_and_workloads() {
+    let threads = 4;
+    let rec = Arc::new(MetricsRecorder::default());
+    let guard = gwc_obs::install(rec.clone());
+    let artifacts = StudyArtifacts::collect_threads(threads);
+    let text = render_experiments(&["e1", "e2"], &artifacts);
+    drop(guard);
+    assert!(text.contains("E1:") && text.contains("E2:"));
+
+    let report = build_report(
+        &rec.snapshot(),
+        &ReportContext {
+            threads,
+            experiment_ids: vec!["e1".into(), "e2".into()],
+        },
+    );
+    let rendered = report.render();
+    let doc = validate_str(&rendered).expect("report validates and round-trips");
+    for key in REQUIRED_KEYS {
+        assert!(doc.get(key).is_some(), "missing required key `{key}`");
+    }
+    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("threads").unwrap().as_u64(), Some(threads as u64));
+
+    // Per-stage wall times: the pipeline stages must all be present
+    // with nonzero durations.
+    let stages = doc.get("stages").unwrap().as_arr().unwrap();
+    let stage_names: Vec<&str> = stages
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    for want in ["study", "reduce", "cluster"] {
+        assert!(stage_names.contains(&want), "missing stage `{want}`");
+    }
+    for s in stages {
+        assert!(s.get("wall_ns").unwrap().as_u64().unwrap() > 0);
+    }
+
+    // Per-experiment spans for exactly the ids we ran.
+    let experiments = doc.get("experiments").unwrap().as_arr().unwrap();
+    let ids: Vec<&str> = experiments
+        .iter()
+        .map(|e| e.get("id").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(ids, ["e1", "e2"]);
+
+    // Per-worker pool utilization: the study pool fanned out, and every
+    // worker row carries tasks/steals/busy_frac.
+    let pools = doc.get("pools").unwrap().as_arr().unwrap();
+    let study_pool = pools
+        .iter()
+        .find(|p| p.get("name").unwrap().as_str() == Some("study"))
+        .expect("study pool recorded");
+    let workers = study_pool.get("workers").unwrap().as_arr().unwrap();
+    assert!(!workers.is_empty() && workers.len() <= threads);
+    let mut total_tasks = 0;
+    for w in workers {
+        total_tasks += w.get("tasks").unwrap().as_u64().unwrap();
+        assert!(w.get("steals").unwrap().as_u64().is_some());
+        let busy = w.get("busy_frac").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&busy), "busy_frac {busy} out of range");
+    }
+    // One task per workload in the registry (including vector_add,
+    // which is excluded from the study population but still runs).
+    assert!(total_tasks > 10, "study ran {total_tasks} workloads");
+
+    // Per-workload kernel counts.
+    let workloads = doc.get("workloads").unwrap().as_arr().unwrap();
+    assert!(workloads.len() > 10);
+    let names: Vec<&str> = workloads
+        .iter()
+        .map(|w| w.get("name").unwrap().as_str().unwrap())
+        .collect();
+    for want in ["vector_add", "histogram"] {
+        assert!(names.contains(&want), "missing workload `{want}`");
+    }
+    for w in workloads {
+        assert!(w.get("kernels").unwrap().as_u64().unwrap() > 0);
+        assert!(w.get("wall_ns").unwrap().as_u64().unwrap() > 0);
+    }
+
+    // Kernel launch counters flowed up from the SIMT layer.
+    let kernels = doc.get("kernels").unwrap().as_arr().unwrap();
+    assert!(!kernels.is_empty(), "kernel launches recorded");
+}

@@ -60,7 +60,18 @@ pub fn profile_launch_sharded(
 ) -> Result<LaunchStats, SimtError> {
     let blocks = config.blocks();
     let shards = threads.min(blocks / MIN_BLOCKS_PER_SHARD);
-    if shards <= 1 || !kernel.is_block_shardable() {
+    let blocker = kernel.shard_blocker();
+    if shards <= 1 || blocker.is_some() {
+        // Only a *fallback* when parallelism was actually requested:
+        // surface why this launch runs serially (the shardability
+        // contract failed, or the grid is too small to split).
+        if threads > 1 {
+            if let Some(rec) = gwc_obs::recorder() {
+                let reason = blocker.unwrap_or("too-few-blocks");
+                rec.record_shard_fallback(kernel.name(), reason);
+                rec.add_counter("shard.serial_fallbacks", 1);
+            }
+        }
         return device.launch_observed(kernel, config, args, profiler);
     }
 
@@ -76,6 +87,9 @@ pub fn profile_launch_sharded(
                 let first = (blocks * i / shards) as u32;
                 let last = (blocks * (i + 1) / shards) as u32;
                 scope.spawn(move || {
+                    // Worker threads have no inherited span stack, so
+                    // the observe span carries an explicit path.
+                    let _observe = gwc_obs::span!("shard/observe");
                     let mut shard_dev = dev.fork();
                     let mut shard = Profiler::shard(kernel, config);
                     let stats =
@@ -91,13 +105,19 @@ pub fn profile_launch_sharded(
     });
 
     let mut total = LaunchStats::default();
-    for result in results {
-        let (shard_dev, shard, stats) = result?;
-        profiler.merge(shard);
-        merge_stats(&mut total, &stats);
-        device.absorb_writes(&base, &shard_dev);
+    {
+        let _merge = gwc_obs::span!("shard/merge");
+        for result in results {
+            let (shard_dev, shard, stats) = result?;
+            profiler.merge(shard);
+            merge_stats(&mut total, &stats);
+            device.absorb_writes(&base, &shard_dev);
+        }
     }
     profiler.on_launch_end(&total);
+    gwc_simt::trace::record_launch(kernel.name(), &total);
+    gwc_obs::count("shard.sharded_launches", 1);
+    gwc_obs::count("shard.shards", shards as u64);
     Ok(total)
 }
 
@@ -214,6 +234,74 @@ mod tests {
         assert_eq!(serial.values(), sharded.values());
         assert_eq!(dev_s.read_u32(&out_s), dev_p.read_u32(&out_p));
         assert_eq!(dev_s.read_u32(&out_s), vec![128; 4]);
+    }
+
+    #[test]
+    fn fallback_reason_reaches_the_recorder() {
+        use gwc_obs::metrics::MetricsRecorder;
+        use std::sync::Arc;
+
+        // A kernel with inter-block atomics: outside the block-sharding
+        // contract, so a parallel request must fall back to serial and
+        // say why.
+        let mut b = KernelBuilder::new("atomic_fallback_probe");
+        let out = b.param_u32("out");
+        let i = b.global_tid_x();
+        let slot = b.rem_u32(i, Value::U32(2));
+        let oa = b.index(out, slot, 4);
+        b.atomic_add_global_u32(oa, Value::U32(1));
+        let k = b.build().unwrap();
+        assert_eq!(k.shard_blocker(), Some("global-atomics"));
+
+        let rec = Arc::new(MetricsRecorder::default());
+        let guard = gwc_obs::install(rec.clone());
+        let mut dev = Device::new();
+        let out = dev.alloc_zeroed_u32(2);
+        characterize_launch_sharded(&mut dev, &k, &LaunchConfig::new(8, 32), &[out.arg()], 4)
+            .unwrap();
+        drop(guard);
+
+        let snap = rec.snapshot();
+        let fb = snap
+            .fallbacks
+            .iter()
+            .find(|f| f.kernel == "atomic_fallback_probe")
+            .expect("fallback recorded");
+        assert_eq!(fb.reason, "global-atomics");
+        assert_eq!(fb.count, 1);
+        // The launch itself still retired (through the serial path).
+        assert!(snap
+            .kernels
+            .iter()
+            .any(|k| k.name == "atomic_fallback_probe" && k.launches == 1));
+    }
+
+    #[test]
+    fn no_fallback_recorded_when_serial_was_requested() {
+        use gwc_obs::metrics::MetricsRecorder;
+        use std::sync::Arc;
+
+        let mut b = KernelBuilder::new("serial_request_probe");
+        let out = b.param_u32("out");
+        let i = b.global_tid_x();
+        let oa = b.index(out, i, 4);
+        b.atomic_add_global_u32(oa, Value::U32(1));
+        let k = b.build().unwrap();
+
+        let rec = Arc::new(MetricsRecorder::default());
+        let guard = gwc_obs::install(rec.clone());
+        let mut dev = Device::new();
+        let out = dev.alloc_zeroed_u32(8 * 32);
+        characterize_launch_sharded(&mut dev, &k, &LaunchConfig::new(8, 32), &[out.arg()], 1)
+            .unwrap();
+        drop(guard);
+        assert!(
+            rec.snapshot()
+                .fallbacks
+                .iter()
+                .all(|f| f.kernel != "serial_request_probe"),
+            "threads=1 is a request for serial execution, not a fallback"
+        );
     }
 
     #[test]

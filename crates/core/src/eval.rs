@@ -11,7 +11,7 @@ use gwc_characterize::schema;
 use gwc_stats::describe::{mean, relative_error};
 use gwc_timing::{speedups, DesignPoint, GpuConfig};
 
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_named;
 use crate::study::Study;
 
 /// Per-design-point estimation errors of a subset-based evaluation.
@@ -58,7 +58,7 @@ pub fn evaluate_subset_threads(
     threads: usize,
 ) -> SubsetEvaluation {
     let profiles: Vec<_> = study.records().iter().map(|r| r.profile.clone()).collect();
-    let rows = parallel_map(configs.len(), threads, |i| {
+    let rows = parallel_map_named("eval.sweep", configs.len(), threads, |i| {
         let sweep = speedups(&profiles, baseline, &configs[i..i + 1]);
         let p: &DesignPoint = &sweep.points[0];
         let truth = p.mean_speedup();
@@ -126,7 +126,7 @@ pub fn random_subset_errors_threads(
             subset
         })
         .collect();
-    parallel_map(subsets.len(), threads, |i| {
+    parallel_map_named("eval.random", subsets.len(), threads, |i| {
         evaluate_subset(study, baseline, configs, &subsets[i]).mean_error()
     })
 }

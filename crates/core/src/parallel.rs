@@ -17,6 +17,9 @@
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::Instant;
+
+use gwc_obs::recorder::PoolWorker;
 
 /// Threads to use by default: the machine's available parallelism, or 1
 /// if that cannot be determined.
@@ -33,6 +36,8 @@ pub fn available_threads() -> usize {
 /// uneven item costs balance automatically. With `threads <= 1` (or a
 /// single item) this is exactly a serial loop on the calling thread.
 ///
+/// Equivalent to [`parallel_map_named`] with the pool name `"pool"`.
+///
 /// # Panics
 ///
 /// Propagates a panic from `f` (the first panicking worker observed).
@@ -41,23 +46,90 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_named("pool", n, threads, f)
+}
+
+/// [`parallel_map`] with a pool name for observability: when a recorder
+/// is installed (see `gwc-obs`), every worker reports its task count,
+/// steal count (tasks claimed beyond an even `n / workers` share), busy
+/// time, and wall time under this name. With no recorder installed the
+/// per-task clock reads are skipped entirely and the schedule is
+/// unchanged — results are bit-identical either way.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the first panicking worker observed).
+pub fn parallel_map_named<T, F>(pool: &str, n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let rec = gwc_obs::recorder();
     let workers = threads.min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        let Some(rec) = rec else {
+            return (0..n).map(f).collect();
+        };
+        let wall = Instant::now();
+        let mut busy_ns = 0u64;
+        let out = (0..n)
+            .map(|i| {
+                let t0 = Instant::now();
+                let v = f(i);
+                busy_ns += t0.elapsed().as_nanos() as u64;
+                v
+            })
+            .collect();
+        rec.record_pool_worker(
+            pool,
+            0,
+            &PoolWorker {
+                tasks: n as u64,
+                steals: 0,
+                busy_ns,
+                wall_ns: wall.elapsed().as_nanos() as u64,
+            },
+        );
+        return out;
     }
+    // `Option<&dyn Recorder>` is `Copy`, so each worker closure can
+    // take its own copy without touching the `Arc`.
+    let rec = rec.as_deref();
+    let fair_share = (n / workers) as u64;
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                scope.spawn(move || {
+                    let wall = Instant::now();
+                    let mut busy_ns = 0u64;
                     let mut produced = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        let t0 = rec.map(|_| Instant::now());
                         produced.push((i, f(i)));
+                        if let Some(t0) = t0 {
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                    }
+                    if let Some(rec) = rec {
+                        let tasks = produced.len() as u64;
+                        rec.record_pool_worker(
+                            pool,
+                            w,
+                            &PoolWorker {
+                                tasks,
+                                steals: tasks.saturating_sub(fair_share),
+                                busy_ns,
+                                wall_ns: wall.elapsed().as_nanos() as u64,
+                            },
+                        );
                     }
                     produced
                 })
@@ -124,5 +196,52 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn named_pool_reports_per_worker_stats() {
+        use gwc_obs::metrics::MetricsRecorder;
+        use std::sync::Arc;
+
+        let rec = Arc::new(MetricsRecorder::default());
+        let guard = gwc_obs::install(rec.clone());
+        let got = parallel_map_named("pool-stats-probe", 64, 4, |i| i);
+        drop(guard);
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+        let snap = rec.snapshot();
+        let workers = snap
+            .pools
+            .iter()
+            .find(|(name, _)| name == "pool-stats-probe")
+            .map(|(_, w)| w)
+            .expect("pool recorded");
+        assert!(!workers.is_empty() && workers.len() <= 4);
+        let tasks: u64 = workers.iter().map(|(_, s)| s.tasks).sum();
+        assert_eq!(tasks, 64, "every task attributed to exactly one worker");
+        for (_, s) in workers {
+            assert!(s.wall_ns >= s.busy_ns, "busy time bounded by wall time");
+        }
+    }
+
+    #[test]
+    fn serial_named_pool_records_single_worker() {
+        use gwc_obs::metrics::MetricsRecorder;
+        use std::sync::Arc;
+
+        let rec = Arc::new(MetricsRecorder::default());
+        let guard = gwc_obs::install(rec.clone());
+        let got = parallel_map_named("pool-serial-probe", 5, 1, |i| i * 2);
+        drop(guard);
+        assert_eq!(got, vec![0, 2, 4, 6, 8]);
+        let snap = rec.snapshot();
+        let workers = snap
+            .pools
+            .iter()
+            .find(|(name, _)| name == "pool-serial-probe")
+            .map(|(_, w)| w)
+            .expect("pool recorded");
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].1.tasks, 5);
+        assert_eq!(workers[0].1.steals, 0);
     }
 }

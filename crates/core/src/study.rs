@@ -8,7 +8,7 @@ use gwc_simt::exec::Device;
 use gwc_stats::Matrix;
 use gwc_workloads::{registry, Scale, Suite, Workload, WorkloadError};
 
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_named;
 
 /// Configuration of a characterization study.
 #[derive(Debug, Clone, Copy)]
@@ -97,7 +97,7 @@ impl Study {
         // Hand each worker exclusive ownership of the workloads it steals.
         let slots: Vec<Mutex<Option<Box<dyn Workload>>>> =
             workloads.into_iter().map(|w| Mutex::new(Some(w))).collect();
-        let results = parallel_map(slots.len(), threads, |i| {
+        let results = parallel_map_named("study", slots.len(), threads, |i| {
             let mut w = slots[i]
                 .lock()
                 .expect("workload slot poisoned")
@@ -138,6 +138,8 @@ impl Study {
         threads: usize,
     ) -> Result<Vec<KernelRecord>, WorkloadError> {
         let meta = workload.meta();
+        let rec = gwc_obs::recorder();
+        let start = rec.as_ref().map(|_| std::time::Instant::now());
         let mut dev = Device::new();
         let launches = workload.setup(&mut dev, config.scale)?;
         // Insertion-ordered grouping by label.
@@ -161,7 +163,7 @@ impl Study {
         if config.verify {
             workload.verify(&dev)?;
         }
-        Ok(order
+        let records: Vec<KernelRecord> = order
             .into_iter()
             .map(|label| {
                 let profiler = profilers.remove(&label).expect("grouped");
@@ -173,7 +175,15 @@ impl Study {
                     profile,
                 }
             })
-            .collect())
+            .collect();
+        if let (Some(rec), Some(start)) = (rec, start) {
+            let nanos = start.elapsed().as_nanos() as u64;
+            rec.record_workload(meta.name, records.len() as u64, nanos);
+            // Workloads run on pool workers with no inherited span
+            // stack, so the span carries its parent explicitly.
+            rec.record_span(&format!("study/workload/{}", meta.name), nanos);
+        }
+        Ok(records)
     }
 
     /// The kernel records, in registry/launch order.

@@ -1,0 +1,94 @@
+//! Observability for the characterization pipeline: hierarchical spans,
+//! atomic counters/gauges, and a pluggable [`Recorder`].
+//!
+//! The pipeline is instrumented at every layer — `gwc-simt` records
+//! per-kernel launch statistics and serial-fallback reasons, the
+//! `gwc-core` pool records per-worker utilization, `gwc-characterize`
+//! records per-shard observe/merge durations, and `gwc-bench` records
+//! per-stage and per-experiment wall times — but all of it flows through
+//! one process-global [`Recorder`] that is **absent by default**.
+//!
+//! # Disabled-path cost contract
+//!
+//! With no recorder installed, every instrumentation call is one relaxed
+//! atomic load and a branch — no allocation, no clock read, no lock. The
+//! [`span!`] macro defers even its `format!` until the enabled check has
+//! passed, so dynamic span names cost nothing when recording is off.
+//! `tests/noop_alloc.rs` enforces zero allocations on the disabled hot
+//! path with a counting global allocator, and the pipeline's determinism
+//! and golden-snapshot suites run without a recorder, demonstrating that
+//! instrumentation does not perturb results.
+//!
+//! # Recording
+//!
+//! Install a recorder (usually [`metrics::MetricsRecorder`]) for the
+//! lifetime of a run:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gwc_obs::metrics::MetricsRecorder;
+//!
+//! let rec = Arc::new(MetricsRecorder::default());
+//! let guard = gwc_obs::install(rec.clone());
+//! {
+//!     let _study = gwc_obs::span!("study");
+//!     gwc_obs::count("kernels.profiled", 3);
+//! }
+//! drop(guard); // recording stops; `rec` keeps the data
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counters[0], ("kernels.profiled".to_string(), 3));
+//! ```
+//!
+//! Spans nest per thread: a span opened while another is active on the
+//! same thread records under the parent's path (`"study/observe"`).
+//! Cross-thread nesting is expressed with explicit `/`-separated paths
+//! at the call site (worker threads start with an empty span stack).
+
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod span;
+
+pub use recorder::{install, recorder, NoopRecorder, Recorder, RecorderGuard};
+pub use span::SpanGuard;
+
+use std::sync::atomic::Ordering;
+
+/// Whether a recorder is currently installed (the one-branch fast path).
+#[inline]
+pub fn enabled() -> bool {
+    recorder::ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `delta` to the named counter. One branch when disabled.
+#[inline]
+pub fn count(name: &str, delta: u64) {
+    if let Some(r) = recorder() {
+        r.add_counter(name, delta);
+    }
+}
+
+/// Sets the named gauge to `value`. One branch when disabled.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if let Some(r) = recorder() {
+        r.set_gauge(name, value);
+    }
+}
+
+/// Opens a timed span; the span ends (and records) when the returned
+/// guard drops. The name is a `format!` spec evaluated **only when a
+/// recorder is installed**, so dynamic names are free on the disabled
+/// path. Use `/` in the name to place the span under an explicit parent
+/// (worker threads have no inherited span stack).
+#[macro_export]
+macro_rules! span {
+    ($($arg:tt)*) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::begin(format!($($arg)*))
+        } else {
+            $crate::SpanGuard::noop()
+        }
+    };
+}

@@ -1,0 +1,340 @@
+//! [`MetricsRecorder`]: the aggregating recorder behind `regen
+//! --metrics` and `--trace-summary`.
+//!
+//! Everything aggregates into ordered maps keyed by name, so a
+//! snapshot's *shape* is deterministic for a given pipeline run — only
+//! the recorded durations vary between runs. That is what makes the
+//! metrics report schema snapshot-testable while timings are not.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::recorder::{KernelLaunch, PoolWorker, Recorder};
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Times the span closed.
+    pub count: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+}
+
+/// One span path with its aggregate (snapshot form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// `/`-separated hierarchical span name.
+    pub path: String,
+    /// Times the span closed.
+    pub count: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+}
+
+/// One workload's characterization record (snapshot form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadStat {
+    /// Workload name.
+    pub name: String,
+    /// Kernels (profile labels) the workload produced.
+    pub kernels: u64,
+    /// Wall time of the workload's characterization run.
+    pub wall_ns: u64,
+}
+
+/// One kernel's launch aggregate (snapshot form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Kernel name.
+    pub name: String,
+    /// Launches retired.
+    pub launches: u64,
+    /// Summed launch statistics.
+    pub totals: KernelLaunch,
+}
+
+/// One serial-fallback aggregate (snapshot form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackStat {
+    /// Kernel that fell back.
+    pub kernel: String,
+    /// Why it could not shard.
+    pub reason: &'static str,
+    /// Launches that fell back for this reason.
+    pub count: u64,
+}
+
+/// A thread-safe aggregating [`Recorder`].
+///
+/// Install it with [`crate::install`], run the pipeline, then call
+/// [`MetricsRecorder::snapshot`] for the frozen, deterministically
+/// ordered view the report builder consumes.
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    spans: Mutex<BTreeMap<String, SpanAgg>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    kernels: Mutex<BTreeMap<String, (u64, KernelLaunch)>>,
+    fallbacks: Mutex<BTreeMap<(String, &'static str), u64>>,
+    pools: Mutex<BTreeMap<String, BTreeMap<usize, PoolWorker>>>,
+    workloads: Mutex<BTreeMap<String, (u64, u64)>>,
+}
+
+/// A frozen, ordered view of everything a [`MetricsRecorder`] saw.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Span aggregates, ordered by path.
+    pub spans: Vec<SpanStat>,
+    /// Counters, ordered by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, ordered by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Per-kernel launch aggregates, ordered by kernel name.
+    pub kernels: Vec<KernelStat>,
+    /// Serial-fallback aggregates, ordered by (kernel, reason).
+    pub fallbacks: Vec<FallbackStat>,
+    /// Per-pool, per-worker statistics, ordered by pool name then
+    /// worker index.
+    pub pools: Vec<(String, Vec<(usize, PoolWorker)>)>,
+    /// Per-workload statistics, ordered by workload name.
+    pub workloads: Vec<WorkloadStat>,
+}
+
+impl MetricsSnapshot {
+    /// Top-level spans (no `/` in the path): the stage table.
+    pub fn stages(&self) -> Vec<&SpanStat> {
+        self.spans
+            .iter()
+            .filter(|s| !s.path.contains('/'))
+            .collect()
+    }
+
+    /// Total recorded time under `path`: the span's own aggregate plus
+    /// every descendant (`path/...`). Nested spans thereby aggregate to
+    /// their parent even when children were recorded from worker
+    /// threads under explicit `parent/child` paths.
+    pub fn rollup_ns(&self, path: &str) -> u64 {
+        let prefix = format!("{path}/");
+        self.spans
+            .iter()
+            .filter(|s| s.path == path || s.path.starts_with(&prefix))
+            .map(|s| s.total_ns)
+            .sum()
+    }
+
+    /// Spans sorted by total time, descending (ties broken by path so
+    /// the order is deterministic), truncated to `n`.
+    pub fn top_spans(&self, n: usize) -> Vec<&SpanStat> {
+        let mut sorted: Vec<&SpanStat> = self.spans.iter().collect();
+        sorted.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.path.cmp(&b.path)));
+        sorted.truncate(n);
+        sorted
+    }
+}
+
+impl MetricsRecorder {
+    /// Freezes the current aggregates into an ordered snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an aggregate mutex was poisoned (a recorder method
+    /// panicked mid-update — instrumentation never should).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            spans: self
+                .spans
+                .lock()
+                .expect("spans poisoned")
+                .iter()
+                .map(|(path, agg)| SpanStat {
+                    path: path.clone(),
+                    count: agg.count,
+                    total_ns: agg.total_ns,
+                })
+                .collect(),
+            counters: self
+                .counters
+                .lock()
+                .expect("counters poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("gauges poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            kernels: self
+                .kernels
+                .lock()
+                .expect("kernels poisoned")
+                .iter()
+                .map(|(name, (launches, totals))| KernelStat {
+                    name: name.clone(),
+                    launches: *launches,
+                    totals: *totals,
+                })
+                .collect(),
+            fallbacks: self
+                .fallbacks
+                .lock()
+                .expect("fallbacks poisoned")
+                .iter()
+                .map(|((kernel, reason), count)| FallbackStat {
+                    kernel: kernel.clone(),
+                    reason,
+                    count: *count,
+                })
+                .collect(),
+            pools: self
+                .pools
+                .lock()
+                .expect("pools poisoned")
+                .iter()
+                .map(|(name, workers)| {
+                    (
+                        name.clone(),
+                        workers.iter().map(|(w, s)| (*w, *s)).collect(),
+                    )
+                })
+                .collect(),
+            workloads: self
+                .workloads
+                .lock()
+                .expect("workloads poisoned")
+                .iter()
+                .map(|(name, (kernels, wall_ns))| WorkloadStat {
+                    name: name.clone(),
+                    kernels: *kernels,
+                    wall_ns: *wall_ns,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn record_span(&self, path: &str, nanos: u64) {
+        let mut spans = self.spans.lock().expect("spans poisoned");
+        let agg = spans.entry(path.to_string()).or_default();
+        agg.count += 1;
+        agg.total_ns += nanos;
+    }
+
+    fn add_counter(&self, name: &str, delta: u64) {
+        let mut counters = self.counters.lock().expect("counters poisoned");
+        *counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn set_gauge(&self, name: &str, value: f64) {
+        self.gauges
+            .lock()
+            .expect("gauges poisoned")
+            .insert(name.to_string(), value);
+    }
+
+    fn record_kernel_launch(&self, kernel: &str, stats: &KernelLaunch) {
+        let mut kernels = self.kernels.lock().expect("kernels poisoned");
+        let (launches, totals) = kernels.entry(kernel.to_string()).or_default();
+        *launches += 1;
+        totals.warp_instrs += stats.warp_instrs;
+        totals.thread_instrs += stats.thread_instrs;
+        totals.blocks += stats.blocks;
+        totals.warps += stats.warps;
+        totals.barriers += stats.barriers;
+    }
+
+    fn record_shard_fallback(&self, kernel: &str, reason: &'static str) {
+        let mut fallbacks = self.fallbacks.lock().expect("fallbacks poisoned");
+        *fallbacks.entry((kernel.to_string(), reason)).or_insert(0) += 1;
+    }
+
+    fn record_pool_worker(&self, pool: &str, worker: usize, stats: &PoolWorker) {
+        let mut pools = self.pools.lock().expect("pools poisoned");
+        let workers = pools.entry(pool.to_string()).or_default();
+        let slot = workers.entry(worker).or_default();
+        slot.tasks += stats.tasks;
+        slot.steals += stats.steals;
+        slot.busy_ns += stats.busy_ns;
+        slot.wall_ns += stats.wall_ns;
+    }
+
+    fn record_workload(&self, name: &str, kernels: u64, nanos: u64) {
+        let mut workloads = self.workloads.lock().expect("workloads poisoned");
+        let (k, ns) = workloads.entry(name.to_string()).or_default();
+        *k += kernels;
+        *ns += nanos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_by_path() {
+        let rec = MetricsRecorder::default();
+        rec.record_span("a", 10);
+        rec.record_span("a", 5);
+        rec.record_span("a/b", 3);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].path, "a");
+        assert_eq!(snap.spans[0].count, 2);
+        assert_eq!(snap.spans[0].total_ns, 15);
+        assert_eq!(snap.rollup_ns("a"), 18, "child folds into parent rollup");
+        assert_eq!(snap.stages().len(), 1, "only `a` is top-level");
+    }
+
+    #[test]
+    fn rollup_does_not_match_sibling_prefixes() {
+        let rec = MetricsRecorder::default();
+        rec.record_span("eval", 10);
+        rec.record_span("evaluate", 100);
+        assert_eq!(rec.snapshot().rollup_ns("eval"), 10);
+    }
+
+    #[test]
+    fn top_spans_sort_descending_with_deterministic_ties() {
+        let rec = MetricsRecorder::default();
+        rec.record_span("b", 5);
+        rec.record_span("a", 5);
+        rec.record_span("c", 9);
+        let snap = rec.snapshot();
+        let top: Vec<&str> = snap.top_spans(2).iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(top, ["c", "a"]);
+    }
+
+    #[test]
+    fn pool_worker_busy_frac() {
+        let w = PoolWorker {
+            tasks: 4,
+            steals: 1,
+            busy_ns: 30,
+            wall_ns: 40,
+        };
+        assert!((w.busy_frac() - 0.75).abs() < 1e-12);
+        assert_eq!(PoolWorker::default().busy_frac(), 0.0);
+    }
+
+    #[test]
+    fn kernel_launches_accumulate() {
+        let rec = MetricsRecorder::default();
+        let s = KernelLaunch {
+            warp_instrs: 10,
+            thread_instrs: 300,
+            blocks: 2,
+            warps: 4,
+            barriers: 1,
+        };
+        rec.record_kernel_launch("k", &s);
+        rec.record_kernel_launch("k", &s);
+        let snap = rec.snapshot();
+        assert_eq!(snap.kernels.len(), 1);
+        assert_eq!(snap.kernels[0].launches, 2);
+        assert_eq!(snap.kernels[0].totals.warp_instrs, 20);
+        assert_eq!(snap.kernels[0].totals.barriers, 2);
+    }
+}

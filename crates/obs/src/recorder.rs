@@ -1,0 +1,160 @@
+//! The [`Recorder`] trait and the process-global installation point.
+//!
+//! Instrumentation sites call the free functions in the crate root
+//! ([`crate::count`], [`crate::span!`], …); those route to whatever
+//! recorder is installed here, or do nothing. Typed hooks
+//! ([`Recorder::record_pool_worker`], [`Recorder::record_shard_fallback`],
+//! …) exist for the structured facts the metrics report tabulates — they
+//! keep the report builder free of name-parsing.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Receives observability events from the instrumented pipeline.
+///
+/// Every method has a no-op default body, so recorders implement only
+/// what they aggregate. Methods take `&self` and must be thread-safe:
+/// the pipeline calls them concurrently from pool workers and shard
+/// threads.
+pub trait Recorder: Send + Sync {
+    /// A span closed: `path` is its `/`-separated hierarchical name.
+    fn record_span(&self, path: &str, nanos: u64) {
+        let _ = (path, nanos);
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    fn add_counter(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets a gauge to its latest value.
+    fn set_gauge(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// A kernel launch retired (serial or sharded — reported once per
+    /// launch with the summed stats either way).
+    fn record_kernel_launch(&self, kernel: &str, stats: &KernelLaunch) {
+        let _ = (kernel, stats);
+    }
+
+    /// A launch that was asked to shard fell back to serial execution.
+    fn record_shard_fallback(&self, kernel: &str, reason: &'static str) {
+        let _ = (kernel, reason);
+    }
+
+    /// One pool worker finished its run of a `parallel_map`.
+    fn record_pool_worker(&self, pool: &str, worker: usize, stats: &PoolWorker) {
+        let _ = (pool, worker, stats);
+    }
+
+    /// One workload finished characterization.
+    fn record_workload(&self, name: &str, kernels: u64, nanos: u64) {
+        let _ = (name, kernels, nanos);
+    }
+}
+
+/// Per-launch statistics reported by [`Recorder::record_kernel_launch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelLaunch {
+    /// Warp-level dynamic instructions (lock-step issues, "warp steps").
+    pub warp_instrs: u64,
+    /// Thread-level dynamic instructions retired.
+    pub thread_instrs: u64,
+    /// Blocks executed.
+    pub blocks: u64,
+    /// Warps executed.
+    pub warps: u64,
+    /// Block-wide barriers released.
+    pub barriers: u64,
+}
+
+/// Per-worker statistics reported by [`Recorder::record_pool_worker`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolWorker {
+    /// Tasks this worker claimed and ran.
+    pub tasks: u64,
+    /// Tasks claimed beyond an even `n / workers` share — work the
+    /// stealing schedule moved here from slower workers.
+    pub steals: u64,
+    /// Time spent inside task bodies.
+    pub busy_ns: u64,
+    /// Worker lifetime (spawn to exit); `busy_ns / wall_ns` is the
+    /// worker's busy fraction.
+    pub wall_ns: u64,
+}
+
+impl PoolWorker {
+    /// Fraction of the worker's lifetime spent inside task bodies.
+    pub fn busy_frac(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// A recorder that ignores every event (useful as an explicit stand-in).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+pub(crate) static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+/// Serializes installations: tests that install a recorder hold this
+/// for their whole scope, so concurrent recorder-using tests queue
+/// instead of seeing each other's data.
+static INSTALL_GATE: Mutex<()> = Mutex::new(());
+
+/// Installs `rec` as the process-global recorder until the returned
+/// guard drops. Installation is exclusive: a second caller blocks until
+/// the first guard drops (this is what makes recorder-using tests safe
+/// to run in the same process).
+pub fn install(rec: Arc<dyn Recorder>) -> RecorderGuard {
+    let gate = INSTALL_GATE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    *RECORDER.write().expect("recorder slot poisoned") = Some(rec);
+    ENABLED.store(true, std::sync::atomic::Ordering::SeqCst);
+    RecorderGuard { _gate: gate }
+}
+
+/// Uninstalls the global recorder when dropped.
+pub struct RecorderGuard {
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, std::sync::atomic::Ordering::SeqCst);
+        *RECORDER.write().expect("recorder slot poisoned") = None;
+    }
+}
+
+impl std::fmt::Debug for RecorderGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RecorderGuard")
+    }
+}
+
+/// Holds the installation gate *without* installing a recorder — for
+/// unit tests that exercise the disabled path and must not race with a
+/// concurrently installed recorder.
+#[cfg(test)]
+pub(crate) fn test_gate() -> MutexGuard<'static, ()> {
+    INSTALL_GATE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The installed recorder, if any. The disabled path is one relaxed
+/// atomic load; the enabled path takes a read lock and clones the `Arc`.
+#[inline]
+pub fn recorder() -> Option<Arc<dyn Recorder>> {
+    if !crate::enabled() {
+        return None;
+    }
+    RECORDER.read().ok()?.clone()
+}

@@ -1,0 +1,439 @@
+//! The schema-versioned metrics report behind `regen --metrics`.
+//!
+//! [`build_report`] turns a [`MetricsSnapshot`] into a JSON document
+//! whose *shape* is deterministic for a given pipeline configuration —
+//! every array is ordered by name, every record carries the same keys —
+//! while the recorded durations vary run to run. [`validate`] checks a
+//! parsed document against the schema (required keys, types, version),
+//! and [`validate_str`] additionally round-trips it through the writer
+//! and parser, which is what CI runs on every regen metrics artifact.
+
+use crate::json::{parse, Json};
+use crate::metrics::MetricsSnapshot;
+
+/// Version stamped into (and required from) every report.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Required top-level keys, in emission order.
+pub const REQUIRED_KEYS: [&str; 12] = [
+    "schema_version",
+    "threads",
+    "experiment_ids",
+    "stages",
+    "experiments",
+    "workloads",
+    "kernels",
+    "pools",
+    "fallbacks",
+    "counters",
+    "gauges",
+    "spans",
+];
+
+/// Run context the snapshot itself does not know.
+#[derive(Debug, Clone, Default)]
+pub struct ReportContext {
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+    /// Experiment ids the run regenerated, in execution order.
+    pub experiment_ids: Vec<String>,
+}
+
+/// Builds the metrics report document.
+pub fn build_report(snap: &MetricsSnapshot, ctx: &ReportContext) -> Json {
+    let stages = snap
+        .stages()
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(s.path.clone())),
+                ("count".into(), Json::UInt(s.count)),
+                ("wall_ns".into(), Json::UInt(s.total_ns)),
+                ("rollup_ns".into(), Json::UInt(snap.rollup_ns(&s.path))),
+            ])
+        })
+        .collect();
+    let experiments = snap
+        .spans
+        .iter()
+        .filter_map(|s| {
+            let id = s.path.strip_prefix("experiment/")?;
+            if id.contains('/') {
+                return None;
+            }
+            Some(Json::Obj(vec![
+                ("id".into(), Json::Str(id.to_string())),
+                ("wall_ns".into(), Json::UInt(s.total_ns)),
+            ]))
+        })
+        .collect();
+    let workloads = snap
+        .workloads
+        .iter()
+        .map(|w| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(w.name.clone())),
+                ("kernels".into(), Json::UInt(w.kernels)),
+                ("wall_ns".into(), Json::UInt(w.wall_ns)),
+            ])
+        })
+        .collect();
+    let kernels = snap
+        .kernels
+        .iter()
+        .map(|k| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(k.name.clone())),
+                ("launches".into(), Json::UInt(k.launches)),
+                ("warp_instrs".into(), Json::UInt(k.totals.warp_instrs)),
+                ("thread_instrs".into(), Json::UInt(k.totals.thread_instrs)),
+                ("blocks".into(), Json::UInt(k.totals.blocks)),
+                ("warps".into(), Json::UInt(k.totals.warps)),
+                ("barriers".into(), Json::UInt(k.totals.barriers)),
+            ])
+        })
+        .collect();
+    let pools = snap
+        .pools
+        .iter()
+        .map(|(name, workers)| {
+            let rows = workers
+                .iter()
+                .map(|(idx, w)| {
+                    Json::Obj(vec![
+                        ("worker".into(), Json::UInt(*idx as u64)),
+                        ("tasks".into(), Json::UInt(w.tasks)),
+                        ("steals".into(), Json::UInt(w.steals)),
+                        ("busy_ns".into(), Json::UInt(w.busy_ns)),
+                        ("wall_ns".into(), Json::UInt(w.wall_ns)),
+                        ("busy_frac".into(), Json::Num(w.busy_frac())),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(name.clone())),
+                ("workers".into(), Json::Arr(rows)),
+            ])
+        })
+        .collect();
+    let fallbacks = snap
+        .fallbacks
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("kernel".into(), Json::Str(f.kernel.clone())),
+                ("reason".into(), Json::Str(f.reason.to_string())),
+                ("count".into(), Json::UInt(f.count)),
+            ])
+        })
+        .collect();
+    let counters = snap
+        .counters
+        .iter()
+        .map(|(name, value)| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(name.clone())),
+                ("value".into(), Json::UInt(*value)),
+            ])
+        })
+        .collect();
+    let gauges = snap
+        .gauges
+        .iter()
+        .map(|(name, value)| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(name.clone())),
+                ("value".into(), Json::Num(*value)),
+            ])
+        })
+        .collect();
+    let spans = snap
+        .spans
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("path".into(), Json::Str(s.path.clone())),
+                ("count".into(), Json::UInt(s.count)),
+                ("total_ns".into(), Json::UInt(s.total_ns)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema_version".into(), Json::UInt(SCHEMA_VERSION)),
+        ("threads".into(), Json::UInt(ctx.threads as u64)),
+        (
+            "experiment_ids".into(),
+            Json::Arr(
+                ctx.experiment_ids
+                    .iter()
+                    .map(|id| Json::Str(id.clone()))
+                    .collect(),
+            ),
+        ),
+        ("stages".into(), Json::Arr(stages)),
+        ("experiments".into(), Json::Arr(experiments)),
+        ("workloads".into(), Json::Arr(workloads)),
+        ("kernels".into(), Json::Arr(kernels)),
+        ("pools".into(), Json::Arr(pools)),
+        ("fallbacks".into(), Json::Arr(fallbacks)),
+        ("counters".into(), Json::Arr(counters)),
+        ("gauges".into(), Json::Arr(gauges)),
+        ("spans".into(), Json::Arr(spans)),
+    ])
+}
+
+fn require_records(doc: &Json, key: &str, fields: &[&str]) -> Result<(), String> {
+    let arr = doc
+        .get(key)
+        .ok_or_else(|| format!("missing key `{key}`"))?
+        .as_arr()
+        .ok_or_else(|| format!("`{key}` is not an array"))?;
+    for (i, record) in arr.iter().enumerate() {
+        for field in fields {
+            record
+                .get(field)
+                .ok_or_else(|| format!("`{key}[{i}]` is missing `{field}`"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates a parsed report against the schema.
+///
+/// # Errors
+///
+/// Returns a message naming the first missing/mistyped key or the
+/// version mismatch.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    for key in REQUIRED_KEYS {
+        if doc.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("`schema_version` is not an unsigned integer")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    doc.get("threads")
+        .and_then(Json::as_u64)
+        .ok_or("`threads` is not an unsigned integer")?;
+    doc.get("experiment_ids")
+        .and_then(Json::as_arr)
+        .ok_or("`experiment_ids` is not an array")?;
+    require_records(doc, "stages", &["name", "count", "wall_ns", "rollup_ns"])?;
+    require_records(doc, "experiments", &["id", "wall_ns"])?;
+    require_records(doc, "workloads", &["name", "kernels", "wall_ns"])?;
+    require_records(
+        doc,
+        "kernels",
+        &["name", "launches", "warp_instrs", "thread_instrs", "blocks"],
+    )?;
+    require_records(doc, "pools", &["name", "workers"])?;
+    for (i, pool) in doc
+        .get("pools")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .enumerate()
+    {
+        let workers = pool
+            .get("workers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("`pools[{i}].workers` is not an array"))?;
+        for (j, w) in workers.iter().enumerate() {
+            for field in [
+                "worker",
+                "tasks",
+                "steals",
+                "busy_ns",
+                "wall_ns",
+                "busy_frac",
+            ] {
+                w.get(field)
+                    .ok_or_else(|| format!("`pools[{i}].workers[{j}]` is missing `{field}`"))?;
+            }
+        }
+    }
+    require_records(doc, "fallbacks", &["kernel", "reason", "count"])?;
+    require_records(doc, "counters", &["name", "value"])?;
+    require_records(doc, "gauges", &["name", "value"])?;
+    require_records(doc, "spans", &["path", "count", "total_ns"])?;
+    Ok(())
+}
+
+/// Parses, validates, and round-trips a report document.
+///
+/// The round-trip (`parse → render → parse → compare`) is the offline
+/// stand-in for a serde round-trip: it proves the document survives the
+/// writer/parser pair unchanged.
+///
+/// # Errors
+///
+/// Returns the first parse, schema, or round-trip failure.
+pub fn validate_str(text: &str) -> Result<Json, String> {
+    let doc = parse(text).map_err(|e| format!("parse error: {e}"))?;
+    validate(&doc)?;
+    let rendered = doc.render();
+    let back = parse(&rendered).map_err(|e| format!("round-trip parse error: {e}"))?;
+    if back != doc {
+        return Err("document changed across a render/parse round-trip".into());
+    }
+    Ok(doc)
+}
+
+/// Renders the human-readable top-`n` span table `--trace-summary`
+/// prints to stderr.
+pub fn render_summary(snap: &MetricsSnapshot, n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "top {} spans by total time:\n{:<44} {:>8} {:>14} {:>12}\n",
+        n.min(snap.spans.len()),
+        "span",
+        "count",
+        "total",
+        "mean"
+    ));
+    for s in snap.top_spans(n) {
+        out.push_str(&format!(
+            "{:<44} {:>8} {:>14} {:>12}\n",
+            s.path,
+            s.count,
+            fmt_ns(s.total_ns),
+            fmt_ns(s.total_ns / s.count.max(1)),
+        ));
+    }
+    out
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRecorder;
+    use crate::recorder::{KernelLaunch, PoolWorker, Recorder};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let rec = MetricsRecorder::default();
+        rec.record_span("study", 100);
+        rec.record_span("study/workload/bfs", 60);
+        rec.record_span("experiment/e1", 40);
+        rec.add_counter("simt.warp_instrs", 1234);
+        rec.set_gauge("pool.workers", 4.0);
+        rec.record_kernel_launch(
+            "bfs_step",
+            &KernelLaunch {
+                warp_instrs: 10,
+                thread_instrs: 320,
+                blocks: 2,
+                warps: 10,
+                barriers: 0,
+            },
+        );
+        rec.record_shard_fallback("histogram", "global-atomics");
+        rec.record_pool_worker(
+            "study",
+            0,
+            &PoolWorker {
+                tasks: 3,
+                steals: 1,
+                busy_ns: 80,
+                wall_ns: 100,
+            },
+        );
+        rec.record_workload("bfs", 1, 60);
+        rec.snapshot()
+    }
+
+    fn sample_ctx() -> ReportContext {
+        ReportContext {
+            threads: 4,
+            experiment_ids: vec!["e1".into()],
+        }
+    }
+
+    #[test]
+    fn report_validates_and_round_trips() {
+        let doc = build_report(&sample_snapshot(), &sample_ctx());
+        let text = doc.render();
+        let back = validate_str(&text).expect("valid report");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn report_contains_the_recorded_facts() {
+        let doc = build_report(&sample_snapshot(), &sample_ctx());
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("threads").unwrap().as_u64(), Some(4));
+        let stages = doc.get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages.len(), 1, "only `study` is top-level: {stages:?}");
+        let study = &stages[0];
+        assert_eq!(study.get("name").unwrap().as_str(), Some("study"));
+        assert_eq!(study.get("wall_ns").unwrap().as_u64(), Some(100));
+        assert_eq!(study.get("rollup_ns").unwrap().as_u64(), Some(160));
+        let exps = doc.get("experiments").unwrap().as_arr().unwrap();
+        assert_eq!(exps[0].get("id").unwrap().as_str(), Some("e1"));
+        let fb = &doc.get("fallbacks").unwrap().as_arr().unwrap()[0];
+        assert_eq!(fb.get("kernel").unwrap().as_str(), Some("histogram"));
+        assert_eq!(fb.get("reason").unwrap().as_str(), Some("global-atomics"));
+        let pool = &doc.get("pools").unwrap().as_arr().unwrap()[0];
+        let w0 = &pool.get("workers").unwrap().as_arr().unwrap()[0];
+        assert_eq!(w0.get("tasks").unwrap().as_u64(), Some(3));
+        assert_eq!(w0.get("busy_frac").unwrap().as_f64(), Some(0.8));
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_mistyped_keys() {
+        let doc = build_report(&sample_snapshot(), &sample_ctx());
+        let Json::Obj(mut fields) = doc.clone() else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "pools");
+        let err = validate(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("pools"), "{err}");
+
+        let Json::Obj(mut fields) = doc else {
+            unreachable!()
+        };
+        for f in &mut fields {
+            if f.0 == "schema_version" {
+                f.1 = Json::UInt(99);
+            }
+        }
+        let err = validate(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn summary_lists_heaviest_spans_first() {
+        let summary = render_summary(&sample_snapshot(), 2);
+        let study_at = summary.find("study").unwrap();
+        let e1_at = summary.find("experiment/e1");
+        assert!(e1_at.is_none() || study_at < e1_at.unwrap());
+        assert!(summary.contains("100ns"));
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(1_700), "1.700us");
+        assert_eq!(fmt_ns(1_700_000), "1.700ms");
+        assert_eq!(fmt_ns(1_700_000_000), "1.700s");
+    }
+}

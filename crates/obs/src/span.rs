@@ -1,0 +1,91 @@
+//! Hierarchical timed spans.
+//!
+//! A [`SpanGuard`] measures the wall time between its creation and its
+//! drop on a monotonic clock ([`std::time::Instant`]) and reports the
+//! duration to the installed recorder under a `/`-separated path. Spans
+//! opened while another span is active *on the same thread* nest under
+//! it: the reported path is the thread's span stack joined with `/`.
+//!
+//! Construct spans with the [`crate::span!`] macro — it performs the
+//! enabled check before evaluating the name, which keeps dynamic names
+//! allocation-free on the disabled path.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; ends (and records) on drop. See [`crate::span!`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` on the current thread's span stack.
+    ///
+    /// Prefer [`crate::span!`], which skips this entirely (including the
+    /// name construction) when no recorder is installed.
+    pub fn begin(name: String) -> SpanGuard {
+        STACK.with(|s| s.borrow_mut().push(name));
+        SpanGuard {
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// An inert span: no clock read, no stack push, nothing on drop.
+    pub fn noop() -> SpanGuard {
+        SpanGuard { start: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let nanos = start.elapsed().as_nanos() as u64;
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        // The recorder may have been uninstalled while the span was
+        // open; the stack bookkeeping above must happen regardless.
+        if let Some(r) = crate::recorder() {
+            r.record_span(&path, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::MetricsRecorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn nested_spans_record_hierarchical_paths() {
+        let rec = Arc::new(MetricsRecorder::default());
+        let guard = crate::install(rec.clone());
+        {
+            let _outer = crate::span!("outer");
+            let _inner = crate::span!("inner-{}", 1);
+        }
+        drop(guard);
+        let snap = rec.snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, ["outer", "outer/inner-1"]);
+    }
+
+    #[test]
+    fn disabled_spans_leave_no_trace() {
+        let _gate = crate::recorder::test_gate();
+        let rec = Arc::new(MetricsRecorder::default());
+        {
+            let _s = crate::span!("not-recorded");
+        }
+        // Never installed: nothing may have been recorded anywhere.
+        assert!(rec.snapshot().spans.is_empty());
+    }
+}

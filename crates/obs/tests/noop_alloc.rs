@@ -1,0 +1,50 @@
+//! The disabled-path cost contract: with no recorder installed, the
+//! span/counter/gauge hot paths perform **zero heap allocations**.
+//!
+//! This file contains exactly one test so no sibling test can allocate
+//! concurrently on another thread while the window is being measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates verbatim to `System`; only bumps a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_hot_path_never_allocates() {
+    assert!(!gwc_obs::enabled(), "no recorder is installed in this test");
+    // Warm up any lazy one-time initialization outside the window.
+    {
+        let _s = gwc_obs::span!("warmup/{}", 0);
+        gwc_obs::count("warmup", 1);
+        gwc_obs::gauge("warmup", 0.0);
+    }
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        // Dynamic span names: the format! must not run while disabled.
+        let _s = gwc_obs::span!("hot/kernel-{i}");
+        gwc_obs::count("simt.warp_instrs", i);
+        gwc_obs::gauge("pool.busy", i as f64);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled instrumentation path allocated");
+}

@@ -252,9 +252,12 @@ impl Device {
         config.validate()?;
         kernel.check_args(args)?;
         observer.on_launch(kernel, config);
+        let span = gwc_obs::span!("launch/{}", kernel.name());
         let stats =
             self.run_block_range(kernel, config, args, 0, config.blocks() as u32, observer)?;
+        drop(span);
         observer.on_launch_end(&stats);
+        crate::trace::record_launch(kernel.name(), &stats);
         Ok(stats)
     }
 

@@ -124,6 +124,21 @@ impl Kernel {
         })
     }
 
+    /// Why this kernel's blocks may **not** be executed as disjoint
+    /// block ranges, or `None` if block sharding is safe.
+    ///
+    /// This is the machine-readable side of
+    /// [`Kernel::is_block_shardable`]: the parallel runtime records the
+    /// returned reason through the observability recorder so serial
+    /// fallbacks are visible in `regen --metrics` instead of silently
+    /// costing a thread's worth of speedup.
+    pub fn shard_blocker(&self) -> Option<&'static str> {
+        if self.has_global_atomics() {
+            return Some("global-atomics");
+        }
+        None
+    }
+
     /// Whether this kernel's blocks may be executed as disjoint block
     /// ranges on forked devices (see `Device::run_block_range`) with
     /// results identical to serial execution.
@@ -136,9 +151,9 @@ impl Kernel {
     /// in any order, even sequentially); kernels that break that rule are
     /// not shardable and must go through the serial path. The determinism
     /// test suite cross-checks every registered workload against this
-    /// contract.
+    /// contract. [`Kernel::shard_blocker`] names the reason.
     pub fn is_block_shardable(&self) -> bool {
-        !self.has_global_atomics()
+        self.shard_blocker().is_none()
     }
 
     /// Checks launch arguments against the parameter declarations.

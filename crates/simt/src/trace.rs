@@ -123,6 +123,36 @@ pub struct LaunchStats {
     pub barriers: u64,
 }
 
+/// Reports one retired launch to the observability recorder: the
+/// per-kernel aggregate (instructions retired, warp steps, blocks,
+/// barriers) plus the global `simt.*` counters. One branch when no
+/// recorder is installed.
+///
+/// [`crate::exec::Device::launch_observed`] calls this for serial
+/// launches; the sharded runtime calls it once per sharded launch with
+/// the summed shard stats, so a launch is reported exactly once either
+/// way.
+pub fn record_launch(kernel: &str, stats: &LaunchStats) {
+    let Some(rec) = gwc_obs::recorder() else {
+        return;
+    };
+    rec.record_kernel_launch(
+        kernel,
+        &gwc_obs::recorder::KernelLaunch {
+            warp_instrs: stats.warp_instrs,
+            thread_instrs: stats.thread_instrs,
+            blocks: stats.blocks,
+            warps: stats.warps,
+            barriers: stats.barriers,
+        },
+    );
+    rec.add_counter("simt.launches", 1);
+    rec.add_counter("simt.warp_instrs", stats.warp_instrs);
+    rec.add_counter("simt.thread_instrs", stats.thread_instrs);
+    rec.add_counter("simt.blocks", stats.blocks);
+    rec.add_counter("simt.barriers", stats.barriers);
+}
+
 /// Receives execution events during a launch.
 ///
 /// All methods have empty default bodies, so observers implement only what
