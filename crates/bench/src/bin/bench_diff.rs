@@ -1,0 +1,122 @@
+//! Compares two bench reports written by `bench_run` and fails on
+//! regressions: a row regresses when its candidate median exceeds the
+//! baseline median by more than the tolerance *and* the baseline is
+//! above the noise floor (tiny stages jitter too much to gate on).
+//!
+//! ```sh
+//! cargo run --release -p gwc-bench --bin bench_diff -- \
+//!     results/bench_baseline_small.json BENCH_run.json
+//! ```
+//!
+//! Exit status: 0 = no regressions, 1 = regression found (suppressed by
+//! `--warn-only`), 2 = usage or read error.
+
+use gwc_bench::perf::{diff_reports, render_diff, DiffConfig};
+use gwc_obs::json::Json;
+
+const USAGE: &str = "\
+usage: bench_diff OLD.json NEW.json [OPTIONS]
+
+Compares two bench_run reports row by row (total, per stage, per
+experiment) and exits non-zero when the candidate's median exceeds the
+baseline's by more than the tolerance.
+
+options:
+  --tolerance F      allowed median ratio slack (default 0.20 = +20%)
+  --min-ns N         noise floor: baseline medians below N ns never
+                     regress (default 1000000 = 1ms)
+  --warn-only        report regressions but exit 0
+  -h, --help         print this help
+";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("bench_diff: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn read_report(path: &str, role: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage_error(&format!("cannot read {role} `{path}`: {e}")));
+    gwc_obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {role} `{path}` is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut cfg = DiffConfig::default();
+    let mut warn_only = false;
+    let mut argv = std::env::args().skip(1).peekable();
+    while let Some(arg) = argv.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| argv.next())
+                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--tolerance" => {
+                let v = value("--tolerance");
+                cfg.tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| {
+                        usage_error(&format!("--tolerance: `{v}` is not a non-negative number"))
+                    });
+            }
+            "--min-ns" => {
+                let v = value("--min-ns");
+                cfg.min_ns = v
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| usage_error(&format!("--min-ns: `{v}` is not a count")));
+            }
+            "--warn-only" => warn_only = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            _ if arg.starts_with('-') => usage_error(&format!("unknown option `{arg}`")),
+            _ => paths.push(arg),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        usage_error("expected exactly two report paths (OLD.json NEW.json)");
+    };
+    let old = read_report(old_path, "baseline");
+    let new = read_report(new_path, "candidate");
+    let diff = match diff_reports(&old, &new, &cfg) {
+        Ok(diff) => diff,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", render_diff(&diff, &cfg));
+    let regressions = diff.regressions();
+    if regressions.is_empty() {
+        eprintln!(
+            "bench_diff: no regressions (tolerance +{:.0}%)",
+            cfg.tolerance * 100.0
+        );
+        return;
+    }
+    eprintln!(
+        "bench_diff: {} row(s) regressed beyond +{:.0}%{}",
+        regressions.len(),
+        cfg.tolerance * 100.0,
+        if warn_only {
+            " (warn-only, exiting 0)"
+        } else {
+            ""
+        }
+    );
+    if !warn_only {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Measures the pipeline's wall-time trajectory: runs the study and a
+//! configurable experiment subset several times and writes a bench
+//! report (`BENCH_<label>.json`) with per-stage, per-experiment, and
+//! total min/median/p95 wall times.
+//!
+//! ```sh
+//! cargo run --release -p gwc-bench --bin bench_run -- e1 e2 \
+//!     --iters 5 --warmup 1 --threads 4 --out BENCH_small.json
+//! cargo run --release -p gwc-bench --bin bench_diff -- \
+//!     results/bench_baseline_small.json BENCH_small.json
+//! ```
+//!
+//! Each iteration installs a fresh metrics recorder, so the reported
+//! stage times are exactly the span rollups `regen --metrics` reports
+//! (recorder overhead included — the trajectory tracks what users
+//! measure, not an idealized uninstrumented run).
+
+use gwc_bench::all_experiments;
+use gwc_bench::perf::{build_bench_report, measure_iteration, validate_bench, BenchContext};
+use gwc_obs::report::fmt_ns;
+
+const USAGE: &str = "\
+usage: bench_run [EXPERIMENT...] [OPTIONS]
+
+Runs the characterization pipeline (study + the given experiments;
+all of E1..E13 when no ids are given) warmup + iters times and writes
+a bench report with min/median/p95 wall times per stage, per
+experiment, and in total.
+
+options:
+  --iters N          measured iterations (default 5)
+  --warmup N         unrecorded warmup iterations (default 1)
+  --threads N        worker threads for the study (default: available
+                     parallelism; 1 forces the serial path)
+  --label NAME       report label (default `run`)
+  --out PATH         output path (default BENCH_<label>.json)
+  -h, --help         print this help
+";
+
+struct Cli {
+    ids: Vec<String>,
+    iters: usize,
+    warmup: usize,
+    threads: usize,
+    label: String,
+    out: Option<String>,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("bench_run: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
+    let mut cli = Cli {
+        ids: Vec::new(),
+        iters: 5,
+        warmup: 1,
+        threads: gwc_core::available_threads(),
+        label: "run".to_string(),
+        out: None,
+    };
+    let mut argv = argv.peekable();
+    while let Some(arg) = argv.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| argv.next())
+                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
+        };
+        let mut count = |name: &str| {
+            let v = value(name);
+            v.parse::<usize>()
+                .unwrap_or_else(|_| usage_error(&format!("{name}: `{v}` is not a count")))
+        };
+        match flag.as_str() {
+            "--iters" => cli.iters = count("--iters"),
+            "--warmup" => cli.warmup = count("--warmup"),
+            "--threads" => cli.threads = count("--threads"),
+            "--label" => cli.label = value("--label"),
+            "--out" => cli.out = Some(value("--out")),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            _ if arg.starts_with('-') => usage_error(&format!("unknown option `{arg}`")),
+            _ => cli.ids.push(arg.to_lowercase()),
+        }
+    }
+    if cli.ids.is_empty() {
+        cli.ids = all_experiments().iter().map(|s| s.to_string()).collect();
+    }
+    for id in &cli.ids {
+        if !all_experiments().contains(&id.as_str()) {
+            usage_error(&format!(
+                "unknown experiment `{id}`; known: {:?}",
+                all_experiments()
+            ));
+        }
+    }
+    if cli.iters == 0 {
+        usage_error("--iters must be at least 1");
+    }
+    cli.threads = cli.threads.max(1);
+    cli
+}
+
+fn main() {
+    let cli = parse_args(std::env::args().skip(1));
+    let out = cli
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", cli.label));
+    let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
+    eprintln!(
+        "bench_run: {} warmup + {} measured iteration(s) of {:?} on {} thread(s)",
+        cli.warmup, cli.iters, ids, cli.threads
+    );
+    for w in 0..cli.warmup {
+        eprintln!("  warmup {}/{}...", w + 1, cli.warmup);
+        measure_iteration(&ids, cli.threads);
+    }
+    let mut samples = Vec::with_capacity(cli.iters);
+    for i in 0..cli.iters {
+        let sample = measure_iteration(&ids, cli.threads);
+        eprintln!(
+            "  iter {}/{}: total {}",
+            i + 1,
+            cli.iters,
+            fmt_ns(sample.total_ns)
+        );
+        samples.push(sample);
+    }
+    let report = build_bench_report(
+        &BenchContext {
+            label: cli.label.clone(),
+            threads: cli.threads,
+            warmup: cli.warmup,
+            iters: cli.iters,
+            experiment_ids: cli.ids.clone(),
+        },
+        &samples,
+    );
+    if let Err(e) = validate_bench(&report) {
+        eprintln!("bench_run: internal error: report failed validation: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out, report.render()) {
+        eprintln!("bench_run: cannot write report to `{out}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("bench report written to {out}");
+}

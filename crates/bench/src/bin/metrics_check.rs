@@ -2,32 +2,84 @@
 //!
 //! ```sh
 //! cargo run -p gwc-bench --bin metrics_check -- metrics.json
+//! cargo run -p gwc-bench --bin metrics_check -- --schema v2 metrics.json
 //! ```
 //!
 //! Parses the file with the `gwc-obs` JSON parser, checks the schema
 //! version and required keys, and round-trips it (parse -> render ->
-//! parse -> compare) to prove the writer and parser agree. Exits 0 on a
-//! valid report, 1 on a bad one, 2 on usage errors.
+//! parse -> compare) to prove the writer and parser agree. Any schema
+//! version the validator supports is accepted unless `--schema` pins
+//! one. Exits 0 on a valid report, 1 on a bad one, 2 on usage errors.
 
-use gwc_obs::report::validate_str;
+use gwc_obs::report::validate_str_version;
+
+const USAGE: &str = "\
+usage: metrics_check [OPTIONS] FILE.json
+
+Validates a metrics report written by `regen --metrics`.
+
+options:
+  --schema v1|v2     require this exact schema version (default: accept
+                     any supported version)
+  -h, --help         print this help
+";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("metrics_check: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let [path] = args.as_slice() else {
-        eprintln!("usage: metrics_check FILE.json");
-        std::process::exit(2);
+    let mut path: Option<String> = None;
+    let mut pin: Option<u64> = None;
+    let mut argv = std::env::args().skip(1).peekable();
+    while let Some(arg) = argv.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| argv.next())
+                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--schema" => {
+                let v = value("--schema");
+                pin = Some(match v.as_str() {
+                    "v1" | "1" => 1,
+                    "v2" | "2" => 2,
+                    _ => usage_error(&format!("--schema: `{v}` is not a known version (v1, v2)")),
+                });
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            _ if arg.starts_with('-') => usage_error(&format!("unknown option `{arg}`")),
+            _ if path.is_some() => usage_error("expected exactly one FILE.json"),
+            _ => path = Some(arg),
+        }
+    }
+    let Some(path) = path else {
+        usage_error("expected a FILE.json to validate");
     };
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("metrics_check: cannot read `{path}`: {e}");
         std::process::exit(2);
     });
-    match validate_str(&text) {
+    match validate_str_version(&text, pin) {
         Ok(doc) => {
+            let version = doc.get("schema_version").and_then(|v| v.as_u64());
             let stages = doc
                 .get("stages")
                 .and_then(|s| s.as_arr())
                 .map_or(0, |a| a.len());
-            println!("{path}: valid metrics report (schema v1, {stages} stages)");
+            println!(
+                "{path}: valid metrics report (schema v{}, {stages} stages)",
+                version.unwrap_or(0)
+            );
         }
         Err(e) => {
             eprintln!("metrics_check: `{path}` is not a valid metrics report: {e}");

@@ -5,6 +5,7 @@
 //! cargo run --release -p gwc-bench --bin regen e5 e12        # a subset
 //! cargo run --release -p gwc-bench --bin regen --threads 4   # parallel study
 //! cargo run --release -p gwc-bench --bin regen -- e1 --metrics m.json
+//! cargo run --release -p gwc-bench --bin regen -- e1 --trace t.json
 //! ```
 //!
 //! `--threads N` fans the characterization study out across N worker
@@ -13,15 +14,20 @@
 //!
 //! `--metrics PATH` installs the metrics recorder and writes a
 //! schema-versioned JSON report (per-stage wall times, per-worker pool
-//! utilization, per-workload kernel counts; see `gwc_obs::report`) to
-//! PATH after the run. `--trace-summary` prints the top spans to stderr.
-//! Neither flag perturbs the experiment output on stdout.
+//! utilization, latency histograms, per-workload kernel counts; see
+//! `gwc_obs::report`) to PATH after the run. `--trace PATH` captures a
+//! span timeline into a bounded ring buffer and writes it as Chrome
+//! trace-event JSON — open it at `https://ui.perfetto.dev` or
+//! `chrome://tracing`. `--trace-summary` prints the top spans to
+//! stderr. The flags combine freely (one tee'd recorder) and none of
+//! them perturbs the experiment output on stdout.
 
 use std::sync::Arc;
 
 use gwc_bench::{all_experiments, render_experiments, StudyArtifacts};
 use gwc_obs::metrics::MetricsRecorder;
 use gwc_obs::report::{build_report, render_summary, validate, ReportContext};
+use gwc_obs::{Recorder, TeeRecorder, TraceRecorder};
 
 const USAGE: &str = "\
 usage: regen [EXPERIMENT...] [OPTIONS]
@@ -33,6 +39,7 @@ options:
   --threads N        worker threads for the study (default: available
                      parallelism; 1 forces the serial path)
   --metrics PATH     write a schema-versioned JSON metrics report to PATH
+  --trace PATH       write a Chrome/Perfetto trace-event timeline to PATH
   --trace-summary    print the top spans by total time to stderr
   -h, --help         print this help
 ";
@@ -41,6 +48,7 @@ struct Cli {
     threads: usize,
     ids: Vec<String>,
     metrics: Option<String>,
+    trace: Option<String>,
     trace_summary: bool,
 }
 
@@ -54,6 +62,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         threads: gwc_core::available_threads(),
         ids: Vec::new(),
         metrics: None,
+        trace: None,
         trace_summary: false,
     };
     let mut argv = argv.peekable();
@@ -76,6 +85,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
                 });
             }
             "--metrics" => cli.metrics = Some(value("--metrics")),
+            "--trace" => cli.trace = Some(value("--trace")),
             "--trace-summary" => cli.trace_summary = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -102,11 +112,26 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
 
 fn main() {
     let cli = parse_args(std::env::args().skip(1));
-    let recorder = (cli.metrics.is_some() || cli.trace_summary).then(|| {
-        let rec = Arc::new(MetricsRecorder::default());
-        let guard = gwc_obs::install(rec.clone());
-        (rec, guard)
-    });
+    let need_metrics = cli.metrics.is_some() || cli.trace_summary;
+    let metrics_rec = need_metrics.then(|| Arc::new(MetricsRecorder::default()));
+    let trace_rec = cli
+        .trace
+        .is_some()
+        .then(|| Arc::new(TraceRecorder::default()));
+    let guard = {
+        let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
+        if let Some(rec) = &metrics_rec {
+            sinks.push(rec.clone());
+        }
+        if let Some(rec) = &trace_rec {
+            sinks.push(rec.clone());
+        }
+        match sinks.len() {
+            0 => None,
+            1 => Some(gwc_obs::install(sinks.pop().expect("one sink"))),
+            _ => Some(gwc_obs::install(Arc::new(TeeRecorder::new(sinks)))),
+        }
+    };
     eprintln!(
         "running the characterization study (Small scale, seed 7, {} thread{})...",
         cli.threads,
@@ -115,10 +140,32 @@ fn main() {
     let artifacts = StudyArtifacts::collect_threads(cli.threads);
     let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
     print!("{}", render_experiments(&ids, &artifacts));
-    let Some((rec, guard)) = recorder else {
+    drop(guard);
+    if let (Some(path), Some(trace_rec)) = (&cli.trace, &trace_rec) {
+        // Surface ring-buffer overflow in the metrics report too, so a
+        // truncated timeline is visible without opening the trace.
+        if let Some(metrics_rec) = &metrics_rec {
+            metrics_rec.add_counter("trace.dropped_events", trace_rec.dropped());
+        }
+        let dropped = trace_rec.dropped();
+        if dropped > 0 {
+            eprintln!(
+                "regen: warning: trace ring buffer overflowed, {dropped} event(s) dropped \
+                 (earliest events kept)"
+            );
+        }
+        if let Err(e) = std::fs::write(path, trace_rec.export().render()) {
+            eprintln!("regen: cannot write trace to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace timeline written to {path} ({} event(s), {dropped} dropped)",
+            trace_rec.events().len()
+        );
+    }
+    let Some(rec) = metrics_rec else {
         return;
     };
-    drop(guard);
     let snap = rec.snapshot();
     if cli.trace_summary {
         eprint!("{}", render_summary(&snap, 10));

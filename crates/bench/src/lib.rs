@@ -11,5 +11,6 @@
 //! ```
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::{all_experiments, render_experiments, run_experiment, StudyArtifacts};

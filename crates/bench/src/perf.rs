@@ -1,0 +1,521 @@
+//! Performance-trajectory reports: the library behind `bench_run` and
+//! `bench_diff`.
+//!
+//! A *bench report* (`BENCH_<label>.json`) records the wall-time
+//! distribution of repeated pipeline runs — per pipeline stage
+//! (`study`/`reduce`/`cluster`, rollups including descendant spans),
+//! per experiment, and in total — as min/median/p95 over the measured
+//! iterations, plus the run configuration (threads, warmup, iteration
+//! count, experiment ids). Reports from two commits are compared by
+//! [`diff_reports`]: a row regresses when its **median** grew beyond a
+//! configurable tolerance, and rows whose baseline median is under a
+//! noise floor are never flagged (single-digit-millisecond stages jitter
+//! far more than any real regression signal). CI runs the pair against a
+//! committed baseline in warn-only mode; `bench_diff` without
+//! `--warn-only` is the hard gate.
+//!
+//! Timing comes from the metrics recorder's own span aggregates — one
+//! iteration installs a fresh [`MetricsRecorder`], runs the study and
+//! renders the requested experiments, and reads the stage rollups back
+//! from the snapshot — so `bench_run` measures exactly what
+//! `regen --metrics` reports, recorder overhead included.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gwc_obs::json::Json;
+use gwc_obs::metrics::MetricsRecorder;
+
+use crate::experiments::{render_experiments, StudyArtifacts};
+
+/// Version stamped into (and required from) every bench report.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The pipeline stages a bench report always carries.
+pub const STAGES: [&str; 3] = ["study", "reduce", "cluster"];
+
+/// One measured iteration: total wall time plus per-stage and
+/// per-experiment span rollups.
+#[derive(Debug, Clone)]
+pub struct BenchSample {
+    /// Wall time of the whole iteration (study + fit + render).
+    pub total_ns: u64,
+    /// `(stage, rollup_ns)` for each of [`STAGES`].
+    pub stages: Vec<(String, u64)>,
+    /// `(experiment id, wall_ns)` for each rendered experiment.
+    pub experiments: Vec<(String, u64)>,
+}
+
+/// Runs the full pipeline once — study, reduction, clustering, and the
+/// rendering of `ids` — under a fresh metrics recorder and returns the
+/// iteration's timing sample.
+///
+/// # Panics
+///
+/// Panics if the study fails (bench runs have nothing to report from a
+/// broken pipeline).
+pub fn measure_iteration(ids: &[&str], threads: usize) -> BenchSample {
+    let rec = Arc::new(MetricsRecorder::default());
+    let guard = gwc_obs::install(rec.clone());
+    let t0 = Instant::now();
+    let artifacts = StudyArtifacts::collect_threads(threads);
+    std::hint::black_box(render_experiments(ids, &artifacts));
+    let total_ns = t0.elapsed().as_nanos() as u64;
+    drop(guard);
+    let snap = rec.snapshot();
+    BenchSample {
+        total_ns,
+        stages: STAGES
+            .iter()
+            .map(|&s| (s.to_string(), snap.rollup_ns(s)))
+            .collect(),
+        experiments: snap
+            .spans
+            .iter()
+            .filter_map(|s| {
+                let id = s.path.strip_prefix("experiment/")?;
+                (!id.contains('/')).then(|| (id.to_string(), s.total_ns))
+            })
+            .collect(),
+    }
+}
+
+/// Distribution summary of one timed quantity across iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Median iteration (mean of the two middles for even counts).
+    pub median_ns: u64,
+    /// 95th-percentile iteration (nearest-rank).
+    pub p95_ns: u64,
+}
+
+/// Summarizes samples into min/median/p95. Returns zeros when empty.
+pub fn summarize(samples: &[u64]) -> Summary {
+    if samples.is_empty() {
+        return Summary {
+            min_ns: 0,
+            median_ns: 0,
+            p95_ns: 0,
+        };
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let median_ns = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    };
+    let p95_rank = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
+    Summary {
+        min_ns: sorted[0],
+        median_ns,
+        p95_ns: sorted[p95_rank - 1],
+    }
+}
+
+/// Run configuration stamped into a bench report.
+#[derive(Debug, Clone, Default)]
+pub struct BenchContext {
+    /// Report label (`BENCH_<label>.json`).
+    pub label: String,
+    /// Worker threads the pipeline ran with.
+    pub threads: usize,
+    /// Warmup iterations (run, not recorded).
+    pub warmup: usize,
+    /// Measured iterations.
+    pub iters: usize,
+    /// Experiment ids rendered each iteration.
+    pub experiment_ids: Vec<String>,
+}
+
+fn summary_fields(s: Summary) -> Vec<(String, Json)> {
+    vec![
+        ("min_ns".into(), Json::UInt(s.min_ns)),
+        ("median_ns".into(), Json::UInt(s.median_ns)),
+        ("p95_ns".into(), Json::UInt(s.p95_ns)),
+    ]
+}
+
+/// Builds the bench report document from measured samples.
+pub fn build_bench_report(ctx: &BenchContext, samples: &[BenchSample]) -> Json {
+    let totals: Vec<u64> = samples.iter().map(|s| s.total_ns).collect();
+    // Keyed series in first-seen order (stages then experiment ids are
+    // already deterministic per run).
+    let mut stage_series: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut exp_series: Vec<(String, Vec<u64>)> = Vec::new();
+    for sample in samples {
+        for (name, ns) in &sample.stages {
+            push_series(&mut stage_series, name, *ns);
+        }
+        for (id, ns) in &sample.experiments {
+            push_series(&mut exp_series, id, *ns);
+        }
+    }
+    let stages = stage_series
+        .iter()
+        .map(|(name, series)| {
+            let mut fields = vec![("name".to_string(), Json::Str(name.clone()))];
+            fields.extend(summary_fields(summarize(series)));
+            Json::Obj(fields)
+        })
+        .collect();
+    let experiments = exp_series
+        .iter()
+        .map(|(id, series)| {
+            let mut fields = vec![("id".to_string(), Json::Str(id.clone()))];
+            fields.extend(summary_fields(summarize(series)));
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "bench_schema_version".into(),
+            Json::UInt(BENCH_SCHEMA_VERSION),
+        ),
+        ("label".into(), Json::Str(ctx.label.clone())),
+        ("threads".into(), Json::UInt(ctx.threads as u64)),
+        ("warmup".into(), Json::UInt(ctx.warmup as u64)),
+        ("iters".into(), Json::UInt(ctx.iters as u64)),
+        (
+            "experiment_ids".into(),
+            Json::Arr(
+                ctx.experiment_ids
+                    .iter()
+                    .map(|id| Json::Str(id.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "total".into(),
+            Json::Obj(summary_fields(summarize(&totals))),
+        ),
+        ("stages".into(), Json::Arr(stages)),
+        ("experiments".into(), Json::Arr(experiments)),
+    ])
+}
+
+fn push_series(series: &mut Vec<(String, Vec<u64>)>, name: &str, value: u64) {
+    match series.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => v.push(value),
+        None => series.push((name.to_string(), vec![value])),
+    }
+}
+
+/// Validates a parsed bench report (version, required keys, row shapes).
+///
+/// # Errors
+///
+/// Returns a message naming the first missing/mistyped key or the
+/// version mismatch.
+pub fn validate_bench(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("bench_schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("`bench_schema_version` is missing or not an unsigned integer")?;
+    if version != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "bench_schema_version {version} != supported {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    for key in ["label", "threads", "warmup", "iters", "experiment_ids"] {
+        if doc.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    let total = doc.get("total").ok_or("missing key `total`")?;
+    for field in ["min_ns", "median_ns", "p95_ns"] {
+        total
+            .get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("`total.{field}` is missing or mistyped"))?;
+    }
+    for (key, id_field) in [("stages", "name"), ("experiments", "id")] {
+        let rows = doc
+            .get(key)
+            .ok_or_else(|| format!("missing key `{key}`"))?
+            .as_arr()
+            .ok_or_else(|| format!("`{key}` is not an array"))?;
+        for (i, row) in rows.iter().enumerate() {
+            for field in [id_field, "min_ns", "median_ns", "p95_ns"] {
+                row.get(field)
+                    .ok_or_else(|| format!("`{key}[{i}]` is missing `{field}`"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// How [`diff_reports`] decides what counts as a regression.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Allowed relative growth of a row's median: `0.2` tolerates +20%.
+    pub tolerance: f64,
+    /// Rows with a baseline median below this are noise, never flagged.
+    pub min_ns: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: 0.20,
+            min_ns: 1_000_000,
+        }
+    }
+}
+
+/// One compared row of a bench diff.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// `total`, `stage:<name>`, or `experiment:<id>`.
+    pub name: String,
+    /// Baseline median.
+    pub old_median_ns: u64,
+    /// Candidate median.
+    pub new_median_ns: u64,
+    /// `new / old` (1.0 when both are zero).
+    pub ratio: f64,
+    /// Whether this row exceeds the tolerance over a non-noise baseline.
+    pub regressed: bool,
+}
+
+/// The result of comparing two bench reports.
+#[derive(Debug, Clone, Default)]
+pub struct BenchDiff {
+    /// Rows present in both reports, `total` first.
+    pub rows: Vec<DiffRow>,
+    /// Row names only the baseline has (not compared, never silent).
+    pub only_old: Vec<String>,
+    /// Row names only the candidate has.
+    pub only_new: Vec<String>,
+}
+
+impl BenchDiff {
+    /// Rows that regressed.
+    pub fn regressions(&self) -> Vec<&DiffRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+}
+
+fn median_rows(doc: &Json, key: &str, id_field: &str, prefix: &str) -> Vec<(String, u64)> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|row| {
+            let id = row.get(id_field)?.as_str()?;
+            let median = row.get("median_ns")?.as_u64()?;
+            Some((format!("{prefix}:{id}"), median))
+        })
+        .collect()
+}
+
+fn all_medians(doc: &Json) -> Vec<(String, u64)> {
+    let mut out = vec![(
+        "total".to_string(),
+        doc.get("total")
+            .and_then(|t| t.get("median_ns"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    )];
+    out.extend(median_rows(doc, "stages", "name", "stage"));
+    out.extend(median_rows(doc, "experiments", "id", "experiment"));
+    out
+}
+
+/// Compares two validated bench reports row by row.
+///
+/// # Errors
+///
+/// Returns the first schema failure of either report.
+pub fn diff_reports(old: &Json, new: &Json, cfg: &DiffConfig) -> Result<BenchDiff, String> {
+    validate_bench(old).map_err(|e| format!("baseline report: {e}"))?;
+    validate_bench(new).map_err(|e| format!("candidate report: {e}"))?;
+    let old_rows = all_medians(old);
+    let new_rows = all_medians(new);
+    let mut diff = BenchDiff::default();
+    for (name, old_median_ns) in &old_rows {
+        let Some((_, new_median_ns)) = new_rows.iter().find(|(n, _)| n == name) else {
+            diff.only_old.push(name.clone());
+            continue;
+        };
+        let ratio = if *old_median_ns == 0 {
+            if *new_median_ns == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            *new_median_ns as f64 / *old_median_ns as f64
+        };
+        let regressed = *old_median_ns >= cfg.min_ns && ratio > 1.0 + cfg.tolerance;
+        diff.rows.push(DiffRow {
+            name: name.clone(),
+            old_median_ns: *old_median_ns,
+            new_median_ns: *new_median_ns,
+            ratio,
+            regressed,
+        });
+    }
+    for (name, _) in &new_rows {
+        if !old_rows.iter().any(|(n, _)| n == name) {
+            diff.only_new.push(name.clone());
+        }
+    }
+    Ok(diff)
+}
+
+/// Renders a bench diff as the table `bench_diff` prints.
+pub fn render_diff(diff: &BenchDiff, cfg: &DiffConfig) -> String {
+    use gwc_obs::report::fmt_ns;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12} {:>8}  verdict",
+        "row", "old median", "new median", "ratio"
+    );
+    for r in &diff.rows {
+        let verdict = if r.regressed {
+            "REGRESSED"
+        } else if r.old_median_ns < cfg.min_ns {
+            "noise-floor"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>7.3}x  {verdict}",
+            r.name,
+            fmt_ns(r.old_median_ns),
+            fmt_ns(r.new_median_ns),
+            r.ratio,
+        );
+    }
+    for name in &diff.only_old {
+        let _ = writeln!(out, "{name:<28} only in baseline (not compared)");
+    }
+    for name in &diff.only_new {
+        let _ = writeln!(out, "{name:<28} only in candidate (not compared)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(total: u64, study: u64) -> BenchSample {
+        BenchSample {
+            total_ns: total,
+            stages: vec![
+                ("study".into(), study),
+                ("reduce".into(), total / 100),
+                ("cluster".into(), total / 200),
+            ],
+            experiments: vec![("e1".into(), total / 50), ("e2".into(), total / 60)],
+        }
+    }
+
+    fn report(scale: u64) -> Json {
+        let ctx = BenchContext {
+            label: "test".into(),
+            threads: 2,
+            warmup: 1,
+            iters: 3,
+            experiment_ids: vec!["e1".into(), "e2".into()],
+        };
+        let samples: Vec<BenchSample> = (0..3)
+            .map(|i| sample(scale * (100 + i), scale * (80 + i)))
+            .collect();
+        build_bench_report(&ctx, &samples)
+    }
+
+    #[test]
+    fn summarize_min_median_p95() {
+        let s = summarize(&[30, 10, 20, 40, 50]);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.median_ns, 30);
+        assert_eq!(s.p95_ns, 50);
+        let even = summarize(&[10, 20, 30, 40]);
+        assert_eq!(even.median_ns, 25);
+        assert_eq!(summarize(&[]).median_ns, 0);
+    }
+
+    #[test]
+    fn report_builds_and_validates() {
+        let doc = report(1_000_000);
+        validate_bench(&doc).expect("bench report validates");
+        let text = doc.render();
+        let back = gwc_obs::json::parse(&text).expect("parses");
+        assert_eq!(back, doc);
+        assert_eq!(
+            back.get("bench_schema_version").unwrap().as_u64(),
+            Some(BENCH_SCHEMA_VERSION)
+        );
+        let stages = back.get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[0].get("name").unwrap().as_str(), Some("study"));
+        // Median of 80e6/81e6/82e6.
+        assert_eq!(
+            stages[0].get("median_ns").unwrap().as_u64(),
+            Some(81_000_000)
+        );
+    }
+
+    #[test]
+    fn self_diff_has_no_regressions() {
+        let doc = report(1_000_000);
+        let diff = diff_reports(&doc, &doc, &DiffConfig::default()).unwrap();
+        assert!(diff.regressions().is_empty(), "{diff:?}");
+        assert!(diff.only_old.is_empty() && diff.only_new.is_empty());
+        assert_eq!(diff.rows[0].name, "total");
+        assert!((diff.rows[0].ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflated_candidate_regresses_and_noise_rows_do_not() {
+        let old = report(1_000_000);
+        let new = report(2_000_000); // every row doubled
+        let diff = diff_reports(&old, &new, &DiffConfig::default()).unwrap();
+        let regressed: Vec<&str> = diff.regressions().iter().map(|r| r.name.as_str()).collect();
+        assert!(regressed.contains(&"total"));
+        assert!(regressed.contains(&"stage:study"));
+        // cluster's baseline median (~0.5ms) is under the 1ms noise
+        // floor: doubled, but never flagged.
+        assert!(!regressed.contains(&"stage:cluster"), "{regressed:?}");
+        let table = render_diff(&diff, &DiffConfig::default());
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("noise-floor"));
+    }
+
+    #[test]
+    fn tolerance_is_respected() {
+        let old = report(1_000_000);
+        let new = report(1_100_000); // +10%, within the default 20%
+        let diff = diff_reports(&old, &new, &DiffConfig::default()).unwrap();
+        assert!(diff.regressions().is_empty());
+        let tight = DiffConfig {
+            tolerance: 0.05,
+            ..DiffConfig::default()
+        };
+        let diff = diff_reports(&old, &new, &tight).unwrap();
+        assert!(!diff.regressions().is_empty());
+    }
+
+    #[test]
+    fn diff_rejects_malformed_reports() {
+        let doc = report(1_000_000);
+        let err = diff_reports(&Json::Obj(vec![]), &doc, &DiffConfig::default()).unwrap_err();
+        assert!(err.contains("baseline"), "{err}");
+        let Json::Obj(mut fields) = doc.clone() else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "total");
+        let err = diff_reports(&doc, &Json::Obj(fields), &DiffConfig::default()).unwrap_err();
+        assert!(err.contains("candidate") && err.contains("total"), "{err}");
+    }
+}

@@ -1,8 +1,8 @@
 //! End-to-end shape test for the `--metrics` report: runs a small
 //! experiment subset with the metrics recorder installed — exactly what
 //! `regen --metrics` does — and asserts the report carries per-stage
-//! wall times, per-worker pool utilization, and per-workload kernel
-//! counts.
+//! wall times, per-worker pool utilization, latency histograms, and
+//! per-workload kernel counts.
 //!
 //! This test installs the global recorder, so it lives in its own
 //! integration-test binary: it never shares a process with the
@@ -36,8 +36,28 @@ fn metrics_report_has_stages_pools_and_workloads() {
     for key in REQUIRED_KEYS {
         assert!(doc.get(key).is_some(), "missing required key `{key}`");
     }
-    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(2));
     assert_eq!(doc.get("threads").unwrap().as_u64(), Some(threads as u64));
+
+    // Schema v2: latency histograms with quantile summaries. The launch
+    // path and the pool task path must both have reported samples.
+    let hists = doc.get("histograms").unwrap().as_arr().unwrap();
+    let hist_names: Vec<&str> = hists
+        .iter()
+        .map(|h| h.get("name").unwrap().as_str().unwrap())
+        .collect();
+    for want in ["launch.latency_ns", "pool.task_ns.study"] {
+        assert!(hist_names.contains(&want), "missing histogram `{want}`");
+    }
+    for h in hists {
+        let count = h.get("count").unwrap().as_u64().unwrap();
+        assert!(count > 0, "empty histogram in report");
+        let p50 = h.get("p50_ns").unwrap().as_u64().unwrap();
+        let p99 = h.get("p99_ns").unwrap().as_u64().unwrap();
+        let max = h.get("max_ns").unwrap().as_u64().unwrap();
+        assert!(p50 <= p99 && p99 <= max, "quantiles out of order");
+        assert!(h.get("sum_ns").unwrap().as_u64().unwrap() >= max);
+    }
 
     // Per-stage wall times: the pipeline stages must all be present
     // with nonzero durations.

@@ -79,6 +79,8 @@ pub fn profile_launch_sharded(
     kernel.check_args(args)?;
     profiler.on_launch(kernel, config);
 
+    // One relaxed load + branch when no recorder is installed.
+    let launch_t0 = gwc_obs::enabled().then(std::time::Instant::now);
     let base = device.global_image().to_vec();
     let dev = &*device;
     let results: Vec<Result<(Device, Profiler, LaunchStats), SimtError>> = thread::scope(|scope| {
@@ -89,11 +91,15 @@ pub fn profile_launch_sharded(
                 scope.spawn(move || {
                     // Worker threads have no inherited span stack, so
                     // the observe span carries an explicit path.
+                    let t0 = gwc_obs::enabled().then(std::time::Instant::now);
                     let _observe = gwc_obs::span!("shard/observe");
                     let mut shard_dev = dev.fork();
                     let mut shard = Profiler::shard(kernel, config);
                     let stats =
                         shard_dev.run_block_range(kernel, config, args, first, last, &mut shard)?;
+                    if let Some(t0) = t0 {
+                        gwc_obs::hist("shard.observe_ns", t0.elapsed().as_nanos() as u64);
+                    }
                     Ok((shard_dev, shard, stats))
                 })
             })
@@ -108,14 +114,21 @@ pub fn profile_launch_sharded(
     {
         let _merge = gwc_obs::span!("shard/merge");
         for result in results {
+            let t0 = gwc_obs::enabled().then(std::time::Instant::now);
             let (shard_dev, shard, stats) = result?;
             profiler.merge(shard);
             merge_stats(&mut total, &stats);
             device.absorb_writes(&base, &shard_dev);
+            if let Some(t0) = t0 {
+                gwc_obs::hist("shard.merge_ns", t0.elapsed().as_nanos() as u64);
+            }
         }
     }
     profiler.on_launch_end(&total);
     gwc_simt::trace::record_launch(kernel.name(), &total);
+    if let Some(t0) = launch_t0 {
+        gwc_obs::hist("launch.latency_ns", t0.elapsed().as_nanos() as u64);
+    }
     gwc_obs::count("shard.sharded_launches", 1);
     gwc_obs::count("shard.shards", shards as u64);
     Ok(total)

@@ -52,9 +52,10 @@ where
 /// [`parallel_map`] with a pool name for observability: when a recorder
 /// is installed (see `gwc-obs`), every worker reports its task count,
 /// steal count (tasks claimed beyond an even `n / workers` share), busy
-/// time, and wall time under this name. With no recorder installed the
-/// per-task clock reads are skipped entirely and the schedule is
-/// unchanged — results are bit-identical either way.
+/// time, and wall time under this name, and each task's duration lands
+/// in the `pool.task_ns.{name}` latency histogram. With no recorder
+/// installed the per-task clock reads are skipped entirely and the
+/// schedule is unchanged — results are bit-identical either way.
 ///
 /// # Panics
 ///
@@ -70,13 +71,16 @@ where
         let Some(rec) = rec else {
             return (0..n).map(f).collect();
         };
+        let task_hist = format!("pool.task_ns.{pool}");
         let wall = Instant::now();
         let mut busy_ns = 0u64;
         let out = (0..n)
             .map(|i| {
                 let t0 = Instant::now();
                 let v = f(i);
-                busy_ns += t0.elapsed().as_nanos() as u64;
+                let task_ns = t0.elapsed().as_nanos() as u64;
+                busy_ns += task_ns;
+                rec.record_hist(&task_hist, task_ns);
                 v
             })
             .collect();
@@ -104,6 +108,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
+                    let task_hist = rec.map(|_| format!("pool.task_ns.{pool}"));
                     let wall = Instant::now();
                     let mut busy_ns = 0u64;
                     let mut produced = Vec::new();
@@ -114,8 +119,13 @@ where
                         }
                         let t0 = rec.map(|_| Instant::now());
                         produced.push((i, f(i)));
-                        if let Some(t0) = t0 {
-                            busy_ns += t0.elapsed().as_nanos() as u64;
+                        if let (Some(t0), Some(rec)) = (t0, rec) {
+                            let task_ns = t0.elapsed().as_nanos() as u64;
+                            busy_ns += task_ns;
+                            rec.record_hist(
+                                task_hist.as_deref().unwrap_or("pool.task_ns"),
+                                task_ns,
+                            );
                         }
                     }
                     if let Some(rec) = rec {

@@ -1,0 +1,223 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`Histogram`] buckets `u64` samples (nanoseconds throughout the
+//! pipeline) into power-of-2 buckets — HDR-style with one bucket per
+//! binary order of magnitude — so memory is a fixed 65 counters no
+//! matter how many samples are recorded or how wide their range is.
+//!
+//! Histograms obey the same merge contract as counters: [`merge`] is a
+//! plain element-wise sum, so it is associative and commutative, and a
+//! histogram merged from per-thread shards is **identical** (bucket for
+//! bucket) to one recorded serially from the same samples, in any order.
+//! `tests/hist_merge.rs` pins both properties at 1/2/4/8 threads.
+//!
+//! Quantiles are upper bounds: [`Histogram::quantile`] returns the
+//! inclusive upper edge of the bucket containing the requested rank, so
+//! the reported p50/p90/p99 never understate a latency by more than the
+//! bucket's width (a factor of 2). The maximum is tracked exactly.
+//!
+//! [`merge`]: Histogram::merge
+
+/// Buckets: one for zero plus one per binary order of magnitude of u64.
+pub const BUCKETS: usize = 65;
+
+/// A mergeable power-of-2-bucketed histogram of `u64` samples.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+/// The bucket a value lands in: 0 for 0, else `floor(log2(v)) + 1`
+/// (so bucket `i > 0` covers `[2^(i-1), 2^i - 1]`).
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive upper edge of a bucket (`u64::MAX` for the last).
+pub fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` in: element-wise bucket sums, summed counts, the
+    /// larger maximum. Associative and commutative, so shard merge order
+    /// never changes the result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (u128: 2^64 samples of u64::MAX cannot wrap).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts (index by [`bucket_index`]).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound of the value at quantile `q` in `[0, 1]`: the
+    /// inclusive upper edge of the bucket holding the `ceil(q * count)`-th
+    /// smallest sample, except the top bucket reports the exact maximum.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The histogram's true max is a tighter bound than any
+                // bucket edge at or above it.
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value's bucket upper bound is >= the value.
+        for v in [0u64, 1, 2, 3, 5, 1023, 1024, 1 << 40, u64::MAX] {
+            assert!(bucket_upper(bucket_index(v)) >= v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        // p50's true value is 500; the bucket upper bound is 511.
+        assert_eq!(h.quantile(0.5), 511);
+        assert!(h.quantile(0.99) >= 990);
+        assert_eq!(h.quantile(1.0), 1000, "top quantile is the exact max");
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_serial_recording() {
+        let values: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(2654435761) >> 7)
+            .collect();
+        let mut serial = Histogram::new();
+        for &v in &values {
+            serial.record(v);
+        }
+        let (a, b) = values.split_at(137);
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for &v in a {
+            left.record(v);
+        }
+        for &v in b {
+            right.record(v);
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, serial);
+        // Commutative.
+        let mut flipped = right.clone();
+        flipped.merge(&left);
+        assert_eq!(flipped, serial);
+    }
+}

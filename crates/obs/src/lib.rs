@@ -1,5 +1,6 @@
 //! Observability for the characterization pipeline: hierarchical spans,
-//! atomic counters/gauges, and a pluggable [`Recorder`].
+//! counters/gauges, log-bucketed latency histograms ([`hist`]), bounded
+//! span timelines ([`trace`]), and a pluggable [`Recorder`].
 //!
 //! The pipeline is instrumented at every layer — `gwc-simt` records
 //! per-kernel launch statistics and serial-fallback reasons, the
@@ -44,14 +45,17 @@
 //! Cross-thread nesting is expressed with explicit `/`-separated paths
 //! at the call site (worker threads start with an empty span stack).
 
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod span;
+pub mod trace;
 
-pub use recorder::{install, recorder, NoopRecorder, Recorder, RecorderGuard};
+pub use recorder::{install, recorder, NoopRecorder, Recorder, RecorderGuard, TeeRecorder};
 pub use span::SpanGuard;
+pub use trace::TraceRecorder;
 
 use std::sync::atomic::Ordering;
 
@@ -74,6 +78,15 @@ pub fn count(name: &str, delta: u64) {
 pub fn gauge(name: &str, value: f64) {
     if let Some(r) = recorder() {
         r.set_gauge(name, value);
+    }
+}
+
+/// Records one sample into the named latency histogram (see
+/// [`hist::Histogram`]). One branch when disabled.
+#[inline]
+pub fn hist(name: &str, value: u64) {
+    if let Some(r) = recorder() {
+        r.record_hist(name, value);
     }
 }
 

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+use crate::hist::Histogram;
 use crate::recorder::{KernelLaunch, PoolWorker, Recorder};
 
 /// Aggregated statistics of one span path.
@@ -78,6 +79,7 @@ pub struct MetricsRecorder {
     fallbacks: Mutex<BTreeMap<(String, &'static str), u64>>,
     pools: Mutex<BTreeMap<String, BTreeMap<usize, PoolWorker>>>,
     workloads: Mutex<BTreeMap<String, (u64, u64)>>,
+    hists: Mutex<BTreeMap<String, Histogram>>,
 }
 
 /// A frozen, ordered view of everything a [`MetricsRecorder`] saw.
@@ -98,6 +100,10 @@ pub struct MetricsSnapshot {
     pub pools: Vec<(String, Vec<(usize, PoolWorker)>)>,
     /// Per-workload statistics, ordered by workload name.
     pub workloads: Vec<WorkloadStat>,
+    /// Latency histograms, ordered by name. The full [`Histogram`] is
+    /// kept (not just quantiles) so shard-merge equality is testable
+    /// bucket for bucket.
+    pub hists: Vec<(String, Histogram)>,
 }
 
 impl MetricsSnapshot {
@@ -211,6 +217,13 @@ impl MetricsRecorder {
                     wall_ns: *wall_ns,
                 })
                 .collect(),
+            hists: self
+                .hists
+                .lock()
+                .expect("hists poisoned")
+                .iter()
+                .map(|(name, h)| (name.clone(), h.clone()))
+                .collect(),
         }
     }
 }
@@ -267,6 +280,11 @@ impl Recorder for MetricsRecorder {
         *k += kernels;
         *ns += nanos;
     }
+
+    fn record_hist(&self, name: &str, value: u64) {
+        let mut hists = self.hists.lock().expect("hists poisoned");
+        hists.entry(name.to_string()).or_default().record(value);
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +335,21 @@ mod tests {
         };
         assert!((w.busy_frac() - 0.75).abs() < 1e-12);
         assert_eq!(PoolWorker::default().busy_frac(), 0.0);
+    }
+
+    #[test]
+    fn histograms_aggregate_by_name() {
+        let rec = MetricsRecorder::default();
+        rec.record_hist("launch.latency_ns", 100);
+        rec.record_hist("launch.latency_ns", 900);
+        rec.record_hist("shard.observe_ns", 5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.hists.len(), 2);
+        assert_eq!(snap.hists[0].0, "launch.latency_ns");
+        assert_eq!(snap.hists[0].1.count(), 2);
+        assert_eq!(snap.hists[0].1.max(), 900);
+        assert_eq!(snap.hists[1].0, "shard.observe_ns");
+        assert_eq!(snap.hists[1].1.count(), 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
 
 /// Receives observability events from the instrumented pipeline.
 ///
@@ -20,6 +21,20 @@ pub trait Recorder: Send + Sync {
     /// A span closed: `path` is its `/`-separated hierarchical name.
     fn record_span(&self, path: &str, nanos: u64) {
         let _ = (path, nanos);
+    }
+
+    /// A span closed, with its full timeline event: the recording
+    /// thread's ordinal (see [`crate::span::thread_ord`]) and the span's
+    /// monotonic start/end instants. Aggregating recorders usually want
+    /// [`Recorder::record_span`] instead; timeline recorders
+    /// ([`crate::trace::TraceRecorder`]) override this one.
+    fn record_span_event(&self, path: &str, thread: u64, start: Instant, end: Instant) {
+        let _ = (path, thread, start, end);
+    }
+
+    /// Records one sample into the named latency histogram.
+    fn record_hist(&self, name: &str, value: u64) {
+        let _ = (name, value);
     }
 
     /// Adds `delta` to a monotonic counter.
@@ -100,6 +115,77 @@ impl PoolWorker {
 pub struct NoopRecorder;
 
 impl Recorder for NoopRecorder {}
+
+/// Fans every event out to several recorders in order — how `regen`
+/// runs the metrics aggregator and the trace timeline side by side
+/// through the single global install point.
+#[derive(Default)]
+pub struct TeeRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl TeeRecorder {
+    /// A tee over `sinks`; events fan out in the given order.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl std::fmt::Debug for TeeRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeRecorder")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record_span(&self, path: &str, nanos: u64) {
+        for s in &self.sinks {
+            s.record_span(path, nanos);
+        }
+    }
+    fn record_span_event(&self, path: &str, thread: u64, start: Instant, end: Instant) {
+        for s in &self.sinks {
+            s.record_span_event(path, thread, start, end);
+        }
+    }
+    fn record_hist(&self, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.record_hist(name, value);
+        }
+    }
+    fn add_counter(&self, name: &str, delta: u64) {
+        for s in &self.sinks {
+            s.add_counter(name, delta);
+        }
+    }
+    fn set_gauge(&self, name: &str, value: f64) {
+        for s in &self.sinks {
+            s.set_gauge(name, value);
+        }
+    }
+    fn record_kernel_launch(&self, kernel: &str, stats: &KernelLaunch) {
+        for s in &self.sinks {
+            s.record_kernel_launch(kernel, stats);
+        }
+    }
+    fn record_shard_fallback(&self, kernel: &str, reason: &'static str) {
+        for s in &self.sinks {
+            s.record_shard_fallback(kernel, reason);
+        }
+    }
+    fn record_pool_worker(&self, pool: &str, worker: usize, stats: &PoolWorker) {
+        for s in &self.sinks {
+            s.record_pool_worker(pool, worker, stats);
+        }
+    }
+    fn record_workload(&self, name: &str, kernels: u64, nanos: u64) {
+        for s in &self.sinks {
+            s.record_workload(name, kernels, nanos);
+        }
+    }
+}
 
 pub(crate) static ENABLED: AtomicBool = AtomicBool::new(false);
 static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);

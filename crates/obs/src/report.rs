@@ -11,11 +11,17 @@
 use crate::json::{parse, Json};
 use crate::metrics::MetricsSnapshot;
 
-/// Version stamped into (and required from) every report.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version stamped into every freshly built report. Schema v2 extends
+/// v1 with a `histograms` array (latency distributions, p50/p90/p99/max
+/// per histogram); [`validate`] still accepts v1 documents, which simply
+/// lack that key.
+pub const SCHEMA_VERSION: u64 = 2;
 
-/// Required top-level keys, in emission order.
-pub const REQUIRED_KEYS: [&str; 12] = [
+/// Schema versions [`validate`] accepts.
+pub const SUPPORTED_VERSIONS: [u64; 2] = [1, 2];
+
+/// Required top-level keys of the current schema, in emission order.
+pub const REQUIRED_KEYS: [&str; 13] = [
     "schema_version",
     "threads",
     "experiment_ids",
@@ -27,6 +33,7 @@ pub const REQUIRED_KEYS: [&str; 12] = [
     "fallbacks",
     "counters",
     "gauges",
+    "histograms",
     "spans",
 ];
 
@@ -147,6 +154,24 @@ pub fn build_report(snap: &MetricsSnapshot, ctx: &ReportContext) -> Json {
             ])
         })
         .collect();
+    let histograms = snap
+        .hists
+        .iter()
+        .map(|(name, h)| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(name.clone())),
+                ("count".into(), Json::UInt(h.count())),
+                (
+                    "sum_ns".into(),
+                    Json::UInt(h.sum().min(u64::MAX as u128) as u64),
+                ),
+                ("p50_ns".into(), Json::UInt(h.quantile(0.50))),
+                ("p90_ns".into(), Json::UInt(h.quantile(0.90))),
+                ("p99_ns".into(), Json::UInt(h.quantile(0.99))),
+                ("max_ns".into(), Json::UInt(h.max())),
+            ])
+        })
+        .collect();
     let spans = snap
         .spans
         .iter()
@@ -178,6 +203,7 @@ pub fn build_report(snap: &MetricsSnapshot, ctx: &ReportContext) -> Json {
         ("fallbacks".into(), Json::Arr(fallbacks)),
         ("counters".into(), Json::Arr(counters)),
         ("gauges".into(), Json::Arr(gauges)),
+        ("histograms".into(), Json::Arr(histograms)),
         ("spans".into(), Json::Arr(spans)),
     ])
 }
@@ -198,26 +224,49 @@ fn require_records(doc: &Json, key: &str, fields: &[&str]) -> Result<(), String>
     Ok(())
 }
 
-/// Validates a parsed report against the schema.
+/// Validates a parsed report against the schema, accepting any
+/// [`SUPPORTED_VERSIONS`] member. Equivalent to
+/// [`validate_version`]`(doc, None)`.
 ///
 /// # Errors
 ///
 /// Returns a message naming the first missing/mistyped key or the
 /// version mismatch.
 pub fn validate(doc: &Json) -> Result<(), String> {
-    for key in REQUIRED_KEYS {
-        if doc.get(key).is_none() {
-            return Err(format!("missing key `{key}`"));
-        }
-    }
+    validate_version(doc, None)
+}
+
+/// Validates a parsed report, optionally pinning the schema version
+/// (`metrics_check --schema v1|v2`). With `expected: None`, any
+/// supported version passes; v1 documents are not required to carry the
+/// v2-only `histograms` key.
+///
+/// # Errors
+///
+/// Returns a message naming the first missing/mistyped key or the
+/// version mismatch.
+pub fn validate_version(doc: &Json, expected: Option<u64>) -> Result<(), String> {
     let version = doc
         .get("schema_version")
         .and_then(Json::as_u64)
-        .ok_or("`schema_version` is not an unsigned integer")?;
-    if version != SCHEMA_VERSION {
+        .ok_or("`schema_version` is missing or not an unsigned integer")?;
+    if !SUPPORTED_VERSIONS.contains(&version) {
         return Err(format!(
-            "schema_version {version} != supported {SCHEMA_VERSION}"
+            "schema_version {version} not in supported {SUPPORTED_VERSIONS:?}"
         ));
+    }
+    if let Some(want) = expected {
+        if version != want {
+            return Err(format!("schema_version {version} != pinned v{want}"));
+        }
+    }
+    for key in REQUIRED_KEYS {
+        if key == "histograms" && version < 2 {
+            continue;
+        }
+        if doc.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
     }
     doc.get("threads")
         .and_then(Json::as_u64)
@@ -262,6 +311,15 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     require_records(doc, "fallbacks", &["kernel", "reason", "count"])?;
     require_records(doc, "counters", &["name", "value"])?;
     require_records(doc, "gauges", &["name", "value"])?;
+    if version >= 2 {
+        require_records(
+            doc,
+            "histograms",
+            &[
+                "name", "count", "sum_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns",
+            ],
+        )?;
+    }
     require_records(doc, "spans", &["path", "count", "total_ns"])?;
     Ok(())
 }
@@ -276,8 +334,17 @@ pub fn validate(doc: &Json) -> Result<(), String> {
 ///
 /// Returns the first parse, schema, or round-trip failure.
 pub fn validate_str(text: &str) -> Result<Json, String> {
+    validate_str_version(text, None)
+}
+
+/// [`validate_str`] with an optional pinned schema version.
+///
+/// # Errors
+///
+/// Returns the first parse, schema, version-pin, or round-trip failure.
+pub fn validate_str_version(text: &str, expected: Option<u64>) -> Result<Json, String> {
     let doc = parse(text).map_err(|e| format!("parse error: {e}"))?;
-    validate(&doc)?;
+    validate_version(&doc, expected)?;
     let rendered = doc.render();
     let back = parse(&rendered).map_err(|e| format!("round-trip parse error: {e}"))?;
     if back != doc {
@@ -358,6 +425,8 @@ mod tests {
             },
         );
         rec.record_workload("bfs", 1, 60);
+        rec.record_hist("launch.latency_ns", 700);
+        rec.record_hist("launch.latency_ns", 1_900);
         rec.snapshot()
     }
 
@@ -379,7 +448,7 @@ mod tests {
     #[test]
     fn report_contains_the_recorded_facts() {
         let doc = build_report(&sample_snapshot(), &sample_ctx());
-        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(2));
         assert_eq!(doc.get("threads").unwrap().as_u64(), Some(4));
         let stages = doc.get("stages").unwrap().as_arr().unwrap();
         assert_eq!(stages.len(), 1, "only `study` is top-level: {stages:?}");
@@ -396,6 +465,39 @@ mod tests {
         let w0 = &pool.get("workers").unwrap().as_arr().unwrap()[0];
         assert_eq!(w0.get("tasks").unwrap().as_u64(), Some(3));
         assert_eq!(w0.get("busy_frac").unwrap().as_f64(), Some(0.8));
+        let h = &doc.get("histograms").unwrap().as_arr().unwrap()[0];
+        assert_eq!(h.get("name").unwrap().as_str(), Some("launch.latency_ns"));
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(h.get("sum_ns").unwrap().as_u64(), Some(2_600));
+        assert_eq!(h.get("max_ns").unwrap().as_u64(), Some(1_900));
+        assert!(h.get("p50_ns").unwrap().as_u64().unwrap() >= 700);
+    }
+
+    #[test]
+    fn v1_documents_still_validate_unless_pinned_to_v2() {
+        let doc = build_report(&sample_snapshot(), &sample_ctx());
+        let Json::Obj(mut fields) = doc else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "histograms");
+        for f in &mut fields {
+            if f.0 == "schema_version" {
+                f.1 = Json::UInt(1);
+            }
+        }
+        let v1 = Json::Obj(fields);
+        validate(&v1).expect("v1 report without histograms validates");
+        validate_version(&v1, Some(1)).expect("pinning v1 accepts it");
+        let err = validate_version(&v1, Some(2)).unwrap_err();
+        assert!(err.contains("pinned v2"), "{err}");
+        // A v2 document without histograms is malformed.
+        let doc = build_report(&sample_snapshot(), &sample_ctx());
+        let Json::Obj(mut fields) = doc else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "histograms");
+        let err = validate(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("histograms"), "{err}");
     }
 
     #[test]

@@ -11,10 +11,22 @@
 //! allocation-free on the disabled path.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 thread_local! {
     static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORD: u64 = NEXT_THREAD_ORD.fetch_add(1, Ordering::Relaxed);
+}
+
+static NEXT_THREAD_ORD: AtomicU64 = AtomicU64::new(1);
+
+/// A small stable ordinal for the calling thread, assigned on first use
+/// (the process's first instrumented thread — usually main — is 1).
+/// Trace timelines key their rows on this instead of
+/// [`std::thread::ThreadId`], whose integer form is unstable.
+pub fn thread_ord() -> u64 {
+    THREAD_ORD.with(|t| *t)
 }
 
 /// An open span; ends (and records) on drop. See [`crate::span!`].
@@ -44,7 +56,8 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
-        let nanos = start.elapsed().as_nanos() as u64;
+        let end = Instant::now();
+        let nanos = end.saturating_duration_since(start).as_nanos() as u64;
         let path = STACK.with(|s| {
             let mut stack = s.borrow_mut();
             let path = stack.join("/");
@@ -55,6 +68,7 @@ impl Drop for SpanGuard {
         // open; the stack bookkeeping above must happen regardless.
         if let Some(r) = crate::recorder() {
             r.record_span(&path, nanos);
+            r.record_span_event(&path, thread_ord(), start, end);
         }
     }
 }

@@ -1,0 +1,123 @@
+//! Merge-contract tests for [`gwc_obs::hist::Histogram`], mirroring the
+//! counter merge tests: the aggregated histogram a recorder reports is
+//! invariant to how many threads produced the samples, and `merge`
+//! itself is associative and commutative.
+
+use std::sync::Arc;
+use std::thread;
+
+use gwc_obs::hist::Histogram;
+use gwc_obs::metrics::MetricsRecorder;
+
+/// Deterministic pseudo-random sample for event `i`: a multiplicative
+/// hash spread across many orders of magnitude so every power-of-2
+/// bucket band gets traffic.
+fn sample(i: u64) -> u64 {
+    let h = i.wrapping_mul(2_654_435_761).rotate_left((i % 31) as u32);
+    h >> (i % 48)
+}
+
+/// Splits 8_400 histogram samples of two series across `threads`
+/// threads and returns the aggregated snapshot histograms.
+fn hists_at(threads: usize) -> Vec<(String, Histogram)> {
+    const EVENTS: usize = 8_400; // divisible by 1, 2, 4, 8
+    let rec = Arc::new(MetricsRecorder::default());
+    let guard = gwc_obs::install(rec.clone());
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let per = EVENTS / threads;
+            scope.spawn(move || {
+                for i in 0..per {
+                    let event = (t * per + i) as u64;
+                    if event.is_multiple_of(2) {
+                        gwc_obs::hist("launch.latency_ns", sample(event));
+                    } else {
+                        gwc_obs::hist("shard.observe_ns", sample(event) | 1);
+                    }
+                }
+            });
+        }
+    });
+    drop(guard);
+    rec.snapshot().hists
+}
+
+#[test]
+fn recorded_histograms_are_thread_count_invariant() {
+    let serial = hists_at(1);
+    let names: Vec<&str> = serial.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["launch.latency_ns", "shard.observe_ns"]);
+    assert_eq!(serial[0].1.count() + serial[1].1.count(), 8_400);
+    for threads in [2usize, 4, 8] {
+        let sharded = hists_at(threads);
+        assert_eq!(
+            sharded, serial,
+            "histogram contents diverged at {threads} threads"
+        );
+        // Bucket-for-bucket equality, not just summary equality.
+        for ((name, a), (_, b)) in serial.iter().zip(sharded.iter()) {
+            assert_eq!(a.buckets(), b.buckets(), "{name} buckets at {threads}");
+            assert_eq!(a.max(), b.max(), "{name} max at {threads}");
+            assert_eq!(a.sum(), b.sum(), "{name} sum at {threads}");
+        }
+    }
+}
+
+#[test]
+fn merge_is_commutative() {
+    let mut a = Histogram::default();
+    let mut b = Histogram::default();
+    for i in 0..500u64 {
+        a.record(sample(i));
+        b.record(sample(i + 10_000) | 1);
+    }
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba);
+    assert_eq!(ab.count(), 1_000);
+}
+
+#[test]
+fn merge_is_associative() {
+    let mut parts = [
+        Histogram::default(),
+        Histogram::default(),
+        Histogram::default(),
+    ];
+    for i in 0..900u64 {
+        parts[(i % 3) as usize].record(sample(i));
+    }
+    let [a, b, c] = parts;
+    // (a + b) + c
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    // a + (b + c)
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    assert_eq!(left, right);
+    assert_eq!(left.count(), 900);
+}
+
+#[test]
+fn merge_of_shards_equals_serial_recording() {
+    for shards in [2usize, 4, 8] {
+        let mut serial = Histogram::default();
+        let mut parts: Vec<Histogram> = vec![Histogram::default(); shards];
+        for i in 0..8_400u64 {
+            let v = sample(i);
+            serial.record(v);
+            parts[(i as usize) % shards].record(v);
+        }
+        let mut merged = Histogram::default();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, serial, "at {shards} shards");
+        assert_eq!(merged.quantile(0.99), serial.quantile(0.99));
+    }
+}

@@ -1,5 +1,6 @@
 //! The disabled-path cost contract: with no recorder installed, the
-//! span/counter/gauge hot paths perform **zero heap allocations**.
+//! span/counter/gauge/histogram hot paths perform **zero heap
+//! allocations**.
 //!
 //! This file contains exactly one test so no sibling test can allocate
 //! concurrently on another thread while the window is being measured.
@@ -29,6 +30,20 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// One measurement window: 10_000 passes over every disabled
+/// instrumentation site, returning the allocations observed.
+fn measure_window() -> usize {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        // Dynamic span names: the format! must not run while disabled.
+        let _s = gwc_obs::span!("hot/kernel-{i}");
+        gwc_obs::count("simt.warp_instrs", i);
+        gwc_obs::gauge("pool.busy", i as f64);
+        gwc_obs::hist("launch.latency_ns", i);
+    }
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
 #[test]
 fn disabled_hot_path_never_allocates() {
     assert!(!gwc_obs::enabled(), "no recorder is installed in this test");
@@ -37,14 +52,12 @@ fn disabled_hot_path_never_allocates() {
         let _s = gwc_obs::span!("warmup/{}", 0);
         gwc_obs::count("warmup", 1);
         gwc_obs::gauge("warmup", 0.0);
+        gwc_obs::hist("warmup", 1);
     }
-    let before = ALLOCS.load(Ordering::SeqCst);
-    for i in 0..10_000u64 {
-        // Dynamic span names: the format! must not run while disabled.
-        let _s = gwc_obs::span!("hot/kernel-{i}");
-        gwc_obs::count("simt.warp_instrs", i);
-        gwc_obs::gauge("pool.busy", i as f64);
-    }
-    let after = ALLOCS.load(Ordering::SeqCst);
-    assert_eq!(after - before, 0, "disabled instrumentation path allocated");
+    // The counter is process-global, so the libtest harness thread can
+    // contribute a stray allocation while a window runs. Take the best
+    // of several windows: ambient noise is a rare one-off, while a real
+    // hot-path allocation fires >= 10_000 times in *every* window.
+    let best = (0..5).map(|_| measure_window()).min().unwrap();
+    assert_eq!(best, 0, "disabled instrumentation path allocated");
 }

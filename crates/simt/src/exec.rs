@@ -252,10 +252,15 @@ impl Device {
         config.validate()?;
         kernel.check_args(args)?;
         observer.on_launch(kernel, config);
+        // One relaxed load + branch when no recorder is installed.
+        let t0 = gwc_obs::enabled().then(std::time::Instant::now);
         let span = gwc_obs::span!("launch/{}", kernel.name());
         let stats =
             self.run_block_range(kernel, config, args, 0, config.blocks() as u32, observer)?;
         drop(span);
+        if let Some(t0) = t0 {
+            gwc_obs::hist("launch.latency_ns", t0.elapsed().as_nanos() as u64);
+        }
         observer.on_launch_end(&stats);
         crate::trace::record_launch(kernel.name(), &stats);
         Ok(stats)
