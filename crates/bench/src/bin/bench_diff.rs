@@ -11,6 +11,7 @@
 //! Exit status: 0 = no regressions, 1 = regression found (suppressed by
 //! `--warn-only`), 2 = usage or read error.
 
+use gwc_bench::cli::{reject_value, take_count, take_ratio, unknown_opt, ArgStream, Token};
 use gwc_bench::perf::{diff_reports, render_diff, DiffConfig};
 use gwc_obs::json::Json;
 
@@ -47,42 +48,27 @@ fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut cfg = DiffConfig::default();
     let mut warn_only = false;
-    let mut argv = std::env::args().skip(1).peekable();
-    while let Some(arg) = argv.next() {
-        let (flag, inline) = match arg.split_once('=') {
-            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
-            _ => (arg.clone(), None),
-        };
-        let mut value = |name: &str| {
-            inline
-                .clone()
-                .or_else(|| argv.next())
-                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
-        };
-        match flag.as_str() {
-            "--tolerance" => {
-                let v = value("--tolerance");
-                cfg.tolerance = v
-                    .parse::<f64>()
-                    .ok()
-                    .filter(|t| t.is_finite() && *t >= 0.0)
-                    .unwrap_or_else(|| {
-                        usage_error(&format!("--tolerance: `{v}` is not a non-negative number"))
-                    });
+    let mut args = ArgStream::new(std::env::args().skip(1));
+    while let Some(token) = args.next_token() {
+        let (flag, inline) = match token {
+            Token::Positional(arg) => {
+                paths.push(arg);
+                continue;
             }
-            "--min-ns" => {
-                let v = value("--min-ns");
-                cfg.min_ns = v
-                    .parse::<u64>()
-                    .unwrap_or_else(|_| usage_error(&format!("--min-ns: `{v}` is not a count")));
-            }
-            "--warn-only" => warn_only = true,
+            Token::Opt { flag, inline } => (flag, inline),
+        };
+        let result = match flag.as_str() {
+            "--tolerance" => take_ratio(&flag, inline, &mut args).map(|t| cfg.tolerance = t),
+            "--min-ns" => take_count(&flag, inline, &mut args).map(|n| cfg.min_ns = n as u64),
+            "--warn-only" => reject_value(&flag, inline).map(|()| warn_only = true),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            _ if arg.starts_with('-') => usage_error(&format!("unknown option `{arg}`")),
-            _ => paths.push(arg),
+            _ => usage_error(&unknown_opt(&flag, inline.as_deref())),
+        };
+        if let Err(e) = result {
+            usage_error(&e);
         }
     }
     let [old_path, new_path] = paths.as_slice() else {

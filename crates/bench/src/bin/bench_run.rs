@@ -16,6 +16,7 @@
 //! measure, not an idealized uninstrumented run).
 
 use gwc_bench::all_experiments;
+use gwc_bench::cli::{take_count, take_value, unknown_opt, ArgStream, Token};
 use gwc_bench::perf::{build_bench_report, measure_iteration, validate_bench, BenchContext};
 use gwc_obs::report::fmt_ns;
 
@@ -60,35 +61,29 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         label: "run".to_string(),
         out: None,
     };
-    let mut argv = argv.peekable();
-    while let Some(arg) = argv.next() {
-        let (flag, inline) = match arg.split_once('=') {
-            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
-            _ => (arg.clone(), None),
+    let mut args = ArgStream::new(argv);
+    while let Some(token) = args.next_token() {
+        let (flag, inline) = match token {
+            Token::Positional(arg) => {
+                cli.ids.push(arg.to_lowercase());
+                continue;
+            }
+            Token::Opt { flag, inline } => (flag, inline),
         };
-        let mut value = |name: &str| {
-            inline
-                .clone()
-                .or_else(|| argv.next())
-                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
-        };
-        let mut count = |name: &str| {
-            let v = value(name);
-            v.parse::<usize>()
-                .unwrap_or_else(|_| usage_error(&format!("{name}: `{v}` is not a count")))
-        };
-        match flag.as_str() {
-            "--iters" => cli.iters = count("--iters"),
-            "--warmup" => cli.warmup = count("--warmup"),
-            "--threads" => cli.threads = count("--threads"),
-            "--label" => cli.label = value("--label"),
-            "--out" => cli.out = Some(value("--out")),
+        let result = match flag.as_str() {
+            "--iters" => take_count(&flag, inline, &mut args).map(|n| cli.iters = n),
+            "--warmup" => take_count(&flag, inline, &mut args).map(|n| cli.warmup = n),
+            "--threads" => take_count(&flag, inline, &mut args).map(|n| cli.threads = n),
+            "--label" => take_value(&flag, inline, &mut args).map(|v| cli.label = v),
+            "--out" => take_value(&flag, inline, &mut args).map(|v| cli.out = Some(v)),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            _ if arg.starts_with('-') => usage_error(&format!("unknown option `{arg}`")),
-            _ => cli.ids.push(arg.to_lowercase()),
+            _ => usage_error(&unknown_opt(&flag, inline.as_deref())),
+        };
+        if let Err(e) = result {
+            usage_error(&e);
         }
     }
     if cli.ids.is_empty() {

@@ -11,6 +11,7 @@
 //! version the validator supports is accepted unless `--schema` pins
 //! one. Exits 0 on a valid report, 1 on a bad one, 2 on usage errors.
 
+use gwc_bench::cli::{take_value, unknown_opt, ArgStream, Token};
 use gwc_obs::report::validate_str_version;
 
 const USAGE: &str = "\
@@ -32,21 +33,21 @@ fn usage_error(msg: &str) -> ! {
 fn main() {
     let mut path: Option<String> = None;
     let mut pin: Option<u64> = None;
-    let mut argv = std::env::args().skip(1).peekable();
-    while let Some(arg) = argv.next() {
-        let (flag, inline) = match arg.split_once('=') {
-            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
-            _ => (arg.clone(), None),
-        };
-        let mut value = |name: &str| {
-            inline
-                .clone()
-                .or_else(|| argv.next())
-                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
+    let mut args = ArgStream::new(std::env::args().skip(1));
+    while let Some(token) = args.next_token() {
+        let (flag, inline) = match token {
+            Token::Positional(arg) => {
+                if path.is_some() {
+                    usage_error("expected exactly one FILE.json");
+                }
+                path = Some(arg);
+                continue;
+            }
+            Token::Opt { flag, inline } => (flag, inline),
         };
         match flag.as_str() {
             "--schema" => {
-                let v = value("--schema");
+                let v = take_value(&flag, inline, &mut args).unwrap_or_else(|e| usage_error(&e));
                 pin = Some(match v.as_str() {
                     "v1" | "1" => 1,
                     "v2" | "2" => 2,
@@ -57,9 +58,7 @@ fn main() {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            _ if arg.starts_with('-') => usage_error(&format!("unknown option `{arg}`")),
-            _ if path.is_some() => usage_error("expected exactly one FILE.json"),
-            _ => path = Some(arg),
+            _ => usage_error(&unknown_opt(&flag, inline.as_deref())),
         }
     }
     let Some(path) = path else {

@@ -24,6 +24,7 @@
 
 use std::sync::Arc;
 
+use gwc_bench::cli::{reject_value, take_count, take_value, unknown_opt, ArgStream, Token};
 use gwc_bench::{all_experiments, render_experiments, StudyArtifacts};
 use gwc_obs::metrics::MetricsRecorder;
 use gwc_obs::report::{build_report, render_summary, validate, ReportContext};
@@ -65,34 +66,28 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         trace: None,
         trace_summary: false,
     };
-    let mut argv = argv.peekable();
-    while let Some(arg) = argv.next() {
-        let (flag, inline) = match arg.split_once('=') {
-            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
-            _ => (arg.clone(), None),
-        };
-        let mut value = |name: &str| {
-            inline
-                .clone()
-                .or_else(|| argv.next())
-                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
-        };
-        match flag.as_str() {
-            "--threads" => {
-                let v = value("--threads");
-                cli.threads = v.parse().unwrap_or_else(|_| {
-                    usage_error(&format!("--threads: `{v}` is not a thread count"))
-                });
+    let mut args = ArgStream::new(argv);
+    while let Some(token) = args.next_token() {
+        let (flag, inline) = match token {
+            Token::Positional(arg) => {
+                cli.ids.push(arg.to_lowercase());
+                continue;
             }
-            "--metrics" => cli.metrics = Some(value("--metrics")),
-            "--trace" => cli.trace = Some(value("--trace")),
-            "--trace-summary" => cli.trace_summary = true,
+            Token::Opt { flag, inline } => (flag, inline),
+        };
+        let result = match flag.as_str() {
+            "--threads" => take_count(&flag, inline, &mut args).map(|n| cli.threads = n),
+            "--metrics" => take_value(&flag, inline, &mut args).map(|v| cli.metrics = Some(v)),
+            "--trace" => take_value(&flag, inline, &mut args).map(|v| cli.trace = Some(v)),
+            "--trace-summary" => reject_value(&flag, inline).map(|()| cli.trace_summary = true),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            _ if arg.starts_with('-') => usage_error(&format!("unknown option `{arg}`")),
-            _ => cli.ids.push(arg.to_lowercase()),
+            _ => usage_error(&unknown_opt(&flag, inline.as_deref())),
+        };
+        if let Err(e) = result {
+            usage_error(&e);
         }
     }
     if cli.ids.is_empty() {

@@ -10,6 +10,7 @@
 //! cargo run --release -p gwc-bench --bin regen e9 e10     # just two
 //! ```
 
+pub mod cli;
 pub mod experiments;
 pub mod perf;
 

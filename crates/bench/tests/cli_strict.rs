@@ -1,0 +1,136 @@
+//! Every bench binary rejects unknown options with exit status 2.
+//!
+//! The binaries share one tokenizer (`gwc_bench::cli`), so an argument
+//! that starts with `-` and is not a recognized flag must never be
+//! swallowed as a positional — a typo like `--warnonly` silently
+//! becoming an experiment id (or worse, being ignored) would turn an
+//! enforcing CI gate into a no-op. These tests spawn the real binaries
+//! because the strictness contract lives in each `main`, not just in
+//! the shared helpers.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn `{bin}`: {e}"))
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// All four binaries, each with an unknown option mixed into otherwise
+/// plausible arguments. None of these invocations may start real work.
+fn rejection_cases() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        (env!("CARGO_BIN_EXE_bench_run"), vec!["e1", "--bogus"]),
+        (
+            env!("CARGO_BIN_EXE_bench_diff"),
+            vec!["old.json", "new.json", "--bogus"],
+        ),
+        (env!("CARGO_BIN_EXE_regen"), vec!["e1", "--bogus"]),
+        (
+            env!("CARGO_BIN_EXE_metrics_check"),
+            vec!["--bogus", "m.json"],
+        ),
+    ]
+}
+
+#[test]
+fn unknown_options_exit_2_with_a_diagnostic() {
+    for (bin, args) in rejection_cases() {
+        let out = run(bin, &args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{bin} {args:?}: expected usage-error exit 2, got {:?}\nstderr: {}",
+            out.status.code(),
+            stderr_of(&out)
+        );
+        let err = stderr_of(&out);
+        assert!(
+            err.contains("unknown option `--bogus`"),
+            "{bin} {args:?}: stderr missing diagnostic:\n{err}"
+        );
+        assert!(
+            err.contains("usage:"),
+            "{bin} {args:?}: stderr missing usage text:\n{err}"
+        );
+    }
+}
+
+#[test]
+fn single_dash_junk_is_an_option_not_a_positional() {
+    // `-x=3` must not be treated as a file path or experiment id.
+    let out = run(env!("CARGO_BIN_EXE_bench_run"), &["-x=3"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("unknown option `-x=3`"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn help_exits_0_everywhere() {
+    for (bin, _) in rejection_cases() {
+        for help in ["--help", "-h"] {
+            let out = run(bin, &[help]);
+            assert_eq!(
+                out.status.code(),
+                Some(0),
+                "{bin} {help}: {}",
+                stderr_of(&out)
+            );
+            assert!(
+                String::from_utf8_lossy(&out.stdout).contains("usage:"),
+                "{bin} {help}: no usage text on stdout"
+            );
+        }
+    }
+}
+
+#[test]
+fn missing_and_malformed_values_exit_2() {
+    let cases: Vec<(&str, Vec<&str>, &str)> = vec![
+        (
+            env!("CARGO_BIN_EXE_bench_run"),
+            vec!["--iters"],
+            "--iters needs a value",
+        ),
+        (
+            env!("CARGO_BIN_EXE_bench_run"),
+            vec!["--iters=zero"],
+            "--iters: `zero` is not a count",
+        ),
+        (
+            env!("CARGO_BIN_EXE_bench_diff"),
+            vec!["--tolerance", "-1", "a.json", "b.json"],
+            "--tolerance: `-1` is not a non-negative number",
+        ),
+        (
+            env!("CARGO_BIN_EXE_bench_diff"),
+            vec!["--warn-only=yes", "a.json", "b.json"],
+            "--warn-only takes no value",
+        ),
+    ];
+    for (bin, args, want) in cases {
+        let out = run(bin, &args);
+        assert_eq!(out.status.code(), Some(2), "{bin} {args:?}");
+        let err = stderr_of(&out);
+        assert!(err.contains(want), "{bin} {args:?}: stderr:\n{err}");
+    }
+}
+
+#[test]
+fn bench_diff_requires_exactly_two_paths() {
+    let out = run(env!("CARGO_BIN_EXE_bench_diff"), &["only_one.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("expected exactly two report paths"),
+        "{}",
+        stderr_of(&out)
+    );
+}

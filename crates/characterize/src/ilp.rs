@@ -8,10 +8,10 @@
 //! functional units could extract. Memory-carried dependences are ignored,
 //! matching MICA-style characterization.
 
-use std::collections::HashMap;
-
 use gwc_simt::trace::{InstrEvent, TraceObserver};
 use gwc_simt::WARP_SIZE;
+
+use crate::fxhash::FxHashMap;
 
 #[derive(Debug, Clone)]
 struct WarpIlp {
@@ -44,7 +44,7 @@ impl WarpIlp {
 #[derive(Debug, Default)]
 pub struct IlpObserver {
     regs: usize,
-    warps: HashMap<(u32, u32), WarpIlp>,
+    warps: FxHashMap<(u32, u32), WarpIlp>,
     folded_weighted: f64,
     folded_instrs: u64,
     /// Exact integer sum of producer→consumer distances (distances are
@@ -59,7 +59,7 @@ impl IlpObserver {
         Self::default()
     }
 
-    fn fold_of(warps: &HashMap<(u32, u32), WarpIlp>) -> (f64, u64) {
+    fn fold_of(warps: &FxHashMap<(u32, u32), WarpIlp>) -> (f64, u64) {
         let mut instr_sum = 0u64;
         let mut weighted = 0.0;
         // Sorted iteration: floating-point accumulation order must not

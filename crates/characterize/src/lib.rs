@@ -47,6 +47,7 @@
 
 pub mod coalescing;
 pub mod divergence;
+pub mod fxhash;
 pub mod ilp;
 pub mod locality;
 pub mod merge;

@@ -8,12 +8,11 @@
 //! with the classic last-access-time + Fenwick-tree algorithm, compressing
 //! the time axis when it fills.
 
-use std::collections::HashMap;
-
 use gwc_simt::instr::Space;
 use gwc_simt::trace::{MemEvent, TraceObserver};
 
 use crate::coalescing::SEGMENT_BYTES;
+use crate::fxhash::FxHashMap;
 
 /// Reuse-distance histogram thresholds, in 128-byte lines.
 pub const REUSE_THRESHOLDS: [u64; 3] = [16, 256, 4096];
@@ -71,7 +70,7 @@ struct LineInfo {
 /// Streams global accesses into reuse-distance and sharing statistics.
 #[derive(Debug)]
 pub struct LocalityObserver {
-    lines: HashMap<u32, LineInfo>,
+    lines: FxHashMap<u32, LineInfo>,
     fenwick: Fenwick,
     now: usize,
     cap: usize,
@@ -101,7 +100,7 @@ impl LocalityObserver {
     /// Creates an observer compressing its time axis every `cap` touches.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
             fenwick: Fenwick::new(cap),
             now: 0,
             cap,
@@ -295,7 +294,8 @@ impl crate::merge::MergeableObserver for LocalityObserver {
         }
         order.sort_unstable();
 
-        let mut merged: HashMap<u32, LineInfo> = HashMap::with_capacity(order.len());
+        let mut merged: FxHashMap<u32, LineInfo> =
+            FxHashMap::with_capacity_and_hasher(order.len(), Default::default());
         self.fenwick = Fenwick::new(self.cap);
         for (new_t, &(section, _, line)) in order.iter().enumerate() {
             let info = if section == 0 {

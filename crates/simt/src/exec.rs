@@ -7,11 +7,17 @@
 //! and an entry pops when its pc reaches its reconvergence pc. This is the
 //! classic IPDOM scheme GPUs implement in hardware, and it is what makes
 //! the measured SIMD activity factors faithful.
+//!
+//! The engine executes the kernel's predecoded µop stream
+//! ([`crate::decode`]) against raw-`u32` register banks: operand types
+//! were resolved into the opcodes at decode time, so the lane loops do no
+//! tag dispatch. Execution is generic over the observer type, so the
+//! null-observer path ([`Device::launch`]) compiles with every observer
+//! call inlined away; per-block scratch (shared/local memory, warp
+//! states, register banks) is reused across the blocks of a launch.
 
-use crate::instr::{
-    Addr, AtomOp, BinOp, CmpOp, Instr, InstrClass, Operand, Reg, Space, SpecialReg, Type, UnOp,
-    Value,
-};
+use crate::decode::{self, DecodedKernel, Src, Uop};
+use crate::instr::{Space, SpecialReg, Value};
 use crate::kernel::Kernel;
 use crate::launch::LaunchConfig;
 use crate::trace::{
@@ -237,17 +243,22 @@ impl Device {
 
     /// Launches a kernel, streaming events to `observer`.
     ///
+    /// Generic over the observer so concrete observers (including
+    /// [`NullObserver`]) monomorphize the whole warp engine; pass
+    /// `&mut dyn TraceObserver` to keep a single dynamic instantiation at
+    /// an API boundary.
+    ///
     /// # Errors
     ///
     /// * [`SimtError::BadLaunchArgs`] / geometry errors before execution.
     /// * Memory, divide-by-zero, barrier and deadlock errors during
     ///   execution, each tagged with the offending pc or block.
-    pub fn launch_observed(
+    pub fn launch_observed<O: TraceObserver + ?Sized>(
         &mut self,
         kernel: &Kernel,
         config: &LaunchConfig,
         args: &[Value],
-        observer: &mut dyn TraceObserver,
+        observer: &mut O,
     ) -> Result<LaunchStats, SimtError> {
         config.validate()?;
         kernel.check_args(args)?;
@@ -289,14 +300,14 @@ impl Device {
     /// # Panics
     ///
     /// Panics if `first > last` or `last` exceeds the grid's block count.
-    pub fn run_block_range(
+    pub fn run_block_range<O: TraceObserver + ?Sized>(
         &mut self,
         kernel: &Kernel,
         config: &LaunchConfig,
         args: &[Value],
         first: u32,
         last: u32,
-        observer: &mut dyn TraceObserver,
+        observer: &mut O,
     ) -> Result<LaunchStats, SimtError> {
         config.validate()?;
         kernel.check_args(args)?;
@@ -305,27 +316,24 @@ impl Device {
             "block range {first}..{last} out of grid bounds"
         );
 
-        // Static per-pc data reused across all warps.
-        let classes: Vec<InstrClass> = kernel
-            .instrs()
-            .iter()
-            .map(|i| i.class(i.dst_reg().map(|r| kernel.reg_type(r))))
-            .collect();
-        let srcs: Vec<Vec<Reg>> = kernel.instrs().iter().map(|i| i.src_regs()).collect();
-        let dsts: Vec<Option<Reg>> = kernel.instrs().iter().map(|i| i.dst_reg()).collect();
+        // The µop stream and per-pc side tables: decoded on the kernel's
+        // first launch, shared by every launch (and shard) after that.
+        let dec = kernel.decoded().clone();
+        // Parameters are uniform across the grid; resolve them to raw
+        // bits once per launch.
+        let params: Vec<u32> = args.iter().map(|v| v.to_bits()).collect();
 
         let mut stats = LaunchStats {
             blocks: (last - first) as u64,
             ..LaunchStats::default()
         };
 
+        let mut scratch = LaunchScratch::default();
         let mut ctx = LaunchCtx {
+            dec: &dec,
             kernel,
             config,
-            args,
-            classes: &classes,
-            srcs: &srcs,
-            dsts: &dsts,
+            params: &params,
             global: &mut self.global,
             const_mem: &self.const_mem,
             budget: self.limits.instr_budget,
@@ -333,7 +341,7 @@ impl Device {
         };
 
         for block in first..last {
-            ctx.run_block(block, observer)?;
+            ctx.run_block(block, &mut scratch, observer)?;
         }
         Ok(stats)
     }
@@ -397,6 +405,10 @@ struct StackEntry {
     mask: u32,
 }
 
+/// Per-warp execution state. Register banks are raw `u32` lanes — the
+/// decoded opcodes know their operand types statically, so no tags are
+/// stored or checked at run time.
+#[derive(Default)]
 struct Warp {
     /// Warp index within the block.
     id: u32,
@@ -405,8 +417,8 @@ struct Warp {
     /// Lanes that have not exited.
     live: u32,
     stack: Vec<StackEntry>,
-    /// Per-register, per-lane values: `regs[reg * 32 + lane]`.
-    regs: Vec<Value>,
+    /// Per-register, per-lane raw bits: `regs[reg * 32 + lane]`.
+    regs: Vec<u32>,
     at_barrier: bool,
 }
 
@@ -416,13 +428,22 @@ impl Warp {
     }
 }
 
+/// Reusable per-launch (per-shard) allocations: shared/local memory
+/// images and warp states are cleared and refilled per block instead of
+/// reallocated, so a many-block launch allocates O(1) times.
+#[derive(Default)]
+struct LaunchScratch {
+    shared: Vec<u8>,
+    local: Vec<u8>,
+    warps: Vec<Warp>,
+}
+
 struct LaunchCtx<'a> {
+    dec: &'a DecodedKernel,
     kernel: &'a Kernel,
     config: &'a LaunchConfig,
-    args: &'a [Value],
-    classes: &'a [InstrClass],
-    srcs: &'a [Vec<Reg>],
-    dsts: &'a [Option<Reg>],
+    /// Launch arguments as raw bits (uniform across the grid).
+    params: &'a [u32],
     global: &'a mut Vec<u8>,
     const_mem: &'a [u8],
     budget: u64,
@@ -430,48 +451,62 @@ struct LaunchCtx<'a> {
 }
 
 impl LaunchCtx<'_> {
-    fn run_block(&mut self, block: u32, observer: &mut dyn TraceObserver) -> Result<(), SimtError> {
+    fn run_block<O: TraceObserver + ?Sized>(
+        &mut self,
+        block: u32,
+        scratch: &mut LaunchScratch,
+        observer: &mut O,
+    ) -> Result<(), SimtError> {
         let threads = self.config.threads_per_block();
-        let n_warps = threads.div_ceil(WARP_SIZE);
+        let n_warps = self.config.warps_per_block();
         self.stats.warps += n_warps as u64;
-        let exit_pc = self.kernel.instrs().len();
-        let reg_count = self.kernel.reg_count();
+        let exit_pc = self.dec.len();
+        let reg_lanes = self.kernel.reg_count() * WARP_SIZE;
 
-        let mut shared = vec![0u8; self.kernel.shared_bytes() as usize];
-        let mut local = vec![0u8; self.kernel.local_bytes() as usize * threads];
-
-        let mut warps: Vec<Warp> = (0..n_warps)
-            .map(|w| {
-                let base_thread = (w * WARP_SIZE) as u32;
-                let lanes = (threads - w * WARP_SIZE).min(WARP_SIZE);
-                let live = if lanes == WARP_SIZE {
-                    u32::MAX
-                } else {
-                    (1u32 << lanes) - 1
-                };
-                Warp {
-                    id: w as u32,
-                    base_thread,
-                    live,
-                    stack: vec![StackEntry {
-                        pc: 0,
-                        rpc: exit_pc,
-                        mask: live,
-                    }],
-                    regs: vec![Value::U32(0); reg_count * WARP_SIZE],
-                    at_barrier: false,
-                }
-            })
-            .collect();
+        // Reset the scratch arena for this block. `clear` + `resize`
+        // zero-fills while keeping the allocations.
+        let LaunchScratch {
+            shared,
+            local,
+            warps,
+        } = scratch;
+        shared.clear();
+        shared.resize(self.kernel.shared_bytes() as usize, 0);
+        local.clear();
+        local.resize(self.kernel.local_bytes() as usize * threads, 0);
+        warps.truncate(n_warps);
+        while warps.len() < n_warps {
+            warps.push(Warp::default());
+        }
+        for (w, warp) in warps.iter_mut().enumerate() {
+            let lanes = (threads - w * WARP_SIZE).min(WARP_SIZE);
+            let live = if lanes == WARP_SIZE {
+                u32::MAX
+            } else {
+                (1u32 << lanes) - 1
+            };
+            warp.id = w as u32;
+            warp.base_thread = (w * WARP_SIZE) as u32;
+            warp.live = live;
+            warp.stack.clear();
+            warp.stack.push(StackEntry {
+                pc: 0,
+                rpc: exit_pc,
+                mask: live,
+            });
+            warp.regs.clear();
+            warp.regs.resize(reg_lanes, 0);
+            warp.at_barrier = false;
+        }
 
         loop {
             let mut progressed = false;
-            for warp in &mut warps {
+            for warp in warps.iter_mut() {
                 if warp.done() || warp.at_barrier {
                     continue;
                 }
                 progressed = true;
-                self.run_warp(block, warp, &mut shared, &mut local, observer)?;
+                self.run_warp(block, warp, shared, local, observer)?;
             }
             if warps.iter().all(Warp::done) {
                 break;
@@ -479,7 +514,7 @@ impl LaunchCtx<'_> {
             let waiting = warps.iter().filter(|w| w.at_barrier).count();
             if waiting > 0 && warps.iter().all(|w| w.done() || w.at_barrier) {
                 // Release the barrier.
-                for w in &mut warps {
+                for w in warps.iter_mut() {
                     w.at_barrier = false;
                 }
                 self.stats.barriers += 1;
@@ -496,16 +531,17 @@ impl LaunchCtx<'_> {
     }
 
     /// Runs one warp until it exits or reaches a barrier.
-    fn run_warp(
+    fn run_warp<O: TraceObserver + ?Sized>(
         &mut self,
         block: u32,
         warp: &mut Warp,
         shared: &mut [u8],
         local: &mut [u8],
-        observer: &mut dyn TraceObserver,
+        observer: &mut O,
     ) -> Result<(), SimtError> {
-        let exit_pc = self.kernel.instrs().len();
-        let instrs = self.kernel.instrs();
+        let dec = self.dec;
+        let exit_pc = dec.len();
+        let uops = dec.uops();
         let mut addr_buf = [0u32; WARP_SIZE];
 
         loop {
@@ -531,99 +567,89 @@ impl LaunchCtx<'_> {
                 block,
                 warp: warp.id,
                 pc,
-                class: self.classes[pc],
+                class: dec.class(pc),
                 active: mask,
                 live: warp.live,
-                dst: self.dsts[pc],
-                srcs: &self.srcs[pc],
+                dst: dec.dst(pc),
+                srcs: dec.srcs(pc),
             });
 
-            match &instrs[pc] {
-                Instr::Bin { op, dst, a, b } => {
+            match uops[pc] {
+                Uop::Bin { kind, dst, a, b } => {
                     for lane in lanes(mask) {
                         let va = self.eval(warp, block, lane, a);
                         let vb = self.eval(warp, block, lane, b);
-                        let r = eval_bin(*op, va, vb).ok_or(SimtError::DivideByZero { pc })?;
-                        write_reg(warp, *dst, lane, r);
+                        let r = kind.eval(va, vb).ok_or(SimtError::DivideByZero { pc })?;
+                        write_reg(warp, dst, lane, r);
                     }
                     advance(warp);
                 }
-                Instr::Un { op, dst, a } => {
+                Uop::Un { kind, dst, a } => {
                     for lane in lanes(mask) {
                         let va = self.eval(warp, block, lane, a);
-                        write_reg(warp, *dst, lane, eval_un(*op, va));
+                        write_reg(warp, dst, lane, kind.eval(va));
                     }
                     advance(warp);
                 }
-                Instr::Mad { dst, a, b, c } => {
+                Uop::Mad { ty, dst, a, b, c } => {
                     for lane in lanes(mask) {
                         let va = self.eval(warp, block, lane, a);
                         let vb = self.eval(warp, block, lane, b);
                         let vc = self.eval(warp, block, lane, c);
-                        let r = match (va, vb, vc) {
-                            (Value::U32(x), Value::U32(y), Value::U32(z)) => {
-                                Value::U32(x.wrapping_mul(y).wrapping_add(z))
-                            }
-                            (Value::I32(x), Value::I32(y), Value::I32(z)) => {
-                                Value::I32(x.wrapping_mul(y).wrapping_add(z))
-                            }
-                            (Value::F32(x), Value::F32(y), Value::F32(z)) => {
-                                Value::F32(x.mul_add(y, z))
-                            }
-                            _ => unreachable!("validated"),
-                        };
-                        write_reg(warp, *dst, lane, r);
+                        write_reg(warp, dst, lane, decode::eval_mad(ty, va, vb, vc));
                     }
                     advance(warp);
                 }
-                Instr::Cmp { op, dst, a, b } => {
+                Uop::Cmp { op, ty, dst, a, b } => {
                     for lane in lanes(mask) {
                         let va = self.eval(warp, block, lane, a);
                         let vb = self.eval(warp, block, lane, b);
-                        write_reg(warp, *dst, lane, Value::Pred(eval_cmp(*op, va, vb)));
+                        write_reg(warp, dst, lane, decode::eval_cmp(op, ty, va, vb) as u32);
                     }
                     advance(warp);
                 }
-                Instr::Sel { dst, pred, a, b } => {
+                Uop::Sel { dst, pred, a, b } => {
                     for lane in lanes(mask) {
-                        let p = read_reg(warp, *pred, lane).as_pred();
-                        let v = if p {
+                        let v = if read_reg(warp, pred, lane) != 0 {
                             self.eval(warp, block, lane, a)
                         } else {
                             self.eval(warp, block, lane, b)
                         };
-                        write_reg(warp, *dst, lane, v);
+                        write_reg(warp, dst, lane, v);
                     }
                     advance(warp);
                 }
-                Instr::Mov { dst, src } => {
+                Uop::Mov { dst, src } => {
                     for lane in lanes(mask) {
                         let v = self.eval(warp, block, lane, src);
-                        write_reg(warp, *dst, lane, v);
+                        write_reg(warp, dst, lane, v);
                     }
                     advance(warp);
                 }
-                Instr::Cvt { dst, src } => {
-                    let to = self.kernel.reg_type(*dst);
+                Uop::Cvt { from, to, dst, src } => {
                     for lane in lanes(mask) {
                         let v = self.eval(warp, block, lane, src);
-                        write_reg(warp, *dst, lane, convert(v, to));
+                        write_reg(warp, dst, lane, decode::convert(v, from, to));
                     }
                     advance(warp);
                 }
-                Instr::Ld { dst, space, addr } => {
-                    self.gather_addrs(warp, block, mask, addr, &mut addr_buf);
+                Uop::Ld {
+                    dst,
+                    space,
+                    base,
+                    offset,
+                } => {
+                    self.gather_addrs(warp, block, mask, base, offset, &mut addr_buf);
                     observer.on_mem(&MemEvent {
                         block,
                         warp: warp.id,
                         pc,
-                        space: *space,
+                        space,
                         kind: AccessKind::Load,
                         bytes: 4,
                         active: mask,
                         addrs: &addr_buf,
                     });
-                    let ty = self.kernel.reg_type(*dst);
                     let lb = self.kernel.local_bytes() as usize;
                     for lane in lanes(mask) {
                         let a = addr_buf[lane];
@@ -636,17 +662,22 @@ impl LaunchCtx<'_> {
                                 read4(&local[t..t + lb], a, pc, "local")?
                             }
                         };
-                        write_reg(warp, *dst, lane, raw_to_value(raw, ty));
+                        write_reg(warp, dst, lane, u32::from_le_bytes(raw));
                     }
                     advance(warp);
                 }
-                Instr::St { space, addr, src } => {
-                    self.gather_addrs(warp, block, mask, addr, &mut addr_buf);
+                Uop::St {
+                    space,
+                    base,
+                    offset,
+                    src,
+                } => {
+                    self.gather_addrs(warp, block, mask, base, offset, &mut addr_buf);
                     observer.on_mem(&MemEvent {
                         block,
                         warp: warp.id,
                         pc,
-                        space: *space,
+                        space,
                         kind: AccessKind::Store,
                         bytes: 4,
                         active: mask,
@@ -656,7 +687,7 @@ impl LaunchCtx<'_> {
                     for lane in lanes(mask) {
                         let v = self.eval(warp, block, lane, src);
                         let a = addr_buf[lane];
-                        let data = value_to_raw(v);
+                        let data = v.to_le_bytes();
                         match space {
                             Space::Global => write4(self.global, a, data, pc, "global")?,
                             Space::Shared => write4(shared, a, data, pc, "shared")?,
@@ -676,20 +707,21 @@ impl LaunchCtx<'_> {
                     }
                     advance(warp);
                 }
-                Instr::Atom {
-                    op,
+                Uop::Atom {
+                    kind,
                     dst,
                     space,
-                    addr,
+                    base,
+                    offset,
                     src,
                     compare,
                 } => {
-                    self.gather_addrs(warp, block, mask, addr, &mut addr_buf);
+                    self.gather_addrs(warp, block, mask, base, offset, &mut addr_buf);
                     observer.on_mem(&MemEvent {
                         block,
                         warp: warp.id,
                         pc,
-                        space: *space,
+                        space,
                         kind: AccessKind::Atomic,
                         bytes: 4,
                         active: mask,
@@ -698,15 +730,16 @@ impl LaunchCtx<'_> {
                     for lane in lanes(mask) {
                         let a = addr_buf[lane];
                         let operand = self.eval(warp, block, lane, src);
-                        let cmp_v = compare.map(|c| self.eval(warp, block, lane, &c));
-                        let old_raw = match space {
-                            Space::Global => read4(self.global, a, pc, "global")?,
-                            Space::Shared => read4(shared, a, pc, "shared")?,
+                        let cmp_v = compare.map(|c| self.eval(warp, block, lane, c));
+                        let old = match space {
+                            Space::Global => {
+                                u32::from_le_bytes(read4(self.global, a, pc, "global")?)
+                            }
+                            Space::Shared => u32::from_le_bytes(read4(shared, a, pc, "shared")?),
                             _ => unreachable!("atomics validated to global/shared"),
                         };
-                        let old = raw_to_value(old_raw, operand.ty());
-                        if let Some(new) = apply_atom(*op, old, operand, cmp_v) {
-                            let data = value_to_raw(new);
+                        if let Some(new) = kind.apply(old, operand, cmp_v) {
+                            let data = new.to_le_bytes();
                             match space {
                                 Space::Global => write4(self.global, a, data, pc, "global")?,
                                 Space::Shared => write4(shared, a, data, pc, "shared")?,
@@ -714,12 +747,12 @@ impl LaunchCtx<'_> {
                             }
                         }
                         if let Some(d) = dst {
-                            write_reg(warp, *d, lane, old);
+                            write_reg(warp, d, lane, old);
                         }
                     }
                     advance(warp);
                 }
-                Instr::Bar => {
+                Uop::Bar => {
                     if mask != warp.live || warp.stack.len() != 1 {
                         return Err(SimtError::BarrierDivergence { pc });
                     }
@@ -727,57 +760,57 @@ impl LaunchCtx<'_> {
                     warp.at_barrier = true;
                     return Ok(());
                 }
-                Instr::Bra { target, cond } => match cond {
-                    None => {
-                        warp.stack.last_mut().expect("non-empty").pc = *target;
-                    }
-                    Some(c) => {
-                        let mut taken = 0u32;
-                        for lane in lanes(mask) {
-                            let p = read_reg(warp, c.reg, lane).as_pred();
-                            if p != c.negate {
-                                taken |= 1 << lane;
-                            }
+                Uop::Jump { target } => {
+                    warp.stack.last_mut().expect("non-empty").pc = target as usize;
+                }
+                Uop::Branch {
+                    target,
+                    reg,
+                    negate,
+                    rpc,
+                } => {
+                    let mut taken = 0u32;
+                    for lane in lanes(mask) {
+                        let p = read_reg(warp, reg, lane) != 0;
+                        if p != negate {
+                            taken |= 1 << lane;
                         }
-                        observer.on_branch(&BranchEvent {
-                            block,
-                            warp: warp.id,
-                            pc,
-                            active: mask,
-                            taken,
+                    }
+                    observer.on_branch(&BranchEvent {
+                        block,
+                        warp: warp.id,
+                        pc,
+                        active: mask,
+                        taken,
+                    });
+                    if taken == 0 {
+                        advance(warp);
+                    } else if taken == mask {
+                        warp.stack.last_mut().expect("non-empty").pc = target as usize;
+                    } else {
+                        let rpc = rpc as usize;
+                        let old = warp.stack.pop().expect("non-empty");
+                        // Continuation at the reconvergence point.
+                        warp.stack.push(StackEntry {
+                            pc: rpc,
+                            rpc: old.rpc,
+                            mask: old.mask,
                         });
-                        if taken == 0 {
-                            advance(warp);
-                        } else if taken == mask {
-                            warp.stack.last_mut().expect("non-empty").pc = *target;
-                        } else {
-                            let rpc = self
-                                .kernel
-                                .reconvergence_pc(pc)
-                                .expect("validated branch has reconvergence");
-                            let old = warp.stack.pop().expect("non-empty");
-                            // Continuation at the reconvergence point.
-                            warp.stack.push(StackEntry {
-                                pc: rpc,
-                                rpc: old.rpc,
-                                mask: old.mask,
-                            });
-                            // Not-taken path.
-                            warp.stack.push(StackEntry {
-                                pc: pc + 1,
-                                rpc,
-                                mask: mask & !taken,
-                            });
-                            // Taken path (runs first).
-                            warp.stack.push(StackEntry {
-                                pc: *target,
-                                rpc,
-                                mask: taken,
-                            });
-                        }
+                        // Not-taken path.
+                        warp.stack.push(StackEntry {
+                            pc: pc + 1,
+                            rpc,
+                            mask: mask & !taken,
+                        });
+                        // Taken path (runs first).
+                        warp.stack.push(StackEntry {
+                            pc: target as usize,
+                            rpc,
+                            mask: taken,
+                        });
                     }
-                },
-                Instr::Ret => {
+                }
+                Uop::Ret => {
                     let exiting = mask;
                     warp.live &= !exiting;
                     for e in &mut warp.stack {
@@ -793,24 +826,26 @@ impl LaunchCtx<'_> {
         warp: &Warp,
         block: u32,
         mask: u32,
-        addr: &Addr,
+        base: Src,
+        offset: i32,
         out: &mut [u32; WARP_SIZE],
     ) {
         for lane in lanes(mask) {
-            let base = self.eval(warp, block, lane, &addr.base).as_u32();
-            out[lane] = base.wrapping_add_signed(addr.offset);
+            let b = self.eval(warp, block, lane, base);
+            out[lane] = b.wrapping_add_signed(offset);
         }
     }
 
-    fn eval(&self, warp: &Warp, block: u32, lane: usize, op: &Operand) -> Value {
-        match op {
-            Operand::Reg(r) => read_reg(warp, *r, lane),
-            Operand::Imm(v) => *v,
-            Operand::Param(i) => self.args[*i as usize],
-            Operand::Sreg(s) => {
+    #[inline]
+    fn eval(&self, warp: &Warp, block: u32, lane: usize, s: Src) -> u32 {
+        match s {
+            Src::Reg(r) => read_reg(warp, r, lane),
+            Src::Imm(bits) => bits,
+            Src::Param(i) => self.params[i as usize],
+            Src::Sreg(s) => {
                 let thread = warp.base_thread + lane as u32;
                 let bx = self.config.block_x;
-                Value::U32(match s {
+                match s {
                     SpecialReg::TidX => thread % bx,
                     SpecialReg::TidY => thread / bx,
                     SpecialReg::NTidX => bx,
@@ -820,14 +855,25 @@ impl LaunchCtx<'_> {
                     SpecialReg::NCtaIdX => self.config.grid_x,
                     SpecialReg::NCtaIdY => self.config.grid_y,
                     SpecialReg::LaneId => lane as u32,
-                })
+                }
             }
         }
     }
 }
 
+/// Iterates set lanes in ascending order.
+#[inline]
 fn lanes(mask: u32) -> impl Iterator<Item = usize> {
-    (0..WARP_SIZE).filter(move |i| mask & (1 << i) != 0)
+    let mut m = mask;
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            Some(i)
+        }
+    })
 }
 
 fn advance(warp: &mut Warp) {
@@ -835,13 +881,13 @@ fn advance(warp: &mut Warp) {
 }
 
 #[inline]
-fn read_reg(warp: &Warp, r: Reg, lane: usize) -> Value {
-    warp.regs[r.0 as usize * WARP_SIZE + lane]
+fn read_reg(warp: &Warp, r: u16, lane: usize) -> u32 {
+    warp.regs[r as usize * WARP_SIZE + lane]
 }
 
 #[inline]
-fn write_reg(warp: &mut Warp, r: Reg, lane: usize, v: Value) {
-    warp.regs[r.0 as usize * WARP_SIZE + lane] = v;
+fn write_reg(warp: &mut Warp, r: u16, lane: usize, v: u32) {
+    warp.regs[r as usize * WARP_SIZE + lane] = v;
 }
 
 fn read4(buf: &[u8], addr: u32, pc: usize, space: &'static str) -> Result<[u8; 4], SimtError> {
@@ -875,164 +921,4 @@ fn write4(
     }
     buf[a..a + 4].copy_from_slice(&data);
     Ok(())
-}
-
-fn raw_to_value(raw: [u8; 4], ty: Type) -> Value {
-    match ty {
-        Type::U32 => Value::U32(u32::from_le_bytes(raw)),
-        Type::I32 => Value::I32(i32::from_le_bytes(raw)),
-        Type::F32 => Value::F32(f32::from_le_bytes(raw)),
-        Type::Pred => Value::Pred(u32::from_le_bytes(raw) != 0),
-    }
-}
-
-fn value_to_raw(v: Value) -> [u8; 4] {
-    match v {
-        Value::U32(x) => x.to_le_bytes(),
-        Value::I32(x) => x.to_le_bytes(),
-        Value::F32(x) => x.to_le_bytes(),
-        Value::Pred(x) => (x as u32).to_le_bytes(),
-    }
-}
-
-fn convert(v: Value, to: Type) -> Value {
-    let as_f64 = match v {
-        Value::U32(x) => x as f64,
-        Value::I32(x) => x as f64,
-        Value::F32(x) => x as f64,
-        Value::Pred(x) => x as u32 as f64,
-    };
-    match to {
-        Type::F32 => Value::F32(as_f64 as f32),
-        Type::U32 => Value::U32(as_f64.max(0.0).min(u32::MAX as f64) as u32),
-        Type::I32 => Value::I32(as_f64.clamp(i32::MIN as f64, i32::MAX as f64) as i32),
-        Type::Pred => Value::Pred(as_f64 != 0.0),
-    }
-}
-
-/// Returns `None` only for integer division/remainder by zero.
-fn eval_bin(op: BinOp, a: Value, b: Value) -> Option<Value> {
-    use Value::*;
-    Some(match (a, b) {
-        (U32(x), U32(y)) => U32(match op {
-            BinOp::Add => x.wrapping_add(y),
-            BinOp::Sub => x.wrapping_sub(y),
-            BinOp::Mul => x.wrapping_mul(y),
-            BinOp::Div => x.checked_div(y)?,
-            BinOp::Rem => x.checked_rem(y)?,
-            BinOp::Min => x.min(y),
-            BinOp::Max => x.max(y),
-            BinOp::And => x & y,
-            BinOp::Or => x | y,
-            BinOp::Xor => x ^ y,
-            BinOp::Shl => x.wrapping_shl(y),
-            BinOp::Shr => x.wrapping_shr(y),
-        }),
-        (I32(x), I32(y)) => I32(match op {
-            BinOp::Add => x.wrapping_add(y),
-            BinOp::Sub => x.wrapping_sub(y),
-            BinOp::Mul => x.wrapping_mul(y),
-            BinOp::Div => x.checked_div(y)?,
-            BinOp::Rem => x.checked_rem(y)?,
-            BinOp::Min => x.min(y),
-            BinOp::Max => x.max(y),
-            BinOp::And => x & y,
-            BinOp::Or => x | y,
-            BinOp::Xor => x ^ y,
-            BinOp::Shl => x.wrapping_shl(y as u32),
-            BinOp::Shr => x.wrapping_shr(y as u32),
-        }),
-        (F32(x), F32(y)) => F32(match op {
-            BinOp::Add => x + y,
-            BinOp::Sub => x - y,
-            BinOp::Mul => x * y,
-            BinOp::Div => x / y,
-            BinOp::Min => x.min(y),
-            BinOp::Max => x.max(y),
-            _ => unreachable!("validated: no bitwise float ops"),
-        }),
-        (Pred(x), Pred(y)) => Pred(match op {
-            BinOp::And => x && y,
-            BinOp::Or => x || y,
-            BinOp::Xor => x ^ y,
-            _ => unreachable!("validated: only logic ops on predicates"),
-        }),
-        _ => unreachable!("validated: operand types match"),
-    })
-}
-
-fn eval_un(op: UnOp, a: Value) -> Value {
-    use Value::*;
-    match (op, a) {
-        (UnOp::Neg, I32(x)) => I32(x.wrapping_neg()),
-        (UnOp::Neg, F32(x)) => F32(-x),
-        (UnOp::Abs, I32(x)) => I32(x.wrapping_abs()),
-        (UnOp::Abs, F32(x)) => F32(x.abs()),
-        (UnOp::Not, U32(x)) => U32(!x),
-        (UnOp::Not, I32(x)) => I32(!x),
-        (UnOp::Not, Pred(x)) => Pred(!x),
-        (UnOp::Sqrt, F32(x)) => F32(x.sqrt()),
-        (UnOp::Rsqrt, F32(x)) => F32(1.0 / x.sqrt()),
-        (UnOp::Exp2, F32(x)) => F32(x.exp2()),
-        (UnOp::Log2, F32(x)) => F32(x.log2()),
-        (UnOp::Sin, F32(x)) => F32(x.sin()),
-        (UnOp::Cos, F32(x)) => F32(x.cos()),
-        (UnOp::Recip, F32(x)) => F32(1.0 / x),
-        _ => unreachable!("validated unary operand type"),
-    }
-}
-
-fn eval_cmp(op: CmpOp, a: Value, b: Value) -> bool {
-    use Value::*;
-    let ord = match (a, b) {
-        (U32(x), U32(y)) => x.partial_cmp(&y),
-        (I32(x), I32(y)) => x.partial_cmp(&y),
-        (F32(x), F32(y)) => x.partial_cmp(&y),
-        _ => unreachable!("validated comparison operand types"),
-    };
-    match (op, ord) {
-        (CmpOp::Eq, Some(std::cmp::Ordering::Equal)) => true,
-        (CmpOp::Ne, Some(o)) => o != std::cmp::Ordering::Equal,
-        (CmpOp::Ne, None) => true, // NaN != NaN
-        (CmpOp::Lt, Some(std::cmp::Ordering::Less)) => true,
-        (CmpOp::Le, Some(o)) => o != std::cmp::Ordering::Greater,
-        (CmpOp::Gt, Some(std::cmp::Ordering::Greater)) => true,
-        (CmpOp::Ge, Some(o)) => o != std::cmp::Ordering::Less,
-        _ => false,
-    }
-}
-
-/// Computes the new memory value for an atomic; `None` means "no write"
-/// (failed CAS).
-fn apply_atom(op: AtomOp, old: Value, operand: Value, compare: Option<Value>) -> Option<Value> {
-    use Value::*;
-    match op {
-        AtomOp::Add => Some(match (old, operand) {
-            (U32(x), U32(y)) => U32(x.wrapping_add(y)),
-            (I32(x), I32(y)) => I32(x.wrapping_add(y)),
-            (F32(x), F32(y)) => F32(x + y),
-            _ => unreachable!("validated"),
-        }),
-        AtomOp::Min => Some(match (old, operand) {
-            (U32(x), U32(y)) => U32(x.min(y)),
-            (I32(x), I32(y)) => I32(x.min(y)),
-            (F32(x), F32(y)) => F32(x.min(y)),
-            _ => unreachable!("validated"),
-        }),
-        AtomOp::Max => Some(match (old, operand) {
-            (U32(x), U32(y)) => U32(x.max(y)),
-            (I32(x), I32(y)) => I32(x.max(y)),
-            (F32(x), F32(y)) => F32(x.max(y)),
-            _ => unreachable!("validated"),
-        }),
-        AtomOp::Exch => Some(operand),
-        AtomOp::Cas => {
-            let cmp = compare.expect("validated: CAS has compare");
-            if old == cmp {
-                Some(operand)
-            } else {
-                None
-            }
-        }
-    }
 }

@@ -114,6 +114,31 @@ impl Value {
             other => panic!("expected pred, found {other:?}"),
         }
     }
+
+    /// The raw 32-bit representation of this value: integers and floats
+    /// keep their bit pattern, predicates encode as 0/1. This is exactly
+    /// the little-endian image a store writes to memory, and the format
+    /// the interpreter's register banks hold (see [`crate::decode`]).
+    pub fn to_bits(self) -> u32 {
+        match self {
+            Value::U32(x) => x,
+            Value::I32(x) => x as u32,
+            Value::F32(x) => x.to_bits(),
+            Value::Pred(x) => x as u32,
+        }
+    }
+
+    /// Reconstructs a value of type `ty` from its raw bits (inverse of
+    /// [`Value::to_bits`]; any non-zero bit pattern decodes to a true
+    /// predicate, matching what a 4-byte load would produce).
+    pub fn from_bits(bits: u32, ty: Type) -> Value {
+        match ty {
+            Type::U32 => Value::U32(bits),
+            Type::I32 => Value::I32(bits as i32),
+            Type::F32 => Value::F32(f32::from_bits(bits)),
+            Type::Pred => Value::Pred(bits != 0),
+        }
+    }
 }
 
 impl From<i32> for Value {
@@ -668,6 +693,25 @@ mod tests {
     #[should_panic(expected = "expected u32")]
     fn wrong_accessor_panics() {
         Value::F32(1.0).as_u32();
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let cases = [
+            Value::U32(0xdead_beef),
+            Value::I32(-7),
+            Value::F32(-0.0),
+            Value::F32(f32::NAN),
+            Value::Pred(true),
+            Value::Pred(false),
+        ];
+        for v in cases {
+            let back = Value::from_bits(v.to_bits(), v.ty());
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:?}");
+            assert_eq!(back.ty(), v.ty());
+        }
+        assert_eq!(Value::F32(1.5).to_bits(), 1.5f32.to_bits());
+        assert_eq!(Value::from_bits(2, Type::Pred), Value::Pred(true));
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Finalized, validated kernels.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::cfg::Cfg;
+use crate::decode::DecodedKernel;
 use crate::instr::{AtomOp, BinOp, Instr, Operand, Reg, Space, Type, UnOp, Value};
 use crate::SimtError;
 
@@ -28,6 +31,10 @@ pub struct Kernel {
     shared_bytes: u32,
     local_bytes: u32,
     reconv: Vec<Option<usize>>,
+    /// Lazily decoded µop stream ([`crate::decode`]), shared by every
+    /// launch of this kernel (and, via `Arc`, by clones and forked shard
+    /// devices). Cloning a kernel clones the `Arc`, not the decode.
+    decoded: OnceLock<Arc<DecodedKernel>>,
 }
 
 impl Kernel {
@@ -62,7 +69,22 @@ impl Kernel {
             shared_bytes,
             local_bytes,
             reconv,
+            decoded: OnceLock::new(),
         })
+    }
+
+    /// The predecoded µop stream, decoding on first use and cached for
+    /// every later launch. Thread-safe: forked shard devices executing
+    /// disjoint block ranges of one launch share a single decode.
+    pub fn decoded(&self) -> &Arc<DecodedKernel> {
+        self.decoded
+            .get_or_init(|| Arc::new(DecodedKernel::decode(self)))
+    }
+
+    /// Whether the decode cache is populated (for tests and diagnostics;
+    /// execution uses [`Kernel::decoded`], which fills it).
+    pub fn decode_cached(&self) -> bool {
+        self.decoded.get().is_some()
     }
 
     /// Kernel name.

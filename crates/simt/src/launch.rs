@@ -48,6 +48,12 @@ impl LaunchConfig {
         self.block_x as usize * self.block_y as usize
     }
 
+    /// Warps per block (threads rounded up to whole warps); the warp
+    /// count the executor materializes per block.
+    pub fn warps_per_block(&self) -> usize {
+        self.threads_per_block().div_ceil(crate::WARP_SIZE)
+    }
+
     /// Blocks in the grid.
     pub fn blocks(&self) -> usize {
         self.grid_x as usize * self.grid_y as usize
@@ -99,6 +105,9 @@ mod tests {
         assert_eq!(c.threads_per_block(), 32);
         assert_eq!(c.blocks(), 6);
         assert_eq!(c.total_threads(), 192);
+        assert_eq!(c.warps_per_block(), 1);
+        assert_eq!(LaunchConfig::new(1, 33).warps_per_block(), 2);
+        assert_eq!(LaunchConfig::new(1, 1).warps_per_block(), 1);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`kernel`] — finalized [`kernel::Kernel`]s: validated instructions plus
 //!   the branch-reconvergence table derived from a post-dominator analysis
 //!   ([`cfg`]).
+//! * [`decode`] — the predecoded µop stream: the flat, type-monomorphized
+//!   form the interpreter executes, decoded once per kernel and cached.
 //! * [`exec`] — the [`exec::Device`]: global/const memory, kernel launch,
 //!   warp scheduling, the SIMT reconvergence stack, barriers and atomics.
 //! * [`trace`] — observer interfaces for streaming characterization.
@@ -67,6 +69,7 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod decode;
 pub mod disasm;
 pub mod exec;
 pub mod instr;

@@ -1,0 +1,289 @@
+//! Predecode equivalence suite: the cached µop stream must be a
+//! faithful lowering of every kernel the registry can produce.
+//!
+//! The interpreter executes `DecodedKernel` µops, but the observers'
+//! events and the validator still speak in terms of the source `Instr`
+//! stream. These tests pin the correspondence over the *full* workload
+//! registry (every kernel of every workload at Tiny scale), not just
+//! hand-built kernels:
+//!
+//! * side tables (`class` / `dst` / `srcs`) equal what the `Instr` API
+//!   reports per pc — the trace events observers see are unchanged;
+//! * each µop is the right lowering of its source instruction — same
+//!   variant shape, same register ids, immediates carried as
+//!   `Value::to_bits`, branch reconvergence pc baked in from the
+//!   kernel's IPDOM analysis.
+
+use gwc::simt::decode::{Src, Uop};
+use gwc::simt::exec::Device;
+use gwc::simt::instr::{Instr, Operand};
+use gwc::simt::kernel::Kernel;
+use gwc::workloads::{registry, LaunchSpec, Scale};
+
+/// Collects every launch of every registry workload at Tiny scale.
+fn all_launches() -> Vec<(String, LaunchSpec)> {
+    let mut specs = Vec::new();
+    for workload in &mut registry::all_workloads(7) {
+        let mut device = Device::new();
+        let launches = workload
+            .setup(&mut device, Scale::Tiny)
+            .expect("workload setup");
+        let name = workload.meta().name;
+        specs.extend(
+            launches
+                .into_iter()
+                .map(|l| (format!("{name}/{}", l.label), l)),
+        );
+    }
+    assert!(
+        specs.len() > 20,
+        "registry looks truncated: {}",
+        specs.len()
+    );
+    specs
+}
+
+/// Does `src` carry the same operand as `op`? (Registers by id,
+/// immediates by bit pattern, params and special registers by index.)
+fn src_matches(src: &Src, op: &Operand) -> bool {
+    match (src, op) {
+        (Src::Reg(r), Operand::Reg(reg)) => *r == reg.0,
+        (Src::Imm(bits), Operand::Imm(v)) => *bits == v.to_bits(),
+        (Src::Param(i), Operand::Param(p)) => i == p,
+        (Src::Sreg(s), Operand::Sreg(o)) => s == o,
+        _ => false,
+    }
+}
+
+fn check_kernel(label: &str, kernel: &Kernel) {
+    let dec = kernel.decoded();
+    let instrs = kernel.instrs();
+    assert_eq!(dec.len(), instrs.len(), "{label}: µop count");
+    for (pc, ins) in instrs.iter().enumerate() {
+        let at = format!("{label} pc {pc}");
+        // Side tables reproduce the Instr API verbatim.
+        let dst = ins.dst_reg();
+        assert_eq!(
+            dec.class(pc),
+            ins.class(dst.map(|r| kernel.reg_type(r))),
+            "{at}: class"
+        );
+        assert_eq!(dec.dst(pc), dst, "{at}: dst");
+        assert_eq!(dec.srcs(pc), ins.src_regs().as_slice(), "{at}: srcs");
+        // The µop is the matching lowering of the source instruction.
+        let uop = &dec.uops()[pc];
+        match (uop, ins) {
+            (
+                Uop::Bin { dst, a, b, .. },
+                Instr::Bin {
+                    dst: d,
+                    a: sa,
+                    b: sb,
+                    ..
+                },
+            )
+            | (
+                Uop::Cmp { dst, a, b, .. },
+                Instr::Cmp {
+                    dst: d,
+                    a: sa,
+                    b: sb,
+                    ..
+                },
+            ) => {
+                assert_eq!(*dst, d.0, "{at}: dst reg");
+                assert!(src_matches(a, sa) && src_matches(b, sb), "{at}: operands");
+            }
+            (Uop::Un { dst, a, .. }, Instr::Un { dst: d, a: sa, .. }) => {
+                assert_eq!(*dst, d.0, "{at}: dst reg");
+                assert!(src_matches(a, sa), "{at}: operand");
+            }
+            (
+                Uop::Mad { dst, a, b, c, .. },
+                Instr::Mad {
+                    dst: d,
+                    a: sa,
+                    b: sb,
+                    c: sc,
+                },
+            ) => {
+                assert_eq!(*dst, d.0, "{at}: dst reg");
+                assert!(
+                    src_matches(a, sa) && src_matches(b, sb) && src_matches(c, sc),
+                    "{at}: operands"
+                );
+            }
+            (
+                Uop::Sel { dst, pred, a, b },
+                Instr::Sel {
+                    dst: d,
+                    pred: p,
+                    a: sa,
+                    b: sb,
+                },
+            ) => {
+                assert_eq!((*dst, *pred), (d.0, p.0), "{at}: regs");
+                assert!(src_matches(a, sa) && src_matches(b, sb), "{at}: operands");
+            }
+            (Uop::Mov { dst, src }, Instr::Mov { dst: d, src: s }) => {
+                assert_eq!(*dst, d.0, "{at}: dst reg");
+                assert!(src_matches(src, s), "{at}: operand");
+            }
+            (Uop::Cvt { dst, src, .. }, Instr::Cvt { dst: d, src: s }) => {
+                assert_eq!(*dst, d.0, "{at}: dst reg");
+                assert!(src_matches(src, s), "{at}: operand");
+            }
+            (
+                Uop::Ld {
+                    dst,
+                    space,
+                    base,
+                    offset,
+                },
+                Instr::Ld {
+                    dst: d,
+                    space: sp,
+                    addr,
+                },
+            ) => {
+                assert_eq!((*dst, *space, *offset), (d.0, *sp, addr.offset), "{at}");
+                assert!(src_matches(base, &addr.base), "{at}: base");
+            }
+            (
+                Uop::St {
+                    space,
+                    base,
+                    offset,
+                    src,
+                },
+                Instr::St {
+                    space: sp,
+                    addr,
+                    src: s,
+                },
+            ) => {
+                assert_eq!((*space, *offset), (*sp, addr.offset), "{at}");
+                assert!(src_matches(base, &addr.base) && src_matches(src, s), "{at}");
+            }
+            (
+                Uop::Atom {
+                    dst,
+                    space,
+                    base,
+                    offset,
+                    src,
+                    compare,
+                    ..
+                },
+                Instr::Atom {
+                    dst: d,
+                    space: sp,
+                    addr,
+                    src: s,
+                    compare: cmp,
+                    ..
+                },
+            ) => {
+                assert_eq!(*dst, d.map(|r| r.0), "{at}: dst reg");
+                assert_eq!((*space, *offset), (*sp, addr.offset), "{at}");
+                assert!(src_matches(base, &addr.base) && src_matches(src, s), "{at}");
+                match (compare, cmp) {
+                    (None, None) => {}
+                    (Some(c), Some(sc)) => assert!(src_matches(c, sc), "{at}: compare"),
+                    _ => panic!("{at}: compare presence mismatch"),
+                }
+            }
+            (Uop::Bar, Instr::Bar) | (Uop::Ret, Instr::Ret) => {}
+            (
+                Uop::Jump { target },
+                Instr::Bra {
+                    target: t,
+                    cond: None,
+                },
+            ) => {
+                assert_eq!(*target as usize, *t, "{at}: jump target");
+            }
+            (
+                Uop::Branch {
+                    target,
+                    reg,
+                    negate,
+                    rpc,
+                },
+                Instr::Bra {
+                    target: t,
+                    cond: Some(c),
+                },
+            ) => {
+                assert_eq!(*target as usize, *t, "{at}: branch target");
+                assert_eq!((*reg, *negate), (c.reg.0, c.negate), "{at}: condition");
+                assert_eq!(
+                    *rpc as usize,
+                    kernel.reconvergence_pc(pc).expect("branch has rpc"),
+                    "{at}: reconvergence pc"
+                );
+            }
+            (uop, ins) => panic!("{at}: µop {uop:?} does not correspond to {ins:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_registry_kernel_decodes_faithfully() {
+    for (label, spec) in all_launches() {
+        check_kernel(&label, &spec.kernel);
+    }
+}
+
+/// Early-exit kernel covering `Ret`, which no registry kernel emits
+/// explicitly (their bodies fall off the end instead).
+fn ret_kernel() -> gwc::simt::kernel::Kernel {
+    use gwc::simt::builder::KernelBuilder;
+    use gwc::simt::instr::Value;
+    let mut b = KernelBuilder::new("early_ret");
+    let out = b.param_u32("out");
+    let i = b.global_tid_x();
+    let p = b.lt_u32(i, Value::U32(4));
+    b.if_(p, |b| b.ret());
+    let oi = b.index(out, i, 4);
+    b.st_global_u32(oi, i);
+    b.build().expect("ret kernel builds")
+}
+
+#[test]
+fn every_uop_variant_is_exercised() {
+    // If coverage stopped reaching a µop shape, the equivalence suite
+    // above would silently lose teeth — fail loudly instead. The
+    // registry covers everything except an explicit `Ret`.
+    let ret = ret_kernel();
+    check_kernel("early_ret", &ret);
+    let mut kernels: Vec<Kernel> = vec![ret];
+    kernels.extend(all_launches().into_iter().map(|(_, spec)| spec.kernel));
+    let mut seen = [false; 14];
+    for kernel in &kernels {
+        for uop in kernel.decoded().uops() {
+            let idx = match uop {
+                Uop::Bin { .. } => 0,
+                Uop::Un { .. } => 1,
+                Uop::Mad { .. } => 2,
+                Uop::Cmp { .. } => 3,
+                Uop::Sel { .. } => 4,
+                Uop::Mov { .. } => 5,
+                Uop::Cvt { .. } => 6,
+                Uop::Ld { .. } => 7,
+                Uop::St { .. } => 8,
+                Uop::Atom { .. } => 9,
+                Uop::Bar => 10,
+                Uop::Jump { .. } => 11,
+                Uop::Branch { .. } => 12,
+                Uop::Ret => 13,
+            };
+            seen[idx] = true;
+        }
+    }
+    let missing: Vec<usize> = (0..14).filter(|&i| !seen[i]).collect();
+    assert!(
+        missing.is_empty(),
+        "µop variants never decoded: {missing:?}"
+    );
+}
