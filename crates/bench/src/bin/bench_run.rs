@@ -15,8 +15,10 @@
 //! (recorder overhead included — the trajectory tracks what users
 //! measure, not an idealized uninstrumented run).
 
+use std::path::PathBuf;
+
 use gwc_bench::all_experiments;
-use gwc_bench::cli::{take_count, take_value, unknown_opt, ArgStream, Token};
+use gwc_bench::cli::{reject_value, take_count, take_value, unknown_opt, ArgStream, Token};
 use gwc_bench::perf::{build_bench_report, measure_iteration, validate_bench, BenchContext};
 use gwc_obs::report::fmt_ns;
 
@@ -33,6 +35,9 @@ options:
   --warmup N         unrecorded warmup iterations (default 1)
   --threads N        worker threads for the study (default: available
                      parallelism; 1 forces the serial path)
+  --cache DIR        persistent profile cache directory (default: off —
+                     cold labels must measure real simulation time)
+  --no-cache         explicit spelling of the default
   --label NAME       report label (default `run`)
   --out PATH         output path (default BENCH_<label>.json)
   -h, --help         print this help
@@ -43,6 +48,7 @@ struct Cli {
     iters: usize,
     warmup: usize,
     threads: usize,
+    cache: Option<PathBuf>,
     label: String,
     out: Option<String>,
 }
@@ -58,9 +64,12 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         iters: 5,
         warmup: 1,
         threads: gwc_core::available_threads(),
+        cache: None,
         label: "run".to_string(),
         out: None,
     };
+    let mut cache_flag = false;
+    let mut no_cache_flag = false;
     let mut args = ArgStream::new(argv);
     while let Some(token) = args.next_token() {
         let (flag, inline) = match token {
@@ -74,6 +83,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
             "--iters" => take_count(&flag, inline, &mut args).map(|n| cli.iters = n),
             "--warmup" => take_count(&flag, inline, &mut args).map(|n| cli.warmup = n),
             "--threads" => take_count(&flag, inline, &mut args).map(|n| cli.threads = n),
+            "--cache" => take_value(&flag, inline, &mut args).map(|v| {
+                cache_flag = true;
+                cli.cache = Some(PathBuf::from(v));
+            }),
+            "--no-cache" => reject_value(&flag, inline).map(|()| {
+                no_cache_flag = true;
+                cli.cache = None;
+            }),
             "--label" => take_value(&flag, inline, &mut args).map(|v| cli.label = v),
             "--out" => take_value(&flag, inline, &mut args).map(|v| cli.out = Some(v)),
             "--help" | "-h" => {
@@ -97,6 +114,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
             ));
         }
     }
+    if cache_flag && no_cache_flag {
+        usage_error("--cache and --no-cache are mutually exclusive");
+    }
     if cli.iters == 0 {
         usage_error("--iters must be at least 1");
     }
@@ -117,11 +137,11 @@ fn main() {
     );
     for w in 0..cli.warmup {
         eprintln!("  warmup {}/{}...", w + 1, cli.warmup);
-        measure_iteration(&ids, cli.threads);
+        measure_iteration(&ids, cli.threads, cli.cache.as_deref());
     }
     let mut samples = Vec::with_capacity(cli.iters);
     for i in 0..cli.iters {
-        let sample = measure_iteration(&ids, cli.threads);
+        let sample = measure_iteration(&ids, cli.threads, cli.cache.as_deref());
         eprintln!(
             "  iter {}/{}: total {}",
             i + 1,

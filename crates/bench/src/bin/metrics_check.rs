@@ -9,7 +9,11 @@
 //! version and required keys, and round-trips it (parse -> render ->
 //! parse -> compare) to prove the writer and parser agree. Any schema
 //! version the validator supports is accepted unless `--schema` pins
-//! one. Exits 0 on a valid report, 1 on a bad one, 2 on usage errors.
+//! one. `--counter NAME=VALUE` (repeatable) additionally asserts a
+//! counter's exact value — a counter absent from the report counts as 0,
+//! so `--counter cache.misses=0` holds for a fully warm run that never
+//! incremented it. Exits 0 on a valid report, 1 on a bad one, 2 on
+//! usage errors.
 
 use gwc_bench::cli::{take_value, unknown_opt, ArgStream, Token};
 use gwc_obs::report::validate_str_version;
@@ -20,9 +24,11 @@ usage: metrics_check [OPTIONS] FILE.json
 Validates a metrics report written by `regen --metrics`.
 
 options:
-  --schema v1|v2     require this exact schema version (default: accept
-                     any supported version)
-  -h, --help         print this help
+  --schema v1|v2         require this exact schema version (default:
+                         accept any supported version)
+  --counter NAME=VALUE   require the named counter to equal VALUE
+                         (repeatable; an absent counter counts as 0)
+  -h, --help             print this help
 ";
 
 fn usage_error(msg: &str) -> ! {
@@ -30,9 +36,23 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Value of the named counter in a validated report; absent counters
+/// read as 0 (a counter that was never incremented is never recorded).
+fn counter_value(doc: &gwc_obs::json::Json, name: &str) -> u64 {
+    doc.get("counters")
+        .and_then(|c| c.as_arr())
+        .unwrap_or(&[])
+        .iter()
+        .find(|row| row.get("name").and_then(|n| n.as_str()) == Some(name))
+        .and_then(|row| row.get("value"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0)
+}
+
 fn main() {
     let mut path: Option<String> = None;
     let mut pin: Option<u64> = None;
+    let mut counter_asserts: Vec<(String, u64)> = Vec::new();
     let mut args = ArgStream::new(std::env::args().skip(1));
     while let Some(token) = args.next_token() {
         let (flag, inline) = match token {
@@ -54,6 +74,19 @@ fn main() {
                     _ => usage_error(&format!("--schema: `{v}` is not a known version (v1, v2)")),
                 });
             }
+            "--counter" => {
+                let v = take_value(&flag, inline, &mut args).unwrap_or_else(|e| usage_error(&e));
+                let Some((name, value)) = v.split_once('=') else {
+                    usage_error(&format!("--counter: `{v}` is not NAME=VALUE"));
+                };
+                let Ok(value) = value.parse::<u64>() else {
+                    usage_error(&format!("--counter: `{value}` is not an unsigned integer"));
+                };
+                if name.is_empty() {
+                    usage_error("--counter: empty counter name");
+                }
+                counter_asserts.push((name.to_string(), value));
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -70,14 +103,29 @@ fn main() {
     });
     match validate_str_version(&text, pin) {
         Ok(doc) => {
+            for (name, expected) in &counter_asserts {
+                let actual = counter_value(&doc, name);
+                if actual != *expected {
+                    eprintln!(
+                        "metrics_check: `{path}`: counter `{name}` is {actual}, expected \
+                         {expected}"
+                    );
+                    std::process::exit(1);
+                }
+            }
             let version = doc.get("schema_version").and_then(|v| v.as_u64());
             let stages = doc
                 .get("stages")
                 .and_then(|s| s.as_arr())
                 .map_or(0, |a| a.len());
             println!(
-                "{path}: valid metrics report (schema v{}, {stages} stages)",
-                version.unwrap_or(0)
+                "{path}: valid metrics report (schema v{}, {stages} stages{})",
+                version.unwrap_or(0),
+                if counter_asserts.is_empty() {
+                    String::new()
+                } else {
+                    format!(", {} counter assertion(s) hold", counter_asserts.len())
+                }
             );
         }
         Err(e) => {

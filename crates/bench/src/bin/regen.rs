@@ -21,11 +21,21 @@
 //! `chrome://tracing`. `--trace-summary` prints the top spans to
 //! stderr. The flags combine freely (one tee'd recorder) and none of
 //! them perturbs the experiment output on stdout.
+//!
+//! Runs are incremental by default: kernel profiles persist in a
+//! content-addressed cache (`.gwc-cache/`, override with `--cache DIR`)
+//! keyed on kernel IR, inputs and schema versions, so a warm rerun
+//! skips simulation entirely and is byte-identical to a cold one.
+//! `--no-cache` restores the uncached behavior.
+//!
+//! Exit status: 0 on success, 2 on a usage error.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use gwc_bench::cli::{reject_value, take_count, take_value, unknown_opt, ArgStream, Token};
-use gwc_bench::{all_experiments, render_experiments, StudyArtifacts};
+use gwc_bench::{all_experiments, render_experiments, StudyArtifacts, EXPERIMENTS};
+use gwc_core::pipeline::PipelineConfig;
 use gwc_obs::metrics::MetricsRecorder;
 use gwc_obs::report::{build_report, render_summary, validate, ReportContext};
 use gwc_obs::{Recorder, TeeRecorder, TraceRecorder};
@@ -34,11 +44,15 @@ const USAGE: &str = "\
 usage: regen [EXPERIMENT...] [OPTIONS]
 
 Regenerates experiment artifacts E1..E13 (all of them when no ids are
-given) to stdout.
+given) to stdout. Exits 0 on success, 2 on a usage error.
 
 options:
   --threads N        worker threads for the study (default: available
                      parallelism; 1 forces the serial path)
+  --cache DIR        persistent profile cache directory
+                     (default: .gwc-cache)
+  --no-cache         disable the profile cache; every workload simulates
+  --list             list experiment ids with descriptions and exit
   --metrics PATH     write a schema-versioned JSON metrics report to PATH
   --trace PATH       write a Chrome/Perfetto trace-event timeline to PATH
   --trace-summary    print the top spans by total time to stderr
@@ -48,6 +62,7 @@ options:
 struct Cli {
     threads: usize,
     ids: Vec<String>,
+    cache: Option<PathBuf>,
     metrics: Option<String>,
     trace: Option<String>,
     trace_summary: bool,
@@ -62,10 +77,13 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
     let mut cli = Cli {
         threads: gwc_core::available_threads(),
         ids: Vec::new(),
+        cache: Some(PathBuf::from(gwc_characterize::cache::DEFAULT_DIR)),
         metrics: None,
         trace: None,
         trace_summary: false,
     };
+    let mut cache_flag = false;
+    let mut no_cache_flag = false;
     let mut args = ArgStream::new(argv);
     while let Some(token) = args.next_token() {
         let (flag, inline) = match token {
@@ -77,6 +95,23 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         };
         let result = match flag.as_str() {
             "--threads" => take_count(&flag, inline, &mut args).map(|n| cli.threads = n),
+            "--cache" => take_value(&flag, inline, &mut args).map(|v| {
+                cache_flag = true;
+                cli.cache = Some(PathBuf::from(v));
+            }),
+            "--no-cache" => reject_value(&flag, inline).map(|()| {
+                no_cache_flag = true;
+                cli.cache = None;
+            }),
+            "--list" => {
+                if let Err(e) = reject_value(&flag, inline) {
+                    usage_error(&e);
+                }
+                for e in EXPERIMENTS {
+                    println!("{:<4} {}", e.id, e.desc);
+                }
+                std::process::exit(0);
+            }
             "--metrics" => take_value(&flag, inline, &mut args).map(|v| cli.metrics = Some(v)),
             "--trace" => take_value(&flag, inline, &mut args).map(|v| cli.trace = Some(v)),
             "--trace-summary" => reject_value(&flag, inline).map(|()| cli.trace_summary = true),
@@ -89,6 +124,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         if let Err(e) = result {
             usage_error(&e);
         }
+    }
+    if cache_flag && no_cache_flag {
+        usage_error("--cache and --no-cache are mutually exclusive");
     }
     if cli.ids.is_empty() {
         cli.ids = all_experiments().iter().map(|s| s.to_string()).collect();
@@ -128,11 +166,19 @@ fn main() {
         }
     };
     eprintln!(
-        "running the characterization study (Small scale, seed 7, {} thread{})...",
+        "running the characterization study (Small scale, seed 7, {} thread{}, cache {})...",
         cli.threads,
-        if cli.threads == 1 { "" } else { "s" }
+        if cli.threads == 1 { "" } else { "s" },
+        match &cli.cache {
+            Some(dir) => format!("{}", dir.display()),
+            None => "off".to_string(),
+        }
     );
-    let artifacts = StudyArtifacts::collect_threads(cli.threads);
+    let artifacts = StudyArtifacts::collect(&PipelineConfig {
+        threads: cli.threads,
+        cache_dir: cli.cache.clone(),
+        ..PipelineConfig::default()
+    });
     let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
     print!("{}", render_experiments(&ids, &artifacts));
     drop(guard);

@@ -1,4 +1,6 @@
-//! One function per experiment (E1–E13), all sharing a cached study run.
+//! One function per experiment (E1–E13), all sharing one staged
+//! pipeline run ([`gwc_core::pipeline`]). Each experiment declares the
+//! pipeline artifacts it consumes in [`EXPERIMENTS`].
 
 use std::fmt::Write as _;
 
@@ -6,82 +8,116 @@ use gwc_characterize::schema;
 use gwc_core::analysis::ClusterAnalysis;
 use gwc_core::diversity::suite_diversity;
 use gwc_core::eval::{evaluate_subset_threads, random_subset_errors_threads, stress_selection};
-use gwc_core::reduce::ReducedSpace;
+use gwc_core::pipeline::ArtifactKind;
 use gwc_core::report;
-use gwc_core::study::{Study, StudyConfig};
+use gwc_core::study::StudyConfig;
 use gwc_core::subspace::{Subspace, SubspaceAnalysis};
 use gwc_stats::corr::correlated_groups;
 use gwc_stats::describe::mean;
 use gwc_stats::normalize::zscore;
 use gwc_timing::sweep::default_design_space;
 use gwc_timing::GpuConfig;
-use gwc_workloads::{registry, Scale};
+use gwc_workloads::registry;
 
-/// The canonical study configuration every experiment uses.
+/// The full artifact set every experiment reads. The pipeline module
+/// owns the stage DAG and the driver; this alias keeps the historical
+/// name the experiment signatures were written against.
+pub type StudyArtifacts = gwc_core::pipeline::Artifacts;
+
+/// The canonical study configuration every experiment uses (the study
+/// half of [`gwc_core::pipeline::PipelineConfig::default`]).
 pub fn study_config() -> StudyConfig {
-    StudyConfig {
-        seed: 7,
-        scale: Scale::Small,
-        verify: true,
-    }
+    gwc_core::pipeline::PipelineConfig::default().study
 }
 
-/// A study run plus the shared derived artifacts.
-pub struct StudyArtifacts {
-    /// The study population (quickstart `vector_add` excluded).
-    pub study: Study,
-    /// Whole-space reduction at 90% variance.
-    pub space: ReducedSpace,
-    /// Whole-space clustering.
-    pub analysis: ClusterAnalysis,
-    /// Worker threads for the parallelizable experiment stages (E12's
-    /// design-point sweep and random-subset draws).
-    pub threads: usize,
+/// One experiment: id, one-line description, and the pipeline artifacts
+/// it consumes (`regen --list` prints this table).
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Stable id (`e1` .. `e13`).
+    pub id: &'static str,
+    /// One-line description.
+    pub desc: &'static str,
+    /// Pipeline artifacts the experiment reads.
+    pub consumes: &'static [ArtifactKind],
 }
 
-impl StudyArtifacts {
-    /// Runs the study serially and fits the shared artifacts.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the study fails — regeneration is a batch tool and a
-    /// failed run has nothing to print.
-    pub fn collect() -> Self {
-        Self::collect_threads(1)
-    }
-
-    /// Runs the study on up to `threads` worker threads (whole workloads
-    /// fan out; see [`Study::run_threads`]) and fits the shared
-    /// artifacts. Every artifact is bit-identical to [`Self::collect`]
-    /// at any thread count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the study fails — regeneration is a batch tool and a
-    /// failed run has nothing to print.
-    pub fn collect_threads(threads: usize) -> Self {
-        let study = {
-            let _span = gwc_obs::span!("study");
-            Study::run_threads(&study_config(), threads)
-                .expect("study runs and verifies")
-                .without_workload("vector_add")
-        };
-        let space = {
-            let _span = gwc_obs::span!("reduce");
-            ReducedSpace::fit(&study.matrix(), 0.9).expect("reduction fits")
-        };
-        let analysis = {
-            let _span = gwc_obs::span!("cluster");
-            ClusterAnalysis::fit(space.scores(), 12, 7).expect("clustering fits")
-        };
-        Self {
-            study,
-            space,
-            analysis,
-            threads,
-        }
-    }
-}
+/// Every experiment, in presentation order.
+pub const EXPERIMENTS: &[ExperimentSpec] = &[
+    ExperimentSpec {
+        id: "e1",
+        desc: "the microarchitecture-independent characteristic set",
+        consumes: &[],
+    },
+    ExperimentSpec {
+        id: "e2",
+        desc: "workload inventory with per-workload instruction totals",
+        consumes: &[ArtifactKind::Study],
+    },
+    ExperimentSpec {
+        id: "e3",
+        desc: "raw kernel x characteristic matrix",
+        consumes: &[ArtifactKind::Matrix],
+    },
+    ExperimentSpec {
+        id: "e4",
+        desc: "correlated groups and PCA variance profile",
+        consumes: &[ArtifactKind::Matrix, ArtifactKind::Reduced],
+    },
+    ExperimentSpec {
+        id: "e5",
+        desc: "kernel scatter in PC1-PC2",
+        consumes: &[ArtifactKind::Matrix, ArtifactKind::Reduced],
+    },
+    ExperimentSpec {
+        id: "e6",
+        desc: "kernel scatter in PC3-PC4",
+        consumes: &[ArtifactKind::Matrix, ArtifactKind::Reduced],
+    },
+    ExperimentSpec {
+        id: "e7",
+        desc: "whole-space dendrogram (average linkage)",
+        consumes: &[ArtifactKind::Matrix, ArtifactKind::Clustering],
+    },
+    ExperimentSpec {
+        id: "e8",
+        desc: "clusters and representatives across k",
+        consumes: &[
+            ArtifactKind::Matrix,
+            ArtifactKind::Reduced,
+            ArtifactKind::Clustering,
+        ],
+    },
+    ExperimentSpec {
+        id: "e9",
+        desc: "branch-divergence subspace analysis",
+        consumes: &[ArtifactKind::Study, ArtifactKind::Matrix],
+    },
+    ExperimentSpec {
+        id: "e10",
+        desc: "memory-coalescing subspace analysis",
+        consumes: &[ArtifactKind::Study, ArtifactKind::Matrix],
+    },
+    ExperimentSpec {
+        id: "e11",
+        desc: "per-suite diversity in the common PC space",
+        consumes: &[ArtifactKind::Study, ArtifactKind::Reduced],
+    },
+    ExperimentSpec {
+        id: "e12",
+        desc: "design-space evaluation error of representative subsets",
+        consumes: &[
+            ArtifactKind::Study,
+            ArtifactKind::Matrix,
+            ArtifactKind::Clustering,
+        ],
+    },
+    ExperimentSpec {
+        id: "e13",
+        desc: "stress-workload selection per functional block",
+        consumes: &[ArtifactKind::Study],
+    },
+];
 
 /// E1 — the characteristic set.
 pub fn e1_characteristics() -> String {
@@ -111,14 +147,14 @@ pub fn e2_workloads(a: &StudyArtifacts) -> String {
         if meta.name == "vector_add" {
             continue;
         }
-        let rows = a.study.rows_of_workload(meta.name);
+        let rows = a.study().rows_of_workload(meta.name);
         let wi: u64 = rows
             .iter()
-            .map(|&r| a.study.records()[r].profile.raw().warp_instrs)
+            .map(|&r| a.study().records()[r].profile.raw().warp_instrs)
             .sum();
         let ti: u64 = rows
             .iter()
-            .map(|&r| a.study.records()[r].profile.raw().thread_instrs)
+            .map(|&r| a.study().records()[r].profile.raw().thread_instrs)
             .sum();
         let _ = writeln!(
             out,
@@ -138,14 +174,14 @@ pub fn e3_matrix(a: &StudyArtifacts) -> String {
     let headers: Vec<&str> = schema::SCHEMA.iter().map(|d| d.name).collect();
     format!(
         "E3: raw characteristic matrix\n{}",
-        report::render_matrix(&a.study.labels(), &headers, &a.study.matrix())
+        report::render_matrix(&a.matrix.labels, &headers, &a.matrix.matrix)
     )
 }
 
 /// E4 — correlation structure and PCA variance.
 pub fn e4_pca_variance(a: &StudyArtifacts) -> String {
     let mut out = String::from("E4: correlated dimensionality reduction\n");
-    let (z, _) = zscore(&a.study.matrix());
+    let (z, _) = zscore(&a.matrix.matrix);
     let groups = correlated_groups(&z, 0.9).expect("correlation computes");
     let _ = writeln!(out, "characteristic groups with |r| > 0.9:");
     for g in groups.iter().filter(|g| g.len() > 1) {
@@ -155,28 +191,28 @@ pub fn e4_pca_variance(a: &StudyArtifacts) -> String {
     let _ = writeln!(
         out,
         "\n{} varying characteristics -> {} PCs for 90% variance",
-        a.space.varying_dims(),
-        a.space.kept()
+        a.space().varying_dims(),
+        a.space().kept()
     );
     let _ = writeln!(out, "\ncumulative variance explained:");
-    for k in 1..=a.space.kept() + 2 {
-        if k > a.space.varying_dims() {
+    for k in 1..=a.space().kept() + 2 {
+        if k > a.space().varying_dims() {
             break;
         }
         let _ = writeln!(
             out,
             "  PC1..PC{k:<2} {:6.2}%",
-            100.0 * a.space.pca().variance_explained(k)
+            100.0 * a.space().pca().variance_explained(k)
         );
     }
     out
 }
 
 fn scatter(a: &StudyArtifacts, cx: usize, cy: usize) -> String {
-    let scores = a.space.scores();
+    let scores = a.space().scores();
     let xs: Vec<f64> = (0..scores.rows()).map(|r| scores.get(r, cx)).collect();
     let ys: Vec<f64> = (0..scores.rows()).map(|r| scores.get(r, cy)).collect();
-    report::render_scatter(&a.study.labels(), &xs, &ys, 72, 24)
+    report::render_scatter(&a.matrix.labels, &xs, &ys, 72, 24)
 }
 
 /// E5 — PC1–PC2 scatter.
@@ -186,7 +222,7 @@ pub fn e5_scatter_pc12(a: &StudyArtifacts) -> String {
 
 /// E6 — PC3–PC4 scatter.
 pub fn e6_scatter_pc34(a: &StudyArtifacts) -> String {
-    if a.space.kept() < 4 {
+    if a.space().kept() < 4 {
         return "E6: fewer than 4 PCs kept".into();
     }
     format!("E6: kernels in PC3-PC4\n{}", scatter(a, 2, 3))
@@ -196,18 +232,18 @@ pub fn e6_scatter_pc34(a: &StudyArtifacts) -> String {
 pub fn e7_dendrogram(a: &StudyArtifacts) -> String {
     format!(
         "E7: dendrogram (average linkage, PC space)\n{}",
-        a.analysis.dendrogram().render(&a.study.labels())
+        a.analysis().dendrogram().render(&a.matrix.labels)
     )
 }
 
 /// E8 — clusters and representatives across k.
 pub fn e8_clusters(a: &StudyArtifacts) -> String {
     let mut out = String::from("E8: clusters and representatives\n");
-    let labels = a.study.labels();
-    let _ = writeln!(out, "BIC-selected k = {}", a.analysis.k());
-    for (c, &rep) in a.analysis.representatives().iter().enumerate() {
+    let labels = &a.matrix.labels;
+    let _ = writeln!(out, "BIC-selected k = {}", a.analysis().k());
+    for (c, &rep) in a.analysis().representatives().iter().enumerate() {
         let members: Vec<&str> = a
-            .analysis
+            .analysis()
             .labels()
             .iter()
             .enumerate()
@@ -220,7 +256,7 @@ pub fn e8_clusters(a: &StudyArtifacts) -> String {
         }
     }
     for k in [4, 8] {
-        let fixed = ClusterAnalysis::fit_k(a.space.scores(), k, 7).expect("fits");
+        let fixed = ClusterAnalysis::fit_k(a.space().scores(), k, 7).expect("fits");
         let reps: Vec<&str> = fixed
             .representatives()
             .iter()
@@ -232,7 +268,7 @@ pub fn e8_clusters(a: &StudyArtifacts) -> String {
 }
 
 fn subspace_report(a: &StudyArtifacts, sub: Subspace, id: &str) -> String {
-    let analysis = SubspaceAnalysis::fit(&a.study, sub).expect("subspace fits");
+    let analysis = SubspaceAnalysis::fit(a.study(), sub).expect("subspace fits");
     let mut out = format!("{id}: {} subspace\n", analysis.subspace.name);
     let _ = writeln!(out, "workload variation (descending):");
     for (w, v) in &analysis.variation {
@@ -245,7 +281,7 @@ fn subspace_report(a: &StudyArtifacts, sub: Subspace, id: &str) -> String {
         let _ = writeln!(
             out,
             "\nkernels in the subspace PC1-PC2:\n{}",
-            report::render_scatter(&a.study.labels(), &xs, &ys, 72, 20)
+            report::render_scatter(&a.matrix.labels, &xs, &ys, 72, 20)
         );
     }
     out
@@ -269,7 +305,7 @@ pub fn e11_suite_diversity(a: &StudyArtifacts) -> String {
         "{:<10} {:>7} {:>14} {:>12} {:>10}",
         "suite", "kernels", "mean pairwise", "log volume", "reach"
     );
-    for d in suite_diversity(&a.study, a.space.scores()) {
+    for d in suite_diversity(a.study(), a.space().scores()) {
         let _ = writeln!(
             out,
             "{:<10} {:>7} {:>14.3} {:>12.2} {:>10.3}",
@@ -288,8 +324,8 @@ pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
     let mut out = String::from("E12: design-space evaluation metrics\n");
     let baseline = GpuConfig::baseline();
     let configs = default_design_space();
-    let reps = a.analysis.representatives();
-    let labels = a.study.labels();
+    let reps = a.analysis().representatives();
+    let labels = &a.matrix.labels;
     let rep_names: Vec<&str> = reps.iter().map(|&r| labels[r].as_str()).collect();
     let _ = writeln!(
         out,
@@ -298,7 +334,7 @@ pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
         labels.len(),
         rep_names.join(", ")
     );
-    let eval = evaluate_subset_threads(&a.study, &baseline, &configs, reps, a.threads);
+    let eval = evaluate_subset_threads(a.study(), &baseline, &configs, reps, a.threads);
     let _ = writeln!(
         out,
         "\n{:<16} {:>10} {:>10} {:>8}",
@@ -317,8 +353,15 @@ pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
         100.0 * eval.mean_error(),
         100.0 * eval.max_error()
     );
-    let random =
-        random_subset_errors_threads(&a.study, &baseline, &configs, reps.len(), 20, 99, a.threads);
+    let random = random_subset_errors_threads(
+        a.study(),
+        &baseline,
+        &configs,
+        reps.len(),
+        20,
+        99,
+        a.threads,
+    );
     let _ = writeln!(
         out,
         "random subsets (same size, 20 draws): mean error {:.2}%",
@@ -326,7 +369,7 @@ pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
     );
     for size in [2usize, 4, 8] {
         let r = random_subset_errors_threads(
-            &a.study,
+            a.study(),
             &baseline,
             &configs,
             size,
@@ -346,7 +389,7 @@ pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
 /// E13 — stress-workload selection.
 pub fn e13_stress_selection(a: &StudyArtifacts) -> String {
     let mut out = String::from("E13: stress workloads per functional block\n");
-    for sel in stress_selection(&a.study, 5) {
+    for sel in stress_selection(a.study(), 5) {
         let _ = writeln!(out, "{} (by {}):", sel.block, sel.characteristic);
         for (name, v) in &sel.top {
             let _ = writeln!(out, "    {name:<44} {v:.4}");
@@ -357,9 +400,7 @@ pub fn e13_stress_selection(a: &StudyArtifacts) -> String {
 
 /// All experiment ids in order.
 pub fn all_experiments() -> Vec<&'static str> {
-    vec![
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-    ]
+    EXPERIMENTS.iter().map(|e| e.id).collect()
 }
 
 /// Runs one experiment by id against shared artifacts.
@@ -420,5 +461,26 @@ mod tests {
     #[test]
     fn experiment_ids_are_complete() {
         assert_eq!(all_experiments().len(), 13);
+        assert_eq!(all_experiments()[0], "e1");
+        assert_eq!(all_experiments()[12], "e13");
+    }
+
+    #[test]
+    fn specs_have_unique_ids_and_descriptions() {
+        let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), EXPERIMENTS.len());
+        for e in EXPERIMENTS {
+            assert!(!e.desc.is_empty());
+            assert!(!e.desc.contains('\n'), "{} description is one line", e.id);
+        }
+    }
+
+    #[test]
+    fn only_e1_is_artifact_free() {
+        for e in EXPERIMENTS {
+            assert_eq!(e.consumes.is_empty(), e.id == "e1");
+        }
     }
 }

@@ -14,4 +14,7 @@ pub mod cli;
 pub mod experiments;
 pub mod perf;
 
-pub use experiments::{all_experiments, render_experiments, run_experiment, StudyArtifacts};
+pub use experiments::{
+    all_experiments, render_experiments, run_experiment, ExperimentSpec, StudyArtifacts,
+    EXPERIMENTS,
+};

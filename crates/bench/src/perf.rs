@@ -20,9 +20,11 @@
 //! from the snapshot — so `bench_run` measures exactly what
 //! `regen --metrics` reports, recorder overhead included.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
+use gwc_core::pipeline::PipelineConfig;
 use gwc_obs::json::Json;
 use gwc_obs::metrics::MetricsRecorder;
 
@@ -48,17 +50,24 @@ pub struct BenchSample {
 
 /// Runs the full pipeline once — study, reduction, clustering, and the
 /// rendering of `ids` — under a fresh metrics recorder and returns the
-/// iteration's timing sample.
+/// iteration's timing sample. With `cache_dir` set, the study stage
+/// consults the persistent profile cache (used by the `small-warm`
+/// bench label; cold labels pass `None` so they keep measuring real
+/// simulation time).
 ///
 /// # Panics
 ///
 /// Panics if the study fails (bench runs have nothing to report from a
 /// broken pipeline).
-pub fn measure_iteration(ids: &[&str], threads: usize) -> BenchSample {
+pub fn measure_iteration(ids: &[&str], threads: usize, cache_dir: Option<&Path>) -> BenchSample {
     let rec = Arc::new(MetricsRecorder::default());
     let guard = gwc_obs::install(rec.clone());
     let t0 = Instant::now();
-    let artifacts = StudyArtifacts::collect_threads(threads);
+    let artifacts = StudyArtifacts::collect(&PipelineConfig {
+        threads,
+        cache_dir: cache_dir.map(Path::to_path_buf),
+        ..PipelineConfig::default()
+    });
     std::hint::black_box(render_experiments(ids, &artifacts));
     let total_ns = t0.elapsed().as_nanos() as u64;
     drop(guard);

@@ -125,6 +125,55 @@ fn missing_and_malformed_values_exit_2() {
 }
 
 #[test]
+fn regen_list_prints_every_experiment_and_exits_0() {
+    let out = run(env!("CARGO_BIN_EXE_regen"), &["--list"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    for id in ["e1", "e7", "e13"] {
+        assert!(
+            stdout.lines().any(|l| l.starts_with(id)),
+            "--list missing `{id}`:\n{stdout}"
+        );
+    }
+    assert_eq!(stdout.lines().count(), 13, "{stdout}");
+}
+
+#[test]
+fn cache_and_no_cache_conflict_exits_2() {
+    for bin in [env!("CARGO_BIN_EXE_regen"), env!("CARGO_BIN_EXE_bench_run")] {
+        let out = run(bin, &["e1", "--cache", "dir", "--no-cache"]);
+        assert_eq!(out.status.code(), Some(2), "{bin}: {}", stderr_of(&out));
+        assert!(
+            stderr_of(&out).contains("--cache and --no-cache are mutually exclusive"),
+            "{bin}: {}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn metrics_check_counter_assertions_parse_strictly() {
+    let cases: Vec<(Vec<&str>, &str)> = vec![
+        (vec!["m.json", "--counter"], "--counter needs a value"),
+        (vec!["--counter=cache.hits", "m.json"], "is not NAME=VALUE"),
+        (
+            vec!["--counter=cache.hits=abc", "m.json"],
+            "is not an unsigned integer",
+        ),
+        (vec!["--counter==3", "m.json"], "empty counter name"),
+    ];
+    for (args, want) in cases {
+        let out = run(env!("CARGO_BIN_EXE_metrics_check"), &args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr_of(&out));
+        assert!(
+            stderr_of(&out).contains(want),
+            "{args:?}: stderr:\n{}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
 fn bench_diff_requires_exactly_two_paths() {
     let out = run(env!("CARGO_BIN_EXE_bench_diff"), &["only_one.json"]);
     assert_eq!(out.status.code(), Some(2));

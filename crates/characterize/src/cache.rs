@@ -1,0 +1,220 @@
+//! Content-addressed persistent store for kernel profiles.
+//!
+//! One cache entry holds all profiles of one workload instance, keyed by
+//! the workload fingerprint mixed with every version constant that can
+//! change what a profile *means*: the characteristic schema/observer
+//! version ([`crate::schema::VERSION`]), the serialized layout version
+//! ([`crate::serialize::PROFILE_FORMAT_VERSION`]), and this store's own
+//! format version. Any bump re-keys every entry, so stale files are
+//! simply never found again — no migration, no explicit invalidation.
+//!
+//! The store is safe by construction rather than by locking:
+//!
+//! * **Writes are atomic.** An entry is rendered to a pid-tagged
+//!   temporary in the same directory and then renamed into place, so a
+//!   reader (or a concurrent writer) never observes a half-written file.
+//! * **Reads never trust the disk.** Both the entry envelope and every
+//!   profile are fully validated; anything unreadable, truncated,
+//!   version-skewed, or otherwise surprising loads as `None` and the
+//!   caller recomputes. A corrupt cache can cost time, never correctness.
+//! * **Store failures are silent.** The cache is a memo, not an output;
+//!   an unwritable directory degrades to cold runs.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use gwc_obs::json::{self, Json};
+use gwc_simt::hash::Fnv1a;
+
+use crate::profile::KernelProfile;
+use crate::schema;
+use crate::serialize::{profile_from_json, profile_to_json, PROFILE_FORMAT_VERSION};
+
+/// Version of the on-disk entry envelope (the fields around the
+/// profiles). Bump on any change to the layout below.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Default cache directory, relative to the working directory.
+pub const DEFAULT_DIR: &str = ".gwc-cache";
+
+/// A content-addressed profile store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ProfileCache {
+    dir: PathBuf,
+}
+
+impl ProfileCache {
+    /// A cache rooted at `dir`. The directory is created lazily on the
+    /// first successful store.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The full cache key for a workload fingerprint: the fingerprint
+    /// mixed with every version constant a profile's meaning depends on.
+    pub fn key(fingerprint: u64) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(fingerprint);
+        h.write_u32(schema::VERSION);
+        h.write_u32(PROFILE_FORMAT_VERSION);
+        h.write_u32(CACHE_FORMAT_VERSION);
+        h.finish()
+    }
+
+    fn entry_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.json", Self::key(fingerprint)))
+    }
+
+    /// Loads the profiles cached for `fingerprint`, or `None` if there is
+    /// no usable entry. Never panics and never returns partially valid
+    /// data: any anomaly in the file discards the whole entry.
+    pub fn load(&self, fingerprint: u64) -> Option<Vec<KernelProfile>> {
+        let text = fs::read_to_string(self.entry_path(fingerprint)).ok()?;
+        let doc = json::parse(&text).ok()?;
+        if doc.get("cache_version")?.as_u64()? != u64::from(CACHE_FORMAT_VERSION)
+            || doc.get("profile_format_version")?.as_u64()? != u64::from(PROFILE_FORMAT_VERSION)
+            || doc.get("schema_version")?.as_u64()? != u64::from(schema::VERSION)
+            || doc.get("fingerprint")?.as_u64()? != fingerprint
+        {
+            return None;
+        }
+        doc.get("profiles")?
+            .as_arr()?
+            .iter()
+            .map(profile_from_json)
+            .collect()
+    }
+
+    /// Stores the profiles for `fingerprint`, atomically (write to a
+    /// pid-tagged temporary, then rename). Failures are deliberately
+    /// swallowed — a cache that cannot write behaves like `--no-cache` —
+    /// but a successful store bumps the `cache.bytes_written` counter.
+    pub fn store(&self, fingerprint: u64, profiles: &[KernelProfile]) {
+        let doc = Json::Obj(vec![
+            (
+                "cache_version".to_string(),
+                Json::UInt(u64::from(CACHE_FORMAT_VERSION)),
+            ),
+            (
+                "profile_format_version".to_string(),
+                Json::UInt(u64::from(PROFILE_FORMAT_VERSION)),
+            ),
+            (
+                "schema_version".to_string(),
+                Json::UInt(u64::from(schema::VERSION)),
+            ),
+            ("fingerprint".to_string(), Json::UInt(fingerprint)),
+            (
+                "profiles".to_string(),
+                Json::Arr(profiles.iter().map(profile_to_json).collect()),
+            ),
+        ]);
+        let text = doc.render();
+        let path = self.entry_path(fingerprint);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let written = fs::create_dir_all(&self.dir).is_ok()
+            && fs::File::create(&tmp)
+                .and_then(|mut f| f.write_all(text.as_bytes()))
+                .is_ok()
+            && fs::rename(&tmp, &path).is_ok();
+        if written {
+            gwc_obs::count("cache.bytes_written", text.len() as u64);
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::RawCounts;
+    use gwc_simt::trace::LaunchStats;
+
+    fn temp_cache(tag: &str) -> ProfileCache {
+        let dir = std::env::temp_dir().join(format!("gwc-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ProfileCache::new(dir)
+    }
+
+    fn sample_profiles() -> Vec<KernelProfile> {
+        (0..3)
+            .map(|i| {
+                let mut values = vec![0.0; schema::len()];
+                values[0] = 1.0 / (i as f64 + 3.0);
+                KernelProfile::new(
+                    format!("k{i}"),
+                    values,
+                    RawCounts {
+                        thread_instrs: 100 + i,
+                        ..RawCounts::default()
+                    },
+                    LaunchStats::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn store_then_load_round_trips_bit_exactly() {
+        let cache = temp_cache("roundtrip");
+        let profiles = sample_profiles();
+        assert!(cache.load(42).is_none(), "cold cache misses");
+        cache.store(42, &profiles);
+        let back = cache.load(42).expect("entry readable");
+        assert_eq!(back.len(), profiles.len());
+        for (a, b) in profiles.iter().zip(&back) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.raw(), b.raw());
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert!(cache.load(43).is_none(), "other fingerprints still miss");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_or_skewed_entries_load_as_none() {
+        let cache = temp_cache("corrupt");
+        cache.store(7, &sample_profiles());
+        let path = cache
+            .dir()
+            .join(format!("{:016x}.json", ProfileCache::key(7)));
+
+        // Truncation.
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.load(7).is_none());
+
+        // Valid JSON, wrong envelope version.
+        fs::write(
+            &path,
+            full.replacen("\"cache_version\": 1", "\"cache_version\": 999", 1),
+        )
+        .unwrap();
+        assert!(cache.load(7).is_none());
+
+        // Garbage bytes.
+        fs::write(&path, b"\x00\xffnot json").unwrap();
+        assert!(cache.load(7).is_none());
+
+        // A fresh store repairs the entry.
+        cache.store(7, &sample_profiles());
+        assert!(cache.load(7).is_some());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_mixes_fingerprint_and_versions() {
+        assert_ne!(ProfileCache::key(1), ProfileCache::key(2));
+        assert_eq!(ProfileCache::key(1), ProfileCache::key(1));
+    }
+}

@@ -45,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod coalescing;
 pub mod divergence;
 pub mod fxhash;
@@ -56,7 +57,9 @@ pub mod profile;
 pub mod profiler;
 pub mod runtime;
 pub mod schema;
+pub mod serialize;
 
+pub use cache::ProfileCache;
 pub use merge::MergeableObserver;
 pub use profile::{KernelProfile, RawCounts};
 pub use profiler::{characterize_launch, Profiler};

@@ -234,6 +234,14 @@ pub const SCHEMA: &[CharacteristicDef] = &[
     },
 ];
 
+/// Version of the characteristic schema *and* of the observer semantics
+/// behind it. The persistent profile cache mixes this into every cache
+/// key, so bump it whenever a characteristic is added, removed,
+/// reordered, or when an observer's computation changes in any way that
+/// can alter a profile's values — the cache cannot see those changes
+/// through the kernel IR fingerprint alone.
+pub const VERSION: u32 = 1;
+
 /// Number of characteristic dimensions.
 pub fn len() -> usize {
     SCHEMA.len()

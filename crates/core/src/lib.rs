@@ -43,10 +43,12 @@ pub mod analysis;
 pub mod diversity;
 pub mod eval;
 pub mod parallel;
+pub mod pipeline;
 pub mod reduce;
 pub mod report;
 pub mod study;
 pub mod subspace;
 
 pub use parallel::{available_threads, parallel_map};
+pub use pipeline::{ArtifactKind, Artifacts, PipelineConfig, Stage, StageId};
 pub use study::{KernelRecord, Study, StudyConfig};

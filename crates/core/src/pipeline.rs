@@ -1,0 +1,418 @@
+//! The staged characterization pipeline: typed artifacts, an explicit
+//! stage DAG, and one entry point shared by `regen`, the examples and the
+//! perf harness.
+//!
+//! Before this module, every consumer re-spelled the same ad-hoc call
+//! chain (run study → drop `vector_add` → build matrix → fit PCA → fit
+//! clustering) and the chain's structure existed only by convention. Here
+//! each step is a [`Stage`] with a typed input and output artifact, the
+//! dependencies are data ([`StageId::deps`]), and [`Artifacts::collect`]
+//! is the single driver that walks the DAG in topological order under the
+//! canonical observability spans (`study`, `reduce/matrix`, `reduce`,
+//! `cluster` — the matrix stage deliberately records *under* `reduce` so
+//! the top-level stage set, and therefore every metrics report and perf
+//! baseline, is unchanged).
+//!
+//! The study stage is cache-aware: give [`PipelineConfig::cache_dir`] a
+//! directory and workloads whose fingerprints hit the persistent profile
+//! cache skip simulation entirely, with bit-identical results.
+
+use std::path::PathBuf;
+
+use gwc_characterize::ProfileCache;
+use gwc_stats::Matrix;
+use gwc_workloads::Scale;
+
+use crate::analysis::ClusterAnalysis;
+use crate::reduce::ReducedSpace;
+use crate::study::{Study, StudyConfig};
+
+/// Identity of a pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StageId {
+    /// Run the workload registry and collect kernel profiles.
+    Study,
+    /// Assemble the kernel × characteristic matrix with row labels.
+    Matrix,
+    /// Normalize and reduce dimensionality (PCA).
+    Reduce,
+    /// Cluster in the reduced space and pick representatives.
+    Cluster,
+}
+
+impl StageId {
+    /// Every stage, in the one valid topological order.
+    pub const ALL: [StageId; 4] = [
+        StageId::Study,
+        StageId::Matrix,
+        StageId::Reduce,
+        StageId::Cluster,
+    ];
+
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Study => "study",
+            StageId::Matrix => "matrix",
+            StageId::Reduce => "reduce",
+            StageId::Cluster => "cluster",
+        }
+    }
+
+    /// The observability span path the driver opens around the stage.
+    ///
+    /// `Matrix` records under `reduce/` so the set of *top-level* stages
+    /// in a metrics report stays `{study, reduce, cluster}`, exactly as
+    /// before the matrix assembly became its own stage; `rollup_ns`
+    /// still attributes its time to `reduce`.
+    pub fn span_path(self) -> &'static str {
+        match self {
+            StageId::Study => "study",
+            StageId::Matrix => "reduce/matrix",
+            StageId::Reduce => "reduce",
+            StageId::Cluster => "cluster",
+        }
+    }
+
+    /// The stages whose output artifacts this stage consumes.
+    pub fn deps(self) -> &'static [StageId] {
+        match self {
+            StageId::Study => &[],
+            StageId::Matrix => &[StageId::Study],
+            StageId::Reduce => &[StageId::Matrix],
+            StageId::Cluster => &[StageId::Reduce],
+        }
+    }
+
+    /// The artifact this stage produces.
+    pub fn output(self) -> ArtifactKind {
+        match self {
+            StageId::Study => ArtifactKind::Study,
+            StageId::Matrix => ArtifactKind::Matrix,
+            StageId::Reduce => ArtifactKind::Reduced,
+            StageId::Cluster => ArtifactKind::Clustering,
+        }
+    }
+}
+
+/// Kind tag for the typed artifacts, used by consumers (e.g. the
+/// experiment registry in `gwc-bench`) to declare what they read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// [`StudyArtifact`].
+    Study,
+    /// [`MatrixArtifact`].
+    Matrix,
+    /// [`ReducedArtifact`].
+    Reduced,
+    /// [`ClusteringArtifact`].
+    Clustering,
+}
+
+impl ArtifactKind {
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Study => "study",
+            ArtifactKind::Matrix => "matrix",
+            ArtifactKind::Reduced => "reduced",
+            ArtifactKind::Clustering => "clustering",
+        }
+    }
+}
+
+/// Configuration of one full pipeline run. [`PipelineConfig::default`]
+/// is the canonical configuration every committed result was produced
+/// under (seed 7, `Scale::Small`, verification on, `vector_add`
+/// excluded from the population, 90% variance, k ≤ 12, cluster seed 7,
+/// no cache).
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Study stage configuration (seed, scale, verification).
+    pub study: StudyConfig,
+    /// Worker threads for the study fan-out and downstream experiment
+    /// stages. Results are bit-identical at any thread count.
+    pub threads: usize,
+    /// Workload dropped from the population after the study runs (the
+    /// quickstart `vector_add` by default — it is a smoke test, not part
+    /// of the paper's population).
+    pub exclude_workload: Option<&'static str>,
+    /// Fraction of variance the reduction must retain.
+    pub variance: f64,
+    /// Upper bound for the BIC scan over k.
+    pub max_k: usize,
+    /// Seed for k-means initialization.
+    pub cluster_seed: u64,
+    /// Directory of the persistent profile cache; `None` disables
+    /// caching (every workload simulates).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            study: StudyConfig {
+                seed: 7,
+                scale: Scale::Small,
+                verify: true,
+            },
+            threads: 1,
+            exclude_workload: Some("vector_add"),
+            variance: 0.9,
+            max_k: 12,
+            cluster_seed: 7,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Output of [`StageId::Study`]: the profiled workload population.
+#[derive(Debug)]
+pub struct StudyArtifact {
+    /// The study, with [`PipelineConfig::exclude_workload`] already
+    /// dropped.
+    pub study: Study,
+}
+
+/// Output of [`StageId::Matrix`]: the kernel × characteristic matrix.
+#[derive(Debug)]
+pub struct MatrixArtifact {
+    /// Row labels (`workload/kernel`), in study order.
+    pub labels: Vec<String>,
+    /// The raw (unnormalized) matrix.
+    pub matrix: Matrix,
+}
+
+/// Output of [`StageId::Reduce`]: the reduced (PC) space.
+#[derive(Debug)]
+pub struct ReducedArtifact {
+    /// The fitted reduction.
+    pub space: ReducedSpace,
+}
+
+/// Output of [`StageId::Cluster`]: clustering and representatives.
+#[derive(Debug)]
+pub struct ClusteringArtifact {
+    /// The fitted clustering.
+    pub analysis: ClusterAnalysis,
+}
+
+/// One pipeline stage: a typed transformation from its input artifact(s)
+/// to its output artifact. The associated `ID` ties the type-level
+/// contract to the data-level DAG in [`StageId`]; a unit test checks the
+/// two agree.
+pub trait Stage {
+    /// Which stage this is.
+    const ID: StageId;
+    /// Borrowed input artifact(s).
+    type Input<'a>;
+    /// Produced artifact.
+    type Output;
+
+    /// Runs the stage.
+    ///
+    /// # Panics
+    ///
+    /// Stages panic on failure: the pipeline feeds batch tools
+    /// (`regen`, `bench_run`, the examples) for which a failed stage has
+    /// nothing to print, and the canonical configuration is covered by
+    /// the test suite.
+    fn run(cfg: &PipelineConfig, input: Self::Input<'_>) -> Self::Output;
+}
+
+/// The study stage (cache-aware).
+pub struct StudyStage;
+
+impl Stage for StudyStage {
+    const ID: StageId = StageId::Study;
+    type Input<'a> = ();
+    type Output = StudyArtifact;
+
+    fn run(cfg: &PipelineConfig, (): ()) -> StudyArtifact {
+        let cache = cfg.cache_dir.as_ref().map(ProfileCache::new);
+        let study = Study::run_threads_cached(&cfg.study, cfg.threads, cache.as_ref())
+            .expect("study runs and verifies");
+        let study = match cfg.exclude_workload {
+            Some(name) => study.without_workload(name),
+            None => study,
+        };
+        StudyArtifact { study }
+    }
+}
+
+/// The matrix-assembly stage.
+pub struct MatrixStage;
+
+impl Stage for MatrixStage {
+    const ID: StageId = StageId::Matrix;
+    type Input<'a> = &'a StudyArtifact;
+    type Output = MatrixArtifact;
+
+    fn run(_cfg: &PipelineConfig, input: &StudyArtifact) -> MatrixArtifact {
+        MatrixArtifact {
+            labels: input.study.labels(),
+            matrix: input.study.matrix(),
+        }
+    }
+}
+
+/// The dimensionality-reduction stage.
+pub struct ReduceStage;
+
+impl Stage for ReduceStage {
+    const ID: StageId = StageId::Reduce;
+    type Input<'a> = &'a MatrixArtifact;
+    type Output = ReducedArtifact;
+
+    fn run(cfg: &PipelineConfig, input: &MatrixArtifact) -> ReducedArtifact {
+        ReducedArtifact {
+            space: ReducedSpace::fit(&input.matrix, cfg.variance).expect("reduction fits"),
+        }
+    }
+}
+
+/// The clustering stage.
+pub struct ClusterStage;
+
+impl Stage for ClusterStage {
+    const ID: StageId = StageId::Cluster;
+    type Input<'a> = &'a ReducedArtifact;
+    type Output = ClusteringArtifact;
+
+    fn run(cfg: &PipelineConfig, input: &ReducedArtifact) -> ClusteringArtifact {
+        ClusteringArtifact {
+            analysis: ClusterAnalysis::fit(input.space.scores(), cfg.max_k, cfg.cluster_seed)
+                .expect("clustering fits"),
+        }
+    }
+}
+
+/// Every artifact of one full pipeline run.
+#[derive(Debug)]
+pub struct Artifacts {
+    /// Study-stage output.
+    pub study: StudyArtifact,
+    /// Matrix-stage output.
+    pub matrix: MatrixArtifact,
+    /// Reduce-stage output.
+    pub reduced: ReducedArtifact,
+    /// Cluster-stage output.
+    pub clustering: ClusteringArtifact,
+    /// Worker threads downstream consumers (e.g. experiment E12's
+    /// design-point sweep) should use; copied from the config.
+    pub threads: usize,
+}
+
+impl Artifacts {
+    /// Runs every stage in DAG order under the canonical spans and
+    /// returns the full artifact set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stage fails (see [`Stage::run`]).
+    pub fn collect(cfg: &PipelineConfig) -> Self {
+        let study = {
+            let _span = gwc_obs::span!("{}", StageId::Study.span_path());
+            StudyStage::run(cfg, ())
+        };
+        let matrix = {
+            let _span = gwc_obs::span!("{}", StageId::Matrix.span_path());
+            MatrixStage::run(cfg, &study)
+        };
+        let reduced = {
+            let _span = gwc_obs::span!("{}", StageId::Reduce.span_path());
+            ReduceStage::run(cfg, &matrix)
+        };
+        let clustering = {
+            let _span = gwc_obs::span!("{}", StageId::Cluster.span_path());
+            ClusterStage::run(cfg, &reduced)
+        };
+        Self {
+            study,
+            matrix,
+            reduced,
+            clustering,
+            threads: cfg.threads,
+        }
+    }
+
+    /// Convenience: the canonical configuration on `threads` workers
+    /// (no cache). Bit-identical to `collect` of a default config at
+    /// any thread count.
+    pub fn collect_threads(threads: usize) -> Self {
+        Self::collect(&PipelineConfig {
+            threads,
+            ..PipelineConfig::default()
+        })
+    }
+
+    /// The study population.
+    pub fn study(&self) -> &Study {
+        &self.study.study
+    }
+
+    /// The reduced (PC) space.
+    pub fn space(&self) -> &ReducedSpace {
+        &self.reduced.space
+    }
+
+    /// The whole-space clustering.
+    pub fn analysis(&self) -> &ClusterAnalysis {
+        &self.clustering.analysis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_a_topological_order() {
+        for (i, stage) in StageId::ALL.iter().enumerate() {
+            for dep in stage.deps() {
+                let j = StageId::ALL
+                    .iter()
+                    .position(|s| s == dep)
+                    .expect("dep is a stage");
+                assert!(j < i, "{:?} depends on later {:?}", stage, dep);
+            }
+        }
+    }
+
+    #[test]
+    fn stage_impls_agree_with_dag() {
+        assert_eq!(StudyStage::ID, StageId::Study);
+        assert_eq!(MatrixStage::ID, StageId::Matrix);
+        assert_eq!(ReduceStage::ID, StageId::Reduce);
+        assert_eq!(ClusterStage::ID, StageId::Cluster);
+    }
+
+    #[test]
+    fn span_paths_keep_top_level_stage_set() {
+        let top: Vec<&str> = StageId::ALL
+            .iter()
+            .map(|s| s.span_path())
+            .filter(|p| !p.contains('/'))
+            .collect();
+        assert_eq!(top, ["study", "reduce", "cluster"]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(StageId::Matrix.name(), "matrix");
+        assert_eq!(StageId::Matrix.output().name(), "matrix");
+        assert_eq!(ArtifactKind::Reduced.name(), "reduced");
+    }
+
+    #[test]
+    fn default_config_is_canonical() {
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.study.seed, 7);
+        assert_eq!(cfg.exclude_workload, Some("vector_add"));
+        assert_eq!(cfg.variance, 0.9);
+        assert_eq!(cfg.max_k, 12);
+        assert_eq!(cfg.cluster_seed, 7);
+        assert!(cfg.cache_dir.is_none());
+        assert_eq!(cfg.threads, 1);
+    }
+}

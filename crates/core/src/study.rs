@@ -3,9 +3,10 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use gwc_characterize::{profile_launch_sharded, KernelProfile, Profiler};
+use gwc_characterize::{profile_launch_sharded, KernelProfile, ProfileCache, Profiler};
 use gwc_simt::exec::Device;
 use gwc_stats::Matrix;
+use gwc_workloads::fingerprint::workload_fingerprint;
 use gwc_workloads::{registry, Scale, Suite, Workload, WorkloadError};
 
 use crate::parallel::parallel_map_named;
@@ -86,11 +87,32 @@ impl Study {
     /// the one the serial run would have hit first. (Unlike the serial
     /// run, later workloads may already have executed by then.)
     pub fn run_threads(config: &StudyConfig, threads: usize) -> Result<Study, WorkloadError> {
+        Self::run_threads_cached(config, threads, None)
+    }
+
+    /// Runs the full registry like [`Study::run_threads`], consulting a
+    /// persistent profile cache when one is given.
+    ///
+    /// A workload whose fingerprint has a valid cache entry skips all of
+    /// its kernel launches (and verification — no device result exists to
+    /// verify); the cached profiles are bit-identical to recomputed ones,
+    /// so the study result is unchanged. Misses run normally and populate
+    /// the cache for next time. Hit/miss totals land on the
+    /// `cache.hits` / `cache.misses` metrics counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest-registered failing workload.
+    pub fn run_threads_cached(
+        config: &StudyConfig,
+        threads: usize,
+        cache: Option<&ProfileCache>,
+    ) -> Result<Study, WorkloadError> {
         let mut workloads = registry::all_workloads(config.seed);
         if threads <= 1 {
             let mut records = Vec::new();
             for w in workloads.iter_mut() {
-                records.extend(Self::run_one(w.as_mut(), config)?);
+                records.extend(Self::run_one_cached(w.as_mut(), config, 1, cache)?);
             }
             return Ok(Study { records });
         }
@@ -103,7 +125,7 @@ impl Study {
                 .expect("workload slot poisoned")
                 .take()
                 .expect("each slot taken once");
-            Self::run_one(w.as_mut(), config)
+            Self::run_one_cached(w.as_mut(), config, 1, cache)
         });
         let mut records = Vec::new();
         for r in results {
@@ -137,45 +159,91 @@ impl Study {
         config: &StudyConfig,
         threads: usize,
     ) -> Result<Vec<KernelRecord>, WorkloadError> {
+        Self::run_one_cached(workload, config, threads, None)
+    }
+
+    /// Runs a single workload like [`Study::run_one_threads`], consulting
+    /// a persistent profile cache when one is given.
+    ///
+    /// Setup always runs — it is what produces the kernels the
+    /// fingerprint hashes, and it is cheap next to simulation. On a cache
+    /// hit every launch and the CPU verification are skipped (the device
+    /// buffers were never written, so there is nothing to verify; the
+    /// profiles were verified when they were first computed and stored).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first setup, simulation or verification error.
+    pub fn run_one_cached(
+        workload: &mut dyn Workload,
+        config: &StudyConfig,
+        threads: usize,
+        cache: Option<&ProfileCache>,
+    ) -> Result<Vec<KernelRecord>, WorkloadError> {
         let meta = workload.meta();
         let rec = gwc_obs::recorder();
         let start = rec.as_ref().map(|_| std::time::Instant::now());
         let mut dev = Device::new();
         let launches = workload.setup(&mut dev, config.scale)?;
-        // Insertion-ordered grouping by label.
-        let mut order: Vec<String> = Vec::new();
-        let mut profilers: BTreeMap<String, Profiler> = BTreeMap::new();
-        for launch in &launches {
-            if !profilers.contains_key(&launch.label) {
-                order.push(launch.label.clone());
-                profilers.insert(launch.label.clone(), Profiler::new());
-            }
-            let profiler = profilers.get_mut(&launch.label).expect("just inserted");
-            profile_launch_sharded(
-                &mut dev,
-                &launch.kernel,
-                &launch.config,
-                &launch.args,
-                profiler,
-                threads,
-            )?;
-        }
-        if config.verify {
-            workload.verify(&dev)?;
-        }
-        let records: Vec<KernelRecord> = order
-            .into_iter()
-            .map(|label| {
-                let profiler = profilers.remove(&label).expect("grouped");
-                let profile = profiler.finish(label.clone());
-                KernelRecord {
+        let fingerprint =
+            cache.map(|_| workload_fingerprint(meta.name, config.seed, config.scale, &launches));
+        let cached = cache.and_then(|c| c.load(fingerprint.expect("set with cache")));
+        let records: Vec<KernelRecord> = if let Some(profiles) = cached {
+            gwc_obs::count("cache.hits", 1);
+            profiles
+                .into_iter()
+                .map(|profile| KernelRecord {
                     workload: meta.name,
                     suite: meta.suite,
-                    kernel: label,
+                    kernel: profile.name().to_string(),
                     profile,
+                })
+                .collect()
+        } else {
+            if cache.is_some() {
+                gwc_obs::count("cache.misses", 1);
+            }
+            // Insertion-ordered grouping by label.
+            let mut order: Vec<String> = Vec::new();
+            let mut profilers: BTreeMap<String, Profiler> = BTreeMap::new();
+            for launch in &launches {
+                if !profilers.contains_key(&launch.label) {
+                    order.push(launch.label.clone());
+                    profilers.insert(launch.label.clone(), Profiler::new());
                 }
-            })
-            .collect();
+                let profiler = profilers.get_mut(&launch.label).expect("just inserted");
+                profile_launch_sharded(
+                    &mut dev,
+                    &launch.kernel,
+                    &launch.config,
+                    &launch.args,
+                    profiler,
+                    threads,
+                )?;
+            }
+            if config.verify {
+                workload.verify(&dev)?;
+            }
+            let records: Vec<KernelRecord> = order
+                .into_iter()
+                .map(|label| {
+                    let profiler = profilers.remove(&label).expect("grouped");
+                    let profile = profiler.finish(label.clone());
+                    KernelRecord {
+                        workload: meta.name,
+                        suite: meta.suite,
+                        kernel: label,
+                        profile,
+                    }
+                })
+                .collect();
+            if let (Some(c), Some(fp)) = (cache, fingerprint) {
+                let profiles: Vec<KernelProfile> =
+                    records.iter().map(|r| r.profile.clone()).collect();
+                c.store(fp, &profiles);
+            }
+            records
+        };
         if let (Some(rec), Some(start)) = (rec, start) {
             let nanos = start.elapsed().as_nanos() as u64;
             rec.record_workload(meta.name, records.len() as u64, nanos);

@@ -1,0 +1,113 @@
+//! Stable content hashing for cache fingerprints.
+//!
+//! The profile cache keys entries by a fingerprint of everything a
+//! kernel profile is a function of: the validated IR (via its
+//! predecoded canonical form), the launch geometry, the arguments, and
+//! the input-generation parameters. The hash must be *stable* — the
+//! same across runs, threads and processes — so the std `SipHash`
+//! (randomly keyed per process) is out. This is a plain FNV-1a with a
+//! 64-bit state: not collision-resistant against adversaries, but the
+//! cache is a private on-disk memo keyed by our own deterministic
+//! inputs, and a collision merely serves a stale profile that the
+//! bit-identity test suite would catch.
+
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a hasher with explicit, endianness-stable feeds.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u32` as little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a string, length-prefixed so `("ab", "c")` and
+    /// `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Adapts the hasher to `fmt::Write`, so structured values can be fed
+/// through their `Debug` rendering (the decoded µop stream derives an
+/// exhaustive `Debug` that changes whenever the µop encoding changes —
+/// exactly the invalidation the cache wants).
+pub struct HashWriter<'a>(pub &'a mut Fnv1a);
+
+impl fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Write as _;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") — fixed for all time; a change here means every
+        // cache entry in the wild silently invalidates.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_strings() {
+        let hash = |parts: &[&str]| {
+            let mut h = Fnv1a::new();
+            for p in parts {
+                h.write_str(p);
+            }
+            h.finish()
+        };
+        assert_ne!(hash(&["ab", "c"]), hash(&["a", "bc"]));
+    }
+
+    #[test]
+    fn writer_feeds_debug_renderings() {
+        let mut a = Fnv1a::new();
+        let _ = write!(HashWriter(&mut a), "{:?}", Some(3u32));
+        let mut b = Fnv1a::new();
+        b.write(b"Some(3)");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -87,6 +87,48 @@ impl Kernel {
         self.decoded.get().is_some()
     }
 
+    /// A stable content hash of this kernel's validated IR, fed from its
+    /// canonical predecoded form: the µop stream plus the per-pc
+    /// class/dst/srcs side tables ([`crate::decode`]), the register and
+    /// parameter declarations, and the static memory sizes. Two kernels
+    /// hash equal iff they execute identically, and the hash is stable
+    /// across runs and processes — the profile cache builds its
+    /// fingerprints on it.
+    pub fn content_hash(&self) -> u64 {
+        use crate::hash::{Fnv1a, HashWriter};
+        use std::fmt::Write as _;
+
+        let d = self.decoded();
+        let mut h = Fnv1a::new();
+        h.write_str(&self.name);
+        h.write_u32(self.shared_bytes);
+        h.write_u32(self.local_bytes);
+        h.write_u64(self.reg_types.len() as u64);
+        {
+            let mut w = HashWriter(&mut h);
+            for t in &self.reg_types {
+                let _ = write!(w, "{t:?},");
+            }
+            for p in &self.params {
+                let _ = write!(w, "{}:{:?},", p.name, p.ty);
+            }
+            // The canonical form: every µop with its side-table entries.
+            // Debug renderings are exhaustive over the µop encoding, so
+            // any change to the decoded form re-keys the cache.
+            let _ = write!(w, ";{}", d.len());
+            for (pc, uop) in d.uops().iter().enumerate() {
+                let _ = write!(
+                    w,
+                    "|{uop:?}{:?}{:?}{:?}",
+                    d.class(pc),
+                    d.dst(pc),
+                    d.srcs(pc)
+                );
+            }
+        }
+        h.finish()
+    }
+
     /// Kernel name.
     pub fn name(&self) -> &str {
         &self.name
@@ -607,6 +649,25 @@ mod tests {
         assert!(k.check_args(&[]).is_err());
         assert!(k.check_args(&[Value::F32(1.0)]).is_err());
         assert!(k.check_args(&[Value::U32(1), Value::U32(2)]).is_err());
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminates() {
+        let build = |imm: u32| {
+            let instrs = vec![Instr::Mov {
+                dst: Reg(0),
+                src: Operand::Imm(Value::U32(imm)),
+            }];
+            finalize(instrs, vec![Type::U32]).unwrap()
+        };
+        // Independently built identical kernels agree...
+        assert_eq!(build(7).content_hash(), build(7).content_hash());
+        // ...and a one-immediate change re-keys.
+        assert_ne!(build(7).content_hash(), build(8).content_hash());
+        // Static memory sizes are part of the content.
+        let a = Kernel::finalize("t", vec![], vec![], vec![], 0, 0).unwrap();
+        let b = Kernel::finalize("t", vec![], vec![], vec![], 128, 0).unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod cfg;
 pub mod decode;
 pub mod disasm;
 pub mod exec;
+pub mod hash;
 pub mod instr;
 pub mod kernel;
 pub mod launch;

@@ -30,6 +30,7 @@
 //! # }
 //! ```
 
+pub mod fingerprint;
 pub mod registry;
 pub mod rng;
 pub mod workload;

@@ -5,26 +5,18 @@
 //! cargo run --release --example design_space
 //! ```
 
-use gwc::core::analysis::ClusterAnalysis;
 use gwc::core::eval::{evaluate_subset, random_subset_errors, stress_selection};
-use gwc::core::reduce::ReducedSpace;
-use gwc::core::study::{Study, StudyConfig};
+use gwc::core::pipeline::{Artifacts, PipelineConfig};
 use gwc::stats::describe::mean;
 use gwc::timing::sweep::default_design_space;
 use gwc::timing::GpuConfig;
-use gwc::workloads::Scale;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let study = Study::run(&StudyConfig {
-        seed: 7,
-        scale: Scale::Small,
-        verify: true,
-    })?;
-    let study = study.without_workload("vector_add");
-    let space = ReducedSpace::fit(&study.matrix(), 0.9)?;
-    let analysis = ClusterAnalysis::fit(space.scores(), 12, 7)?;
-    let reps = analysis.representatives().to_vec();
-    let labels = study.labels();
+    // The staged pipeline under its canonical default configuration.
+    let artifacts = Artifacts::collect(&PipelineConfig::default());
+    let study = artifacts.study();
+    let reps = artifacts.analysis().representatives().to_vec();
+    let labels = &artifacts.matrix.labels;
     println!(
         "representative subset ({} of {} kernels):",
         reps.len(),
@@ -36,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let baseline = GpuConfig::baseline();
     let configs = default_design_space();
-    let eval = evaluate_subset(&study, &baseline, &configs, &reps);
+    let eval = evaluate_subset(study, &baseline, &configs, &reps);
     println!(
         "\n{:<16} {:>10} {:>10} {:>8}",
         "design point", "truth", "estimate", "error"
@@ -53,14 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * eval.max_error()
     );
 
-    let random = random_subset_errors(&study, &baseline, &configs, reps.len(), 20, 99);
+    let random = random_subset_errors(study, &baseline, &configs, reps.len(), 20, 99);
     println!(
         "random subsets of the same size:  {:.2}% mean error over 20 draws",
         100.0 * mean(&random)
     );
 
     println!("\nstress workloads per functional block:");
-    for sel in stress_selection(&study, 3) {
+    for sel in stress_selection(study, 3) {
         let names: Vec<&str> = sel.top.iter().map(|(n, _)| n.as_str()).collect();
         println!("  {:<28} {}", sel.block, names.join(", "));
     }

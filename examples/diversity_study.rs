@@ -6,26 +6,22 @@
 //! cargo run --release --example diversity_study
 //! ```
 
-use gwc::core::analysis::ClusterAnalysis;
 use gwc::core::diversity::suite_diversity;
-use gwc::core::reduce::ReducedSpace;
+use gwc::core::pipeline::{Artifacts, PipelineConfig};
 use gwc::core::report;
-use gwc::core::study::{Study, StudyConfig};
 use gwc::core::subspace::{Subspace, SubspaceAnalysis};
-use gwc::workloads::Scale;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("running the characterization study (Small scale)...");
-    let study = Study::run(&StudyConfig {
-        seed: 7,
-        scale: Scale::Small,
-        verify: true,
-    })?;
-    // vector_add is our quickstart addition; keep the population faithful.
-    let study = study.without_workload("vector_add");
+    // The staged pipeline: study -> matrix -> reduce -> cluster, with
+    // the default config (seed 7, Small scale, verification on, the
+    // quickstart `vector_add` excluded from the population).
+    let artifacts = Artifacts::collect(&PipelineConfig::default());
+    let study = artifacts.study();
+    let space = artifacts.space();
+    let analysis = artifacts.analysis();
     println!("characterized {} kernels\n", study.records().len());
 
-    let space = ReducedSpace::fit(&study.matrix(), 0.9)?;
     println!(
         "correlated dimensionality reduction: {} varying characteristics -> {} PCs ({:.1}% variance)\n",
         space.varying_dims(),
@@ -34,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // PC1-PC2 scatter (the paper's workload-space figure).
-    let labels = study.labels();
+    let labels = &artifacts.matrix.labels;
     let xs: Vec<f64> = (0..space.scores().rows())
         .map(|r| space.scores().get(r, 0))
         .collect();
@@ -43,11 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!(
         "kernels in PC1-PC2:\n{}",
-        report::render_scatter(&labels, &xs, &ys, 72, 24)
+        report::render_scatter(labels, &xs, &ys, 72, 24)
     );
 
     // Clustering.
-    let analysis = ClusterAnalysis::fit(space.scores(), 12, 7)?;
     println!("k-means/BIC selected k = {}", analysis.k());
     println!("cluster representatives:");
     for &r in analysis.representatives() {
@@ -55,12 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\ndendrogram (average linkage):\n{}",
-        analysis.dendrogram().render(&labels)
+        analysis.dendrogram().render(labels)
     );
 
     // Suite diversity.
     println!("suite diversity in the common PC space:");
-    for d in suite_diversity(&study, space.scores()) {
+    for d in suite_diversity(study, space.scores()) {
         println!(
             "  {:<10} kernels {:>3}  mean pairwise {:.3}  reach {:.3}",
             d.suite.name(),
@@ -72,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Subspace variation rankings — the abstract's named findings.
     for sub in [Subspace::divergence(), Subspace::coalescing()] {
-        let a = SubspaceAnalysis::fit(&study, sub)?;
+        let a = SubspaceAnalysis::fit(study, sub)?;
         println!("\nworkload variation in the {} subspace:", a.subspace.name);
         for (w, v) in a.variation.iter().take(8) {
             println!("  {w:<22} {v:.3}");

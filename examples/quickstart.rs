@@ -5,10 +5,13 @@
 //! ```
 
 use gwc::characterize::characterize_launch;
+use gwc::core::pipeline::{Artifacts, PipelineConfig};
+use gwc::core::study::StudyConfig;
 use gwc::simt::builder::KernelBuilder;
 use gwc::simt::exec::Device;
 use gwc::simt::instr::Value;
 use gwc::simt::launch::LaunchConfig;
+use gwc::workloads::Scale;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // SAXPY: y[i] = alpha * x[i] + y[i]
@@ -57,6 +60,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "executed {} warp instructions ({} thread instructions)",
         profile.stats().warp_instrs,
         profile.stats().thread_instrs
+    );
+
+    // The same staged pipeline the study tools (`regen`, `bench_run`)
+    // drive, here at Tiny scale so the demo finishes in seconds:
+    // study -> matrix -> reduce -> cluster.
+    println!("\nrunning the full pipeline at Tiny scale...");
+    let artifacts = Artifacts::collect(&PipelineConfig {
+        study: StudyConfig {
+            seed: 7,
+            scale: Scale::Tiny,
+            verify: true,
+        },
+        ..PipelineConfig::default()
+    });
+    println!(
+        "characterized {} kernels -> {} PCs -> k = {} clusters",
+        artifacts.study().records().len(),
+        artifacts.space().kept(),
+        artifacts.analysis().k()
     );
     Ok(())
 }

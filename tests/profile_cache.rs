@@ -1,0 +1,95 @@
+//! Profile serialization and the persistent cache, exercised against the
+//! real workload population: every registry kernel's profile must
+//! round-trip through the on-disk format bit-identically, and a cached
+//! study must be indistinguishable from a fresh one.
+
+use std::path::PathBuf;
+
+use gwc::characterize::cache::ProfileCache;
+use gwc::characterize::serialize::{profile_from_json, profile_to_json};
+use gwc::core::study::{Study, StudyConfig};
+use gwc::obs::json;
+use gwc::workloads::Scale;
+
+fn tiny_config() -> StudyConfig {
+    StudyConfig {
+        seed: 7,
+        scale: Scale::Tiny,
+        verify: true,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gwc-profile-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_registry_kernel_round_trips_bit_identically() {
+    let study = Study::run(&tiny_config()).expect("study runs and verifies");
+    assert!(study.records().len() >= 35, "{}", study.records().len());
+    for record in study.records() {
+        let text = profile_to_json(&record.profile).render();
+        let doc = json::parse(&text).expect("serialized profile parses");
+        let back =
+            profile_from_json(&doc).unwrap_or_else(|| panic!("{} deserializes", record.label()));
+        assert_eq!(back.name(), record.profile.name(), "{}", record.label());
+        assert_eq!(back.raw(), record.profile.raw(), "{}", record.label());
+        assert_eq!(back.stats(), record.profile.stats(), "{}", record.label());
+        for (i, (a, b)) in record
+            .profile
+            .values()
+            .iter()
+            .zip(back.values())
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{} characteristic {i}: {a} != {b}",
+                record.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_study_is_bit_identical_to_fresh() {
+    let dir = temp_dir("study");
+    let cache = ProfileCache::new(&dir);
+    let cold = Study::run_threads_cached(&tiny_config(), 1, Some(&cache))
+        .expect("cold study runs and verifies");
+    let warm = Study::run_threads_cached(&tiny_config(), 1, Some(&cache))
+        .expect("warm study loads from cache");
+    assert_eq!(cold.labels(), warm.labels());
+    for (a, b) in cold.records().iter().zip(warm.records()) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.suite, b.suite);
+        for (x, y) in a.profile.values().iter().zip(b.profile.values()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{}", a.label());
+        }
+        assert_eq!(a.profile.raw(), b.profile.raw(), "{}", a.label());
+        assert_eq!(a.profile.stats(), b.profile.stats(), "{}", a.label());
+    }
+    // And both match a run that never saw a cache.
+    let uncached = Study::run(&tiny_config()).expect("uncached study runs");
+    assert_eq!(uncached.matrix(), warm.matrix());
+    assert_eq!(uncached.labels(), warm.labels());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_different_seed_misses_the_cache() {
+    let dir = temp_dir("seed");
+    let cache = ProfileCache::new(&dir);
+    Study::run_threads_cached(&tiny_config(), 1, Some(&cache)).expect("seed 7 populates");
+    let other = StudyConfig {
+        seed: 8,
+        ..tiny_config()
+    };
+    // Runs fresh (fingerprints differ) and must still verify.
+    let study = Study::run_threads_cached(&other, 1, Some(&cache)).expect("seed 8 recomputes");
+    assert!(study.records().len() >= 35);
+    let _ = std::fs::remove_dir_all(&dir);
+}
