@@ -12,7 +12,7 @@
 //! `--warn-only`), 2 = usage or read error.
 
 use gwc_bench::cli::{reject_value, take_count, take_ratio, unknown_opt, ArgStream, Token};
-use gwc_bench::perf::{diff_reports, render_diff, DiffConfig};
+use gwc_bench::perf::{diff_reports, render_diff, report_backend, DiffConfig};
 use gwc_obs::json::Json;
 
 const USAGE: &str = "\
@@ -76,6 +76,19 @@ fn main() {
     };
     let old = read_report(old_path, "baseline");
     let new = read_report(new_path, "candidate");
+    // A cross-backend diff is a legitimate comparison (it is how the
+    // SIMD speedup is measured) but never an apples-to-apples gate, so
+    // flag it loudly rather than failing.
+    let old_backend = report_backend(&old);
+    let new_backend = report_backend(&new);
+    if old_backend != new_backend {
+        eprintln!(
+            "bench_diff: note: reports come from different warp engines \
+             (baseline: {}, candidate: {}) — ratios include the backend change",
+            old_backend.unwrap_or("unrecorded"),
+            new_backend.unwrap_or("unrecorded"),
+        );
+    }
     let diff = match diff_reports(&old, &new, &cfg) {
         Ok(diff) => diff,
         Err(e) => {

@@ -21,6 +21,7 @@ use gwc_bench::all_experiments;
 use gwc_bench::cli::{reject_value, take_count, take_value, unknown_opt, ArgStream, Token};
 use gwc_bench::perf::{build_bench_report, measure_iteration, validate_bench, BenchContext};
 use gwc_obs::report::fmt_ns;
+use gwc_simt::backend::BackendKind;
 
 const USAGE: &str = "\
 usage: bench_run [EXPERIMENT...] [OPTIONS]
@@ -38,6 +39,8 @@ options:
   --cache DIR        persistent profile cache directory (default: off —
                      cold labels must measure real simulation time)
   --no-cache         explicit spelling of the default
+  --backend ENGINE   warp engine: `simd` (default) or `scalar`; also
+                     settable via GWC_BACKEND. Recorded in the report.
   --label NAME       report label (default `run`)
   --out PATH         output path (default BENCH_<label>.json)
   -h, --help         print this help
@@ -49,6 +52,7 @@ struct Cli {
     warmup: usize,
     threads: usize,
     cache: Option<PathBuf>,
+    backend: BackendKind,
     label: String,
     out: Option<String>,
 }
@@ -65,6 +69,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         warmup: 1,
         threads: gwc_core::available_threads(),
         cache: None,
+        backend: BackendKind::from_env(),
         label: "run".to_string(),
         out: None,
     };
@@ -90,6 +95,11 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
             "--no-cache" => reject_value(&flag, inline).map(|()| {
                 no_cache_flag = true;
                 cli.cache = None;
+            }),
+            "--backend" => take_value(&flag, inline, &mut args).and_then(|v| {
+                BackendKind::parse(&v)
+                    .map(|kind| cli.backend = kind)
+                    .ok_or(format!("unknown backend `{v}` (expected scalar or simd)"))
             }),
             "--label" => take_value(&flag, inline, &mut args).map(|v| cli.label = v),
             "--out" => take_value(&flag, inline, &mut args).map(|v| cli.out = Some(v)),
@@ -130,10 +140,17 @@ fn main() {
         .out
         .clone()
         .unwrap_or_else(|| format!("BENCH_{}.json", cli.label));
+    // Pin the process-wide default so every Device the pipeline creates
+    // (workers included, via `fork`) runs the requested engine.
+    gwc_simt::backend::set_default(cli.backend);
     let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
     eprintln!(
-        "bench_run: {} warmup + {} measured iteration(s) of {:?} on {} thread(s)",
-        cli.warmup, cli.iters, ids, cli.threads
+        "bench_run: {} warmup + {} measured iteration(s) of {:?} on {} thread(s), {} backend",
+        cli.warmup,
+        cli.iters,
+        ids,
+        cli.threads,
+        cli.backend.name()
     );
     for w in 0..cli.warmup {
         eprintln!("  warmup {}/{}...", w + 1, cli.warmup);
@@ -153,6 +170,7 @@ fn main() {
     let report = build_bench_report(
         &BenchContext {
             label: cli.label.clone(),
+            backend: cli.backend.name().to_string(),
             threads: cli.threads,
             warmup: cli.warmup,
             iters: cli.iters,

@@ -39,6 +39,7 @@ use gwc_core::pipeline::PipelineConfig;
 use gwc_obs::metrics::MetricsRecorder;
 use gwc_obs::report::{build_report, render_summary, validate, ReportContext};
 use gwc_obs::{Recorder, TeeRecorder, TraceRecorder};
+use gwc_simt::backend::BackendKind;
 
 const USAGE: &str = "\
 usage: regen [EXPERIMENT...] [OPTIONS]
@@ -52,6 +53,9 @@ options:
   --cache DIR        persistent profile cache directory
                      (default: .gwc-cache)
   --no-cache         disable the profile cache; every workload simulates
+  --backend ENGINE   warp engine: `simd` (default) or `scalar`; also
+                     settable via GWC_BACKEND. Output is bit-identical
+                     either way — this switches speed, not results.
   --list             list experiment ids with descriptions and exit
   --metrics PATH     write a schema-versioned JSON metrics report to PATH
   --trace PATH       write a Chrome/Perfetto trace-event timeline to PATH
@@ -63,6 +67,7 @@ struct Cli {
     threads: usize,
     ids: Vec<String>,
     cache: Option<PathBuf>,
+    backend: BackendKind,
     metrics: Option<String>,
     trace: Option<String>,
     trace_summary: bool,
@@ -78,6 +83,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         threads: gwc_core::available_threads(),
         ids: Vec::new(),
         cache: Some(PathBuf::from(gwc_characterize::cache::DEFAULT_DIR)),
+        backend: BackendKind::from_env(),
         metrics: None,
         trace: None,
         trace_summary: false,
@@ -102,6 +108,11 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
             "--no-cache" => reject_value(&flag, inline).map(|()| {
                 no_cache_flag = true;
                 cli.cache = None;
+            }),
+            "--backend" => take_value(&flag, inline, &mut args).and_then(|v| {
+                BackendKind::parse(&v)
+                    .map(|kind| cli.backend = kind)
+                    .ok_or(format!("unknown backend `{v}` (expected scalar or simd)"))
             }),
             "--list" => {
                 if let Err(e) = reject_value(&flag, inline) {
@@ -165,14 +176,17 @@ fn main() {
             _ => Some(gwc_obs::install(Arc::new(TeeRecorder::new(sinks)))),
         }
     };
+    gwc_simt::backend::set_default(cli.backend);
     eprintln!(
-        "running the characterization study (Small scale, seed 7, {} thread{}, cache {})...",
+        "running the characterization study (Small scale, seed 7, {} thread{}, cache {}, {} \
+         backend)...",
         cli.threads,
         if cli.threads == 1 { "" } else { "s" },
         match &cli.cache {
             Some(dir) => format!("{}", dir.display()),
             None => "off".to_string(),
-        }
+        },
+        cli.backend.name()
     );
     let artifacts = StudyArtifacts::collect(&PipelineConfig {
         threads: cli.threads,

@@ -130,6 +130,10 @@ pub fn summarize(samples: &[u64]) -> Summary {
 pub struct BenchContext {
     /// Report label (`BENCH_<label>.json`).
     pub label: String,
+    /// Warp engine that produced the numbers (`scalar` or `simd`).
+    /// Backend choice changes every simulation-bound row, so a report
+    /// without it can't be attributed; `bench_run` always stamps it.
+    pub backend: String,
     /// Worker threads the pipeline ran with.
     pub threads: usize,
     /// Warmup iterations (run, not recorded).
@@ -185,6 +189,7 @@ pub fn build_bench_report(ctx: &BenchContext, samples: &[BenchSample]) -> Json {
             Json::UInt(BENCH_SCHEMA_VERSION),
         ),
         ("label".into(), Json::Str(ctx.label.clone())),
+        ("backend".into(), Json::Str(ctx.backend.clone())),
         ("threads".into(), Json::UInt(ctx.threads as u64)),
         ("warmup".into(), Json::UInt(ctx.warmup as u64)),
         ("iters".into(), Json::UInt(ctx.iters as u64)),
@@ -234,6 +239,14 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
             return Err(format!("missing key `{key}`"));
         }
     }
+    // `backend` arrived after version 1 shipped: optional so committed
+    // baselines predating it stay valid, but when present it must be a
+    // string (`report_backend` treats anything else as absent).
+    if let Some(backend) = doc.get("backend") {
+        if backend.as_str().is_none() {
+            return Err("`backend` is not a string".into());
+        }
+    }
     let total = doc.get("total").ok_or("missing key `total`")?;
     for field in ["min_ns", "median_ns", "p95_ns"] {
         total
@@ -255,6 +268,12 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The warp engine recorded in a bench report, if any. Reports from
+/// before the backend field shipped return `None`.
+pub fn report_backend(doc: &Json) -> Option<&str> {
+    doc.get("backend").and_then(Json::as_str)
 }
 
 /// How [`diff_reports`] decides what counts as a regression.
@@ -432,6 +451,7 @@ mod tests {
     fn report(scale: u64) -> Json {
         let ctx = BenchContext {
             label: "test".into(),
+            backend: "simd".into(),
             threads: 2,
             warmup: 1,
             iters: 3,
@@ -473,6 +493,33 @@ mod tests {
             stages[0].get("median_ns").unwrap().as_u64(),
             Some(81_000_000)
         );
+    }
+
+    #[test]
+    fn backend_is_stamped_optional_and_typed() {
+        let doc = report(1_000_000);
+        assert_eq!(report_backend(&doc), Some("simd"));
+
+        // Committed baselines from before the field existed stay valid.
+        let Json::Obj(mut fields) = doc.clone() else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "backend");
+        let legacy = Json::Obj(fields);
+        validate_bench(&legacy).expect("backend-less report validates");
+        assert_eq!(report_backend(&legacy), None);
+
+        // A mistyped backend is a schema error, not silently ignored.
+        let Json::Obj(mut fields) = doc else {
+            unreachable!()
+        };
+        for (k, v) in &mut fields {
+            if k == "backend" {
+                *v = Json::UInt(1);
+            }
+        }
+        let err = validate_bench(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("backend"), "{err}");
     }
 
     #[test]

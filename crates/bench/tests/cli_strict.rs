@@ -125,6 +125,80 @@ fn missing_and_malformed_values_exit_2() {
 }
 
 #[test]
+fn invalid_backend_exits_2_without_starting_work() {
+    for bin in [env!("CARGO_BIN_EXE_bench_run"), env!("CARGO_BIN_EXE_regen")] {
+        for args in [
+            ["e1", "--backend", "cuda"].as_slice(),
+            ["e1", "--backend=avx512"].as_slice(),
+            ["e1", "--backend"].as_slice(),
+        ] {
+            let out = run(bin, args);
+            assert_eq!(out.status.code(), Some(2), "{bin} {args:?}");
+            let err = stderr_of(&out);
+            assert!(
+                err.contains("backend") && err.contains("usage:"),
+                "{bin} {args:?}: stderr:\n{err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bench_diff_flags_cross_backend_comparisons() {
+    use gwc_bench::perf::{build_bench_report, BenchContext, STAGES};
+
+    let dir = std::env::temp_dir().join(format!("gwc_bench_diff_backend_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let report = |backend: &str| {
+        let ctx = BenchContext {
+            label: "x".into(),
+            backend: backend.into(),
+            threads: 1,
+            warmup: 0,
+            iters: 1,
+            experiment_ids: vec!["e1".into()],
+        };
+        let sample = gwc_bench::perf::BenchSample {
+            total_ns: 5_000_000,
+            stages: STAGES.iter().map(|&s| (s.to_string(), 1_000_000)).collect(),
+            experiments: vec![("e1".into(), 1_000_000)],
+        };
+        build_bench_report(&ctx, &[sample])
+    };
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(&old, report("scalar").render()).expect("write baseline");
+    std::fs::write(&new, report("simd").render()).expect("write candidate");
+
+    let out = run(
+        env!("CARGO_BIN_EXE_bench_diff"),
+        &[old.to_str().unwrap(), new.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("different warp engines")
+            && err.contains("baseline: scalar")
+            && err.contains("candidate: simd"),
+        "missing cross-backend note:\n{err}"
+    );
+
+    // Same backend on both sides: no note.
+    std::fs::write(&old, report("simd").render()).expect("rewrite baseline");
+    let out = run(
+        env!("CARGO_BIN_EXE_bench_diff"),
+        &[old.to_str().unwrap(), new.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert!(
+        !stderr_of(&out).contains("different warp engines"),
+        "{}",
+        stderr_of(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn regen_list_prints_every_experiment_and_exits_0() {
     let out = run(env!("CARGO_BIN_EXE_regen"), &["--list"]);
     assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));

@@ -98,39 +98,70 @@ impl CoalescingObserver {
     }
 }
 
+/// Sorts (in place) and counts the distinct values in a short scratch
+/// slice. Warp accesses have at most 32 lanes, so this runs entirely on
+/// the caller's stack buffer — the hot path allocates nothing.
+fn sorted_distinct(scratch: &mut [u32]) -> usize {
+    scratch.sort_unstable();
+    let mut distinct = 0usize;
+    let mut prev = u32::MAX;
+    for &v in scratch.iter() {
+        distinct += usize::from(v != prev || distinct == 0);
+        prev = v;
+    }
+    distinct
+}
+
 /// Number of distinct 128B segments among `addrs`.
 pub fn segment_count(addrs: &[u32]) -> usize {
-    let mut segs: Vec<u32> = addrs.iter().map(|a| a / SEGMENT_BYTES).collect();
-    segs.sort_unstable();
-    segs.dedup();
-    segs.len()
+    let mut segs = [0u32; WARP_SIZE];
+    for (s, &a) in segs.iter_mut().zip(addrs) {
+        *s = a / SEGMENT_BYTES;
+    }
+    sorted_distinct(&mut segs[..addrs.len().min(WARP_SIZE)])
 }
 
 /// Serialized cycles for a shared access on a 32-bank, 4-byte-word
 /// scratchpad: the maximum, over banks, of distinct words requested in
 /// that bank (same word by many lanes broadcasts in one cycle).
 pub fn shared_serialization(addrs: &[u32]) -> usize {
-    let mut per_bank: [Vec<u32>; SHARED_BANKS] = std::array::from_fn(|_| Vec::new());
-    for &a in addrs {
-        let word = a / 4;
-        let bank = (word as usize) % SHARED_BANKS;
-        if !per_bank[bank].contains(&word) {
-            per_bank[bank].push(word);
-        }
+    // Distinct words first (duplicates broadcast), then a per-bank
+    // census — fixed-size arrays instead of per-bank heap vectors.
+    let mut words = [0u32; WARP_SIZE];
+    for (w, &a) in words.iter_mut().zip(addrs) {
+        *w = a / 4;
     }
-    per_bank.iter().map(Vec::len).max().unwrap_or(0).max(1)
+    let n = addrs.len().min(WARP_SIZE);
+    words[..n].sort_unstable();
+    let mut per_bank = [0u32; SHARED_BANKS];
+    let mut prev = u32::MAX;
+    let mut first = true;
+    for &word in &words[..n] {
+        if first || word != prev {
+            per_bank[(word as usize) % SHARED_BANKS] += 1;
+        }
+        prev = word;
+        first = false;
+    }
+    per_bank.iter().copied().max().unwrap_or(0).max(1) as usize
 }
 
 impl TraceObserver for CoalescingObserver {
     fn on_mem(&mut self, e: &MemEvent<'_>) {
-        let addrs: Vec<u32> = e.active_addrs().collect();
-        if addrs.is_empty() {
+        let mut buf = [0u32; WARP_SIZE];
+        let mut n = 0usize;
+        for a in e.active_addrs() {
+            buf[n] = a;
+            n += 1;
+        }
+        if n == 0 {
             return;
         }
+        let addrs = &buf[..n];
         match e.space {
             Space::Global => {
                 self.global_accesses += 1;
-                let segs = segment_count(&addrs);
+                let segs = segment_count(addrs);
                 self.global_segments += segs as u64;
                 if segs == 1 && addrs.iter().all(|&a| a == addrs[0]) {
                     self.broadcast += 1;
@@ -145,7 +176,7 @@ impl TraceObserver for CoalescingObserver {
             }
             Space::Shared => {
                 self.shared_accesses += 1;
-                self.shared_serialized += shared_serialization(&addrs) as u64;
+                self.shared_serialized += shared_serialization(addrs) as u64;
             }
             _ => {}
         }

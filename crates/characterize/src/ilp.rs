@@ -15,36 +15,96 @@ use crate::fxhash::FxHashMap;
 
 #[derive(Debug, Clone)]
 struct WarpIlp {
-    /// Dataflow level of the last writer: `levels[reg * 32 + lane]`.
+    /// While `true`, every event so far carried the same active mask
+    /// (`mask`), so the active lanes have identical dataflow state —
+    /// and the inactive ones none at all. One scalar copy stands in
+    /// for all active lanes: `levels`/`write_idx` are indexed by
+    /// register alone and `count[0]`/`crit[0]` hold the shared
+    /// per-lane values. The first event with a *different* mask
+    /// expands to the per-lane layout below; the flag is one-way.
+    uniform: bool,
+    /// The stable active mask of a uniform warp (full warps, tail
+    /// warps and coherent sub-warps alike).
+    mask: u32,
+    /// Dataflow level of the last writer: `levels[reg * 32 + lane]`
+    /// (uniform: `levels[reg]`).
     levels: Vec<u32>,
-    /// Dynamic index of the last writer: `write_idx[reg * 32 + lane]`.
-    write_idx: Vec<u64>,
+    /// Dynamic index of the last writer: `write_idx[reg * 32 + lane]`
+    /// (uniform: `write_idx[reg]`). `u32` on purpose: a lane's dynamic
+    /// index is bounded by the per-launch warp instruction budget
+    /// (400M), and the narrower arrays halve this hot path's cache
+    /// traffic.
+    write_idx: Vec<u32>,
     /// Per-lane instruction counts.
-    count: [u64; WARP_SIZE],
+    count: [u32; WARP_SIZE],
     /// Per-lane critical-path length.
     crit: [u32; WARP_SIZE],
 }
 
 impl WarpIlp {
-    fn new(regs: usize) -> Self {
+    /// `mask` is the active mask of the warp's first event; the warp
+    /// stays in the scalar representation while every later event
+    /// repeats it.
+    fn new(regs: usize, mask: u32) -> Self {
         Self {
-            levels: vec![0; regs * WARP_SIZE],
-            write_idx: vec![0; regs * WARP_SIZE],
+            uniform: true,
+            mask,
+            levels: vec![0; regs],
+            write_idx: vec![0; regs],
             count: [0; WARP_SIZE],
             crit: [0; WARP_SIZE],
         }
     }
+
+    /// Broadcasts the shared scalar state to the per-lane layout.
+    /// Active lanes of a uniform warp are bit-for-bit identical and
+    /// inactive lanes never executed anything, so expanding at any
+    /// point yields exactly the state a per-lane observer would hold.
+    fn expand(&mut self) {
+        let regs = self.levels.len();
+        let mut levels = vec![0u32; regs * WARP_SIZE];
+        let mut write_idx = vec![0u32; regs * WARP_SIZE];
+        let mut count = [0u32; WARP_SIZE];
+        let mut crit = [0u32; WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if (self.mask >> lane) & 1 == 1 {
+                for reg in 0..regs {
+                    levels[reg * WARP_SIZE + lane] = self.levels[reg];
+                    write_idx[reg * WARP_SIZE + lane] = self.write_idx[reg];
+                }
+                count[lane] = self.count[0];
+                crit[lane] = self.crit[0];
+            }
+        }
+        self.levels = levels;
+        self.write_idx = write_idx;
+        self.count = count;
+        self.crit = crit;
+        self.uniform = false;
+    }
 }
+
+/// Sentinel for "no warp seen yet" in the one-entry lookup cache.
+const NO_WARP: (u32, u32) = (u32::MAX, u32::MAX);
 
 /// Streams register dataflow into per-thread ILP statistics.
 ///
 /// Observations accumulate across launches: at each launch boundary the
 /// finished warps of the previous launch are folded into running sums, so
 /// memory stays bounded by one launch's warp count.
-#[derive(Debug, Default)]
+///
+/// Warp state lives in a dense `store` with a `(block, warp)` → slot
+/// index on the side, plus a one-entry cache of the last slot: the
+/// executor runs each warp for long uninterrupted stretches (until a
+/// barrier or exit), so nearly every event hits the cache and skips the
+/// hash lookup entirely.
+#[derive(Debug)]
 pub struct IlpObserver {
     regs: usize,
-    warps: FxHashMap<(u32, u32), WarpIlp>,
+    index: FxHashMap<(u32, u32), u32>,
+    store: Vec<((u32, u32), WarpIlp)>,
+    last_key: (u32, u32),
+    last_slot: u32,
     folded_weighted: f64,
     folded_instrs: u64,
     /// Exact integer sum of producer→consumer distances (distances are
@@ -53,26 +113,56 @@ pub struct IlpObserver {
     dep_count: u64,
 }
 
+impl Default for IlpObserver {
+    fn default() -> Self {
+        Self {
+            regs: 0,
+            index: FxHashMap::default(),
+            store: Vec::new(),
+            last_key: NO_WARP,
+            last_slot: 0,
+            folded_weighted: 0.0,
+            folded_instrs: 0,
+            dep_distance_sum: 0,
+            dep_count: 0,
+        }
+    }
+}
+
 impl IlpObserver {
     /// Creates an empty observer.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn fold_of(warps: &FxHashMap<(u32, u32), WarpIlp>) -> (f64, u64) {
+    fn fold_of(store: &[((u32, u32), WarpIlp)]) -> (f64, u64) {
         let mut instr_sum = 0u64;
         let mut weighted = 0.0;
         // Sorted iteration: floating-point accumulation order must not
-        // depend on HashMap layout, or studies stop being reproducible.
-        let mut keys: Vec<&(u32, u32)> = warps.keys().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let w = &warps[key];
+        // depend on insertion or map layout, or studies stop being
+        // reproducible.
+        let mut entries: Vec<&((u32, u32), WarpIlp)> = store.iter().collect();
+        entries.sort_unstable_by_key(|(key, _)| *key);
+        for (_, w) in entries {
             for lane in 0..WARP_SIZE {
-                if w.count[lane] > 0 {
-                    let ilp = w.count[lane] as f64 / w.crit[lane].max(1) as f64;
-                    weighted += ilp * w.count[lane] as f64;
-                    instr_sum += w.count[lane];
+                // A uniform warp stores one shared copy in lane 0: every
+                // lane in its mask contributes the identical term — in
+                // the same order the expanded layout would — and lanes
+                // outside it contribute nothing.
+                let c = if w.uniform {
+                    if (w.mask >> lane) & 1 == 1 {
+                        w.count[0]
+                    } else {
+                        0
+                    }
+                } else {
+                    w.count[lane]
+                };
+                if c > 0 {
+                    let crit = if w.uniform { w.crit[0] } else { w.crit[lane] };
+                    let ilp = c as f64 / crit.max(1) as f64;
+                    weighted += ilp * c as f64;
+                    instr_sum += u64::from(c);
                 }
             }
         }
@@ -83,7 +173,7 @@ impl IlpObserver {
     /// threads weighted by their instruction counts. 1.0 for fully serial
     /// code; higher means more independent instructions per thread.
     pub fn ilp(&self) -> f64 {
-        let (weighted, instrs) = Self::fold_of(&self.warps);
+        let (weighted, instrs) = Self::fold_of(&self.store);
         let total_w = self.folded_weighted + weighted;
         let total_i = self.folded_instrs + instrs;
         if total_i == 0 {
@@ -114,9 +204,10 @@ impl crate::merge::MergeableObserver for IlpObserver {
             later.folded_instrs, 0,
             "shard observers must not span launch boundaries"
         );
-        for (key, warp) in later.warps {
-            let clash = self.warps.insert(key, warp);
+        for (key, warp) in later.store {
+            let clash = self.index.insert(key, self.store.len() as u32);
             debug_assert!(clash.is_none(), "shard block ranges overlap: {key:?}");
+            self.store.push((key, warp));
         }
         self.folded_weighted += later.folded_weighted;
         self.folded_instrs += later.folded_instrs;
@@ -134,44 +225,190 @@ impl TraceObserver for IlpObserver {
         kernel: &gwc_simt::kernel::Kernel,
         _config: &gwc_simt::launch::LaunchConfig,
     ) {
-        let (weighted, instrs) = Self::fold_of(&self.warps);
+        let (weighted, instrs) = Self::fold_of(&self.store);
         self.folded_weighted += weighted;
         self.folded_instrs += instrs;
         self.regs = kernel.reg_count();
-        self.warps.clear();
+        self.index.clear();
+        self.store.clear();
+        self.last_key = NO_WARP;
     }
 
     fn on_instr(&mut self, e: &InstrEvent<'_>) {
-        let regs = self.regs;
-        let w = self
-            .warps
-            .entry((e.block, e.warp))
-            .or_insert_with(|| WarpIlp::new(regs));
-        for lane in 0..WARP_SIZE {
-            if e.active & (1 << lane) == 0 {
-                continue;
-            }
-            w.count[lane] += 1;
-            let idx = w.count[lane];
-            let mut level = 0u32;
-            for src in e.srcs {
-                let slot = src.0 as usize * WARP_SIZE + lane;
-                let src_level = w.levels[slot];
-                if src_level > 0 {
+        let active = e.active;
+        if active == 0 {
+            // Fully predicated-off events change no lane's state.
+            return;
+        }
+        let key = (e.block, e.warp);
+        let slot = if key == self.last_key {
+            self.last_slot
+        } else {
+            let slot = match self.index.get(&key) {
+                Some(&slot) => slot,
+                None => {
+                    let slot = self.store.len() as u32;
+                    self.store.push((key, WarpIlp::new(self.regs, active)));
+                    self.index.insert(key, slot);
+                    slot
+                }
+            };
+            self.last_key = key;
+            self.last_slot = slot;
+            slot
+        };
+        let w = &mut self.store[slot as usize].1;
+
+        if w.uniform {
+            if active == w.mask {
+                // Scalar fast path: while a warp repeats one active
+                // mask — full warps, tail warps, coherent sub-warps —
+                // its active lanes share one dataflow state, so one
+                // lane's arithmetic with integer sums scaled by the
+                // lane count reproduces the per-lane results exactly.
+                // Coherent kernels spend nearly all their events here.
+                let lanes = u64::from(active.count_ones());
+                let mut level = 0u32;
+                for src in e.srcs {
+                    let src_level = w.levels[src.0 as usize];
                     level = level.max(src_level);
-                    let dist = idx.saturating_sub(w.write_idx[slot]);
-                    self.dep_distance_sum += u128::from(dist);
-                    self.dep_count += 1;
+                    if src_level != 0 {
+                        self.dep_count += lanes;
+                        self.dep_distance_sum += u128::from(
+                            lanes * u64::from(w.count[0] + 1 - w.write_idx[src.0 as usize]),
+                        );
+                    }
+                }
+                let lv = level + 1;
+                w.count[0] += 1;
+                w.crit[0] = w.crit[0].max(lv);
+                if let Some(dst) = e.dst {
+                    w.levels[dst.0 as usize] = lv;
+                    w.write_idx[dst.0 as usize] = w.count[0];
+                }
+                return;
+            }
+            w.expand();
+        }
+
+        // Hot path, restructured for autovectorization: sources outer,
+        // lanes inner, everything in branch-free u32 select/mask form
+        // with one widening horizontal sum per event. Per-lane `dist`
+        // accumulation across sources cannot overflow u32: each term is
+        // at most `count + 1` (bounded by the 400M warp instruction
+        // budget) and instructions carry at most a handful of sources.
+        // The reordering only permutes integer additions into
+        // `dep_distance_sum`/`dep_count`, so results stay bit-identical
+        // to the per-lane formulation.
+        let mut level = [0u32; WARP_SIZE];
+        let mut dep = [0u32; WARP_SIZE];
+        let mut dist = [0u32; WARP_SIZE];
+        if active == u32::MAX {
+            // Full mask over diverged lane *state*: no per-lane selects,
+            // every loop is straight-line vector code.
+            for src in e.srcs {
+                let base = src.0 as usize * WARP_SIZE;
+                let levels: &[u32; WARP_SIZE] = w.levels[base..base + WARP_SIZE]
+                    .try_into()
+                    .expect("32 lanes");
+                let write_idx: &[u32; WARP_SIZE] = w.write_idx[base..base + WARP_SIZE]
+                    .try_into()
+                    .expect("32 lanes");
+                for lane in 0..WARP_SIZE {
+                    let src_level = levels[lane];
+                    level[lane] = level[lane].max(src_level);
+                    // `write_idx <= count` always holds (it is set to
+                    // `count` at write time), so the distance term never
+                    // underflows; masking with `-d` (all-ones or zero)
+                    // replaces a multiply the baseline x86-64 target
+                    // would scalarize.
+                    let d = u32::from(src_level != 0);
+                    dep[lane] += d;
+                    dist[lane] += d.wrapping_neg() & (w.count[lane] + 1 - write_idx[lane]);
                 }
             }
-            let level = level + 1;
-            w.crit[lane] = w.crit[lane].max(level);
             if let Some(dst) = e.dst {
-                let slot = dst.0 as usize * WARP_SIZE + lane;
-                w.levels[slot] = level;
-                w.write_idx[slot] = idx;
+                let base = dst.0 as usize * WARP_SIZE;
+                let levels: &mut [u32; WARP_SIZE] = (&mut w.levels[base..base + WARP_SIZE])
+                    .try_into()
+                    .expect("32 lanes");
+                let write_idx: &mut [u32; WARP_SIZE] = (&mut w.write_idx[base..base + WARP_SIZE])
+                    .try_into()
+                    .expect("32 lanes");
+                for lane in 0..WARP_SIZE {
+                    let lv = level[lane] + 1;
+                    w.count[lane] += 1;
+                    w.crit[lane] = w.crit[lane].max(lv);
+                    levels[lane] = lv;
+                    write_idx[lane] = w.count[lane];
+                }
+            } else {
+                for (lane, &lv0) in level.iter().enumerate() {
+                    let lv = lv0 + 1;
+                    w.count[lane] += 1;
+                    w.crit[lane] = w.crit[lane].max(lv);
+                }
+            }
+        } else {
+            let on: [u32; WARP_SIZE] = std::array::from_fn(|lane| (active >> lane) & 1);
+            for src in e.srcs {
+                let base = src.0 as usize * WARP_SIZE;
+                let levels: &[u32; WARP_SIZE] = w.levels[base..base + WARP_SIZE]
+                    .try_into()
+                    .expect("32 lanes");
+                let write_idx: &[u32; WARP_SIZE] = w.write_idx[base..base + WARP_SIZE]
+                    .try_into()
+                    .expect("32 lanes");
+                for lane in 0..WARP_SIZE {
+                    let src_level = levels[lane];
+                    level[lane] = level[lane].max(src_level);
+                    // A dependence is counted for active lanes whose
+                    // source has a recorded writer.
+                    let d = on[lane] & u32::from(src_level != 0);
+                    dep[lane] += d;
+                    dist[lane] += d.wrapping_neg() & (w.count[lane] + 1 - write_idx[lane]);
+                }
+            }
+            // Commit: bump per-lane counts, stretch critical paths,
+            // record the writer level/index — select form, active lanes
+            // only.
+            if let Some(dst) = e.dst {
+                let base = dst.0 as usize * WARP_SIZE;
+                let levels: &mut [u32; WARP_SIZE] = (&mut w.levels[base..base + WARP_SIZE])
+                    .try_into()
+                    .expect("32 lanes");
+                let write_idx: &mut [u32; WARP_SIZE] = (&mut w.write_idx[base..base + WARP_SIZE])
+                    .try_into()
+                    .expect("32 lanes");
+                for lane in 0..WARP_SIZE {
+                    let hit = on[lane] != 0;
+                    let lv = level[lane] + 1;
+                    w.count[lane] += on[lane];
+                    w.crit[lane] = if hit {
+                        w.crit[lane].max(lv)
+                    } else {
+                        w.crit[lane]
+                    };
+                    levels[lane] = if hit { lv } else { levels[lane] };
+                    write_idx[lane] = if hit { w.count[lane] } else { write_idx[lane] };
+                }
+            } else {
+                for lane in 0..WARP_SIZE {
+                    let hit = on[lane] != 0;
+                    let lv = level[lane] + 1;
+                    w.count[lane] += on[lane];
+                    w.crit[lane] = if hit {
+                        w.crit[lane].max(lv)
+                    } else {
+                        w.crit[lane]
+                    };
+                }
             }
         }
+        // Horizontal sums widen to u64 once per event (32 lanes × u32
+        // cannot overflow it); only the running total is u128.
+        self.dep_count += dep.iter().copied().map(u64::from).sum::<u64>();
+        self.dep_distance_sum += u128::from(dist.iter().copied().map(u64::from).sum::<u64>());
     }
 }
 

@@ -85,9 +85,17 @@ pub struct LocalityObserver {
     first_touch_order: Vec<u32>,
 }
 
+/// Initial time-axis capacity. Deliberately small: the runtime creates
+/// one observer per shard per launch, and a large up-front Fenwick
+/// allocation (formerly 8 MB zeroed) dominated sharded study time via
+/// page faults. The axis grows geometrically with the footprint, so
+/// large workloads still get a long axis — they just pay for it only
+/// when they actually touch that many lines.
+const INITIAL_CAP: usize = 1 << 12;
+
 impl Default for LocalityObserver {
     fn default() -> Self {
-        Self::with_capacity(1 << 21)
+        Self::with_capacity(INITIAL_CAP)
     }
 }
 
@@ -167,6 +175,14 @@ impl LocalityObserver {
     fn touch(&mut self, line: u32, warp: (u32, u32)) {
         self.touches += 1;
         if self.now >= self.cap {
+            // Compression needs headroom over the live footprint; grow
+            // the axis instead when the footprint itself filled it.
+            // Either way the recency order — and with it every future
+            // distance — is preserved, so when growth (or compression)
+            // happens cannot affect results.
+            if self.lines.len() * 2 > self.cap {
+                self.cap = (self.lines.len() * 4).next_power_of_two();
+            }
             self.compress();
         }
         match self.lines.get_mut(&line) {
@@ -294,6 +310,12 @@ impl crate::merge::MergeableObserver for LocalityObserver {
         }
         order.sort_unstable();
 
+        // The merged footprint can exceed either side's axis; grow
+        // before the rebuild exactly like `touch` does.
+        self.cap = self.cap.max(later.cap);
+        if order.len() * 2 > self.cap {
+            self.cap = (order.len() * 4).next_power_of_two();
+        }
         let mut merged: FxHashMap<u32, LineInfo> =
             FxHashMap::with_capacity_and_hasher(order.len(), Default::default());
         self.fenwick = Fenwick::new(self.cap);
@@ -340,11 +362,21 @@ impl TraceObserver for LocalityObserver {
         if e.space != Space::Global {
             return;
         }
-        let mut lines: Vec<u32> = e.active_addrs().map(|a| a / SEGMENT_BYTES).collect();
-        lines.sort_unstable();
-        lines.dedup();
-        for line in lines {
-            self.touch(line, (e.block, e.warp));
+        // Stack-buffered line extraction: at most 32 lanes, so the sort
+        // and dedup run on a fixed array with no per-event allocation.
+        let mut lines = [0u32; gwc_simt::WARP_SIZE];
+        let mut n = 0usize;
+        for a in e.active_addrs() {
+            lines[n] = a / SEGMENT_BYTES;
+            n += 1;
+        }
+        lines[..n].sort_unstable();
+        let mut prev = u32::MAX;
+        for (i, &line) in lines[..n].iter().enumerate() {
+            if i == 0 || line != prev {
+                self.touch(line, (e.block, e.warp));
+            }
+            prev = line;
         }
     }
 }

@@ -78,6 +78,10 @@ pub fn profile_launch_sharded(
     config.validate()?;
     kernel.check_args(args)?;
     profiler.on_launch(kernel, config);
+    // Every launch counts its backend exactly once: serial launches in
+    // `launch_observed`, sharded launches here (shards inherit the
+    // backend through `fork`, so one launch = one engine).
+    gwc_obs::count(device.backend().counter_name(), 1);
 
     // One relaxed load + branch when no recorder is installed.
     let launch_t0 = gwc_obs::enabled().then(std::time::Instant::now);

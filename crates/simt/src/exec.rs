@@ -15,7 +15,13 @@
 //! null-observer path ([`Device::launch`]) compiles with every observer
 //! call inlined away; per-block scratch (shared/local memory, warp
 //! states, register banks) is reused across the blocks of a launch.
+//!
+//! Warp stepping itself is pluggable ([`crate::backend`]): the scalar
+//! reference loop lives here ([`LaunchCtx::run_warp_scalar`]), the
+//! 8-wide SIMD engine in [`crate::simd`], and `run_block_range`
+//! dispatches once per launch so both monomorphize fully.
 
+use crate::backend::{BackendKind, ExecBackend, ScalarBackend, SimdBackend};
 use crate::decode::{self, DecodedKernel, Src, Uop};
 use crate::instr::{Space, SpecialReg, Value};
 use crate::kernel::Kernel;
@@ -79,6 +85,8 @@ pub struct Device {
     global: Vec<u8>,
     const_mem: Vec<u8>,
     limits: DeviceLimits,
+    backend: BackendKind,
+    fusion: bool,
 }
 
 impl Default for Device {
@@ -90,18 +98,51 @@ impl Default for Device {
 const ALLOC_ALIGN: usize = 256;
 
 impl Device {
-    /// Creates a device with empty memories and default limits.
+    /// Creates a device with empty memories, default limits, and the
+    /// process-default execution backend
+    /// ([`BackendKind::from_env`]: `--backend` override → `GWC_BACKEND`
+    /// → SIMD).
     pub fn new() -> Self {
+        Self::with_backend(BackendKind::from_env())
+    }
+
+    /// Creates a device pinned to a specific execution backend
+    /// (ignoring the process default). Fusion still follows
+    /// `GWC_FUSION`.
+    pub fn with_backend(backend: BackendKind) -> Self {
         Self {
             global: Vec::new(),
             const_mem: Vec::new(),
             limits: DeviceLimits::default(),
+            backend,
+            fusion: crate::backend::fusion_from_env(),
         }
     }
 
     /// Overrides execution limits (e.g. the instruction budget).
     pub fn set_limits(&mut self, limits: DeviceLimits) {
         self.limits = limits;
+    }
+
+    /// Selects the warp execution backend for subsequent launches.
+    pub fn set_backend(&mut self, backend: BackendKind) {
+        self.backend = backend;
+    }
+
+    /// The warp execution backend this device launches with.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Enables/disables superinstruction fusion (SIMD backend only; the
+    /// scalar reference always executes the unfused stream).
+    pub fn set_fusion(&mut self, fusion: bool) {
+        self.fusion = fusion;
+    }
+
+    /// Whether the SIMD backend executes the decode-time fusion table.
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion
     }
 
     /// Allocates `len` zeroed bytes of global memory (256-byte aligned).
@@ -264,6 +305,7 @@ impl Device {
         kernel.check_args(args)?;
         observer.on_launch(kernel, config);
         // One relaxed load + branch when no recorder is installed.
+        gwc_obs::count(self.backend.counter_name(), 1);
         let t0 = gwc_obs::enabled().then(std::time::Instant::now);
         let span = gwc_obs::span!("launch/{}", kernel.name());
         let stats =
@@ -337,23 +379,39 @@ impl Device {
             global: &mut self.global,
             const_mem: &self.const_mem,
             budget: self.limits.instr_budget,
+            fusion: self.fusion,
             stats: &mut stats,
         };
 
-        for block in first..last {
-            ctx.run_block(block, &mut scratch, observer)?;
+        // One dispatch per launch; each arm monomorphizes the whole
+        // block/warp loop over its engine.
+        match self.backend {
+            BackendKind::Scalar => {
+                for block in first..last {
+                    ctx.run_block::<ScalarBackend, O>(block, &mut scratch, observer)?;
+                }
+            }
+            BackendKind::Simd => {
+                for block in first..last {
+                    ctx.run_block::<SimdBackend, O>(block, &mut scratch, observer)?;
+                }
+            }
         }
         Ok(stats)
     }
 
-    /// Clones the device — global and constant memory plus limits — so a
-    /// shard can execute a block range against its own copy of global
-    /// memory while other shards run concurrently.
+    /// Clones the device — global and constant memory plus limits,
+    /// backend and fusion setting — so a shard can execute a block range
+    /// against its own copy of global memory while other shards run
+    /// concurrently. A sharded launch therefore uses one engine
+    /// throughout.
     pub fn fork(&self) -> Device {
         Device {
             global: self.global.clone(),
             const_mem: self.const_mem.clone(),
             limits: self.limits,
+            backend: self.backend,
+            fusion: self.fusion,
         }
     }
 
@@ -398,28 +456,31 @@ impl Device {
 
 /// One reconvergence-stack entry.
 #[derive(Debug, Clone, Copy)]
-struct StackEntry {
-    pc: usize,
+pub(crate) struct StackEntry {
+    pub(crate) pc: usize,
     /// Reconvergence pc: pop when `pc == rpc`.
-    rpc: usize,
-    mask: u32,
+    pub(crate) rpc: usize,
+    pub(crate) mask: u32,
 }
 
 /// Per-warp execution state. Register banks are raw `u32` lanes — the
 /// decoded opcodes know their operand types statically, so no tags are
 /// stored or checked at run time.
-#[derive(Default)]
-struct Warp {
+///
+/// Public only so [`crate::backend::ExecBackend`] can name it; the
+/// fields are crate-private (backends live in this crate).
+#[derive(Debug, Default)]
+pub struct Warp {
     /// Warp index within the block.
-    id: u32,
+    pub(crate) id: u32,
     /// First thread (linear, within block) of this warp.
-    base_thread: u32,
+    pub(crate) base_thread: u32,
     /// Lanes that have not exited.
-    live: u32,
-    stack: Vec<StackEntry>,
+    pub(crate) live: u32,
+    pub(crate) stack: Vec<StackEntry>,
     /// Per-register, per-lane raw bits: `regs[reg * 32 + lane]`.
-    regs: Vec<u32>,
-    at_barrier: bool,
+    pub(crate) regs: Vec<u32>,
+    pub(crate) at_barrier: bool,
 }
 
 impl Warp {
@@ -438,20 +499,27 @@ struct LaunchScratch {
     warps: Vec<Warp>,
 }
 
-struct LaunchCtx<'a> {
-    dec: &'a DecodedKernel,
-    kernel: &'a Kernel,
-    config: &'a LaunchConfig,
+/// Per-launch execution context shared by every backend: the decoded
+/// stream, resolved parameters, memory images, budget and stats.
+///
+/// Public only so [`crate::backend::ExecBackend`] can name it; the
+/// fields are crate-private (backends live in this crate).
+pub struct LaunchCtx<'a> {
+    pub(crate) dec: &'a DecodedKernel,
+    pub(crate) kernel: &'a Kernel,
+    pub(crate) config: &'a LaunchConfig,
     /// Launch arguments as raw bits (uniform across the grid).
-    params: &'a [u32],
-    global: &'a mut Vec<u8>,
-    const_mem: &'a [u8],
-    budget: u64,
-    stats: &'a mut LaunchStats,
+    pub(crate) params: &'a [u32],
+    pub(crate) global: &'a mut Vec<u8>,
+    pub(crate) const_mem: &'a [u8],
+    pub(crate) budget: u64,
+    /// Whether the SIMD backend executes the fusion table.
+    pub(crate) fusion: bool,
+    pub(crate) stats: &'a mut LaunchStats,
 }
 
 impl LaunchCtx<'_> {
-    fn run_block<O: TraceObserver + ?Sized>(
+    fn run_block<B: ExecBackend, O: TraceObserver + ?Sized>(
         &mut self,
         block: u32,
         scratch: &mut LaunchScratch,
@@ -479,12 +547,7 @@ impl LaunchCtx<'_> {
             warps.push(Warp::default());
         }
         for (w, warp) in warps.iter_mut().enumerate() {
-            let lanes = (threads - w * WARP_SIZE).min(WARP_SIZE);
-            let live = if lanes == WARP_SIZE {
-                u32::MAX
-            } else {
-                (1u32 << lanes) - 1
-            };
+            let live = self.config.warp_live_mask(w);
             warp.id = w as u32;
             warp.base_thread = (w * WARP_SIZE) as u32;
             warp.live = live;
@@ -506,7 +569,7 @@ impl LaunchCtx<'_> {
                     continue;
                 }
                 progressed = true;
-                self.run_warp(block, warp, shared, local, observer)?;
+                B::run_warp(self, block, warp, shared, local, observer)?;
             }
             if warps.iter().all(Warp::done) {
                 break;
@@ -530,8 +593,11 @@ impl LaunchCtx<'_> {
         Ok(())
     }
 
-    /// Runs one warp until it exits or reaches a barrier.
-    fn run_warp<O: TraceObserver + ?Sized>(
+    /// Runs one warp until it exits or reaches a barrier — the scalar
+    /// reference loop, one lane at a time. This is the semantic baseline
+    /// every other backend is differentially tested against; keep it
+    /// simple and obviously correct.
+    pub(crate) fn run_warp_scalar<O: TraceObserver + ?Sized>(
         &mut self,
         block: u32,
         warp: &mut Warp,
@@ -821,7 +887,7 @@ impl LaunchCtx<'_> {
         }
     }
 
-    fn gather_addrs(
+    pub(crate) fn gather_addrs(
         &self,
         warp: &Warp,
         block: u32,
@@ -837,7 +903,7 @@ impl LaunchCtx<'_> {
     }
 
     #[inline]
-    fn eval(&self, warp: &Warp, block: u32, lane: usize, s: Src) -> u32 {
+    pub(crate) fn eval(&self, warp: &Warp, block: u32, lane: usize, s: Src) -> u32 {
         match s {
             Src::Reg(r) => read_reg(warp, r, lane),
             Src::Imm(bits) => bits,
@@ -863,7 +929,7 @@ impl LaunchCtx<'_> {
 
 /// Iterates set lanes in ascending order.
 #[inline]
-fn lanes(mask: u32) -> impl Iterator<Item = usize> {
+pub(crate) fn lanes(mask: u32) -> impl Iterator<Item = usize> {
     let mut m = mask;
     std::iter::from_fn(move || {
         if m == 0 {
@@ -876,21 +942,26 @@ fn lanes(mask: u32) -> impl Iterator<Item = usize> {
     })
 }
 
-fn advance(warp: &mut Warp) {
+pub(crate) fn advance(warp: &mut Warp) {
     warp.stack.last_mut().expect("non-empty").pc += 1;
 }
 
 #[inline]
-fn read_reg(warp: &Warp, r: u16, lane: usize) -> u32 {
+pub(crate) fn read_reg(warp: &Warp, r: u16, lane: usize) -> u32 {
     warp.regs[r as usize * WARP_SIZE + lane]
 }
 
 #[inline]
-fn write_reg(warp: &mut Warp, r: u16, lane: usize, v: u32) {
+pub(crate) fn write_reg(warp: &mut Warp, r: u16, lane: usize, v: u32) {
     warp.regs[r as usize * WARP_SIZE + lane] = v;
 }
 
-fn read4(buf: &[u8], addr: u32, pc: usize, space: &'static str) -> Result<[u8; 4], SimtError> {
+pub(crate) fn read4(
+    buf: &[u8],
+    addr: u32,
+    pc: usize,
+    space: &'static str,
+) -> Result<[u8; 4], SimtError> {
     let a = addr as usize;
     if a + 4 > buf.len() {
         return Err(SimtError::OutOfBounds {
@@ -903,7 +974,7 @@ fn read4(buf: &[u8], addr: u32, pc: usize, space: &'static str) -> Result<[u8; 4
     Ok(buf[a..a + 4].try_into().expect("4 bytes"))
 }
 
-fn write4(
+pub(crate) fn write4(
     buf: &mut [u8],
     addr: u32,
     data: [u8; 4],

@@ -54,6 +54,22 @@ impl LaunchConfig {
         self.threads_per_block().div_ceil(crate::WARP_SIZE)
     }
 
+    /// Live-lane mask of warp `w` within a block: all 32 lanes for full
+    /// warps, the low remainder bits for the tail warp of a block whose
+    /// thread count is not a multiple of [`crate::WARP_SIZE`]. Both
+    /// execution backends initialize warps from this.
+    pub fn warp_live_mask(&self, w: usize) -> u32 {
+        let threads = self.threads_per_block();
+        let lanes = threads
+            .saturating_sub(w * crate::WARP_SIZE)
+            .min(crate::WARP_SIZE);
+        if lanes == crate::WARP_SIZE {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        }
+    }
+
     /// Blocks in the grid.
     pub fn blocks(&self) -> usize {
         self.grid_x as usize * self.grid_y as usize

@@ -20,9 +20,16 @@
 //!   the branch-reconvergence table derived from a post-dominator analysis
 //!   ([`cfg`]).
 //! * [`decode`] — the predecoded µop stream: the flat, type-monomorphized
-//!   form the interpreter executes, decoded once per kernel and cached.
+//!   form the interpreter executes, decoded once per kernel and cached,
+//!   plus a superinstruction-fusion side table for hot adjacent pairs.
 //! * [`exec`] — the [`exec::Device`]: global/const memory, kernel launch,
 //!   warp scheduling, the SIMT reconvergence stack, barriers and atomics.
+//! * [`backend`] — runtime-selectable warp engines: the scalar reference
+//!   and the 8-wide SIMD lane-group engine ([`simd`]), required to be
+//!   bit-identical and differentially tested against each other.
+//! * [`kgen`] — a seeded random kernel generator (divergence / stride /
+//!   atomic-density knobs) feeding the cross-backend differential
+//!   harness hundreds of structurally safe kernels.
 //! * [`trace`] — observer interfaces for streaming characterization.
 //!
 //! # Example
@@ -67,6 +74,7 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod builder;
 pub mod cfg;
 pub mod decode;
@@ -75,7 +83,9 @@ pub mod exec;
 pub mod hash;
 pub mod instr;
 pub mod kernel;
+pub mod kgen;
 pub mod launch;
+mod simd;
 pub mod trace;
 
 mod error;

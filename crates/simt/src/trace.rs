@@ -191,6 +191,126 @@ pub struct NullObserver;
 
 impl TraceObserver for NullObserver {}
 
+/// Folds the complete event stream of a launch into one FNV-1a digest.
+///
+/// Two launches produce the same digest iff they emitted the same events
+/// with the same payloads in the same order — which is exactly the
+/// bit-identity contract the cross-backend differential harness
+/// (`tests/backend_diff.rs`) asserts between the scalar and SIMD
+/// engines. Every field of every event is folded in, with one
+/// deliberate exception: memory-event addresses are hashed for **active
+/// lanes only**, because inactive-lane `addrs` entries are documented as
+/// stale garbage ([`MemEvent::addrs`]) and backends legitimately differ
+/// in what they leave there.
+#[derive(Debug, Clone)]
+pub struct TraceHasher {
+    h: crate::hash::Fnv1a,
+    events: u64,
+}
+
+impl TraceHasher {
+    /// A fresh hasher (empty stream digest).
+    pub fn new() -> Self {
+        Self {
+            h: crate::hash::Fnv1a::new(),
+            events: 0,
+        }
+    }
+
+    /// Digest of the event stream folded so far.
+    pub fn digest(&self) -> u64 {
+        self.h.finish()
+    }
+
+    /// Number of events folded in (launch boundaries included).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl Default for TraceHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceObserver for TraceHasher {
+    fn on_launch(&mut self, kernel: &Kernel, config: &LaunchConfig) {
+        self.events += 1;
+        self.h.write_str("launch");
+        self.h.write_u64(kernel.content_hash());
+        self.h.write_u32(config.grid_x);
+        self.h.write_u32(config.grid_y);
+        self.h.write_u32(config.block_x);
+        self.h.write_u32(config.block_y);
+    }
+
+    fn on_instr(&mut self, event: &InstrEvent<'_>) {
+        self.events += 1;
+        self.h.write_str("instr");
+        self.h.write_u32(event.block);
+        self.h.write_u32(event.warp);
+        self.h.write_u64(event.pc as u64);
+        self.h.write_u32(event.class as u8 as u32);
+        self.h.write_u32(event.active);
+        self.h.write_u32(event.live);
+        self.h.write_u32(match event.dst {
+            Some(r) => 0x1_0000 | r.0 as u32,
+            None => 0,
+        });
+        self.h.write_u64(event.srcs.len() as u64);
+        for r in event.srcs {
+            self.h.write_u32(r.0 as u32);
+        }
+    }
+
+    fn on_mem(&mut self, event: &MemEvent<'_>) {
+        self.events += 1;
+        self.h.write_str("mem");
+        self.h.write_u32(event.block);
+        self.h.write_u32(event.warp);
+        self.h.write_u64(event.pc as u64);
+        self.h.write_u32(event.space as u8 as u32);
+        self.h.write_u32(match event.kind {
+            AccessKind::Load => 0,
+            AccessKind::Store => 1,
+            AccessKind::Atomic => 2,
+        });
+        self.h.write_u32(event.bytes as u32);
+        self.h.write_u32(event.active);
+        // Active lanes only — see the type docs.
+        for a in event.active_addrs() {
+            self.h.write_u32(a);
+        }
+    }
+
+    fn on_branch(&mut self, event: &BranchEvent) {
+        self.events += 1;
+        self.h.write_str("branch");
+        self.h.write_u32(event.block);
+        self.h.write_u32(event.warp);
+        self.h.write_u64(event.pc as u64);
+        self.h.write_u32(event.active);
+        self.h.write_u32(event.taken);
+    }
+
+    fn on_barrier(&mut self, block: u32) {
+        self.events += 1;
+        self.h.write_str("bar");
+        self.h.write_u32(block);
+    }
+
+    fn on_launch_end(&mut self, stats: &LaunchStats) {
+        self.events += 1;
+        self.h.write_str("end");
+        self.h.write_u64(stats.warp_instrs);
+        self.h.write_u64(stats.thread_instrs);
+        self.h.write_u64(stats.blocks);
+        self.h.write_u64(stats.warps);
+        self.h.write_u64(stats.barriers);
+    }
+}
+
 /// Fans events out to several observers in order.
 #[derive(Default)]
 pub struct MultiObserver<'a> {

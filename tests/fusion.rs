@@ -1,0 +1,161 @@
+//! Decode-fusion equivalence suite: superinstruction fusion is a pure
+//! speed optimization and must be architecturally invisible.
+//!
+//! The SIMD engine executes fused pairs (cmp+branch, mul+add, ld+cvt)
+//! through dedicated two-µop executors, but each half still accounts
+//! its own instruction at its own pc, so fusion-on and fusion-off runs
+//! must produce byte-identical trace streams, stats and memory — not
+//! just equal results. Checked over every registry kernel and a sweep
+//! of generated kernels; the sweep also asserts all three fusion kinds
+//! actually occur, so the fused executors cannot silently rot.
+//!
+//! Fusion is toggled per [`Device`] via [`Device::set_fusion`], never
+//! via the process-global `GWC_FUSION` default (test threads race).
+
+use std::collections::HashSet;
+
+use gwc::simt::backend::BackendKind;
+use gwc::simt::decode::Fusion;
+use gwc::simt::exec::Device;
+use gwc::simt::kernel::Kernel;
+use gwc::simt::kgen;
+use gwc::simt::trace::TraceHasher;
+use gwc::workloads::{registry, Scale};
+
+fn simd_device(fusion: bool) -> Device {
+    let mut d = Device::with_backend(BackendKind::Simd);
+    d.set_fusion(fusion);
+    d
+}
+
+/// Fusion kinds present in a kernel's side table.
+fn fusion_kinds(kernel: &Kernel, into: &mut HashSet<&'static str>) -> usize {
+    let dec = kernel.decoded();
+    for pc in 0..dec.len() {
+        match dec.fused(pc) {
+            Some(Fusion::CmpBranch) => {
+                into.insert("cmp+branch");
+            }
+            Some(Fusion::MulAdd) => {
+                into.insert("mul+add");
+            }
+            Some(Fusion::LdCvt) => {
+                into.insert("ld+cvt");
+            }
+            None => {}
+        }
+    }
+    dec.fusion_count()
+}
+
+/// Every registry launch replayed with fusion on and off: identical
+/// trace digests, stats and final memory images.
+#[test]
+fn registry_fusion_on_off_equivalent() {
+    let mut on_wl = registry::all_workloads(11);
+    let mut off_wl = registry::all_workloads(11);
+    let mut fused_total = 0usize;
+    let mut kinds = HashSet::new();
+
+    for (wa, wb) in on_wl.iter_mut().zip(off_wl.iter_mut()) {
+        let name = wa.meta().name;
+        let mut da = simd_device(true);
+        let mut db = simd_device(false);
+        let specs_a = wa.setup(&mut da, Scale::Tiny).expect("setup fusion-on");
+        let specs_b = wb.setup(&mut db, Scale::Tiny).expect("setup fusion-off");
+
+        for (la, lb) in specs_a.iter().zip(specs_b.iter()) {
+            fused_total += fusion_kinds(&la.kernel, &mut kinds);
+            let mut ha = TraceHasher::new();
+            let mut hb = TraceHasher::new();
+            let sa = da
+                .launch_observed(&la.kernel, &la.config, &la.args, &mut ha)
+                .expect("fusion-on launch");
+            let sb = db
+                .launch_observed(&lb.kernel, &lb.config, &lb.args, &mut hb)
+                .expect("fusion-off launch");
+            assert_eq!(sa, sb, "{name}/{}: launch stats", la.label);
+            assert_eq!(
+                ha.digest(),
+                hb.digest(),
+                "{name}/{}: trace digest",
+                la.label
+            );
+        }
+
+        assert_eq!(da.global_image(), db.global_image(), "{name}: memory image");
+        wa.verify(&da).expect("fusion-on verify");
+        wb.verify(&db).expect("fusion-off verify");
+    }
+
+    assert!(
+        fused_total > 0,
+        "registry kernels produced no fused pairs — fusion detection is dead"
+    );
+}
+
+/// Generated kernels replayed with fusion on and off; the generator
+/// deliberately emits fusable idioms (`mul;add`, `ld;cvt`, `cmp;bra`),
+/// so all three kinds must occur across the sweep.
+#[test]
+fn generated_fusion_on_off_equivalent_and_all_kinds_occur() {
+    let mut kinds = HashSet::new();
+    let mut fused_total = 0usize;
+
+    for seed in 0..96u64 {
+        let gk = kgen::generate_seeded(seed).expect("kernel generation");
+        fused_total += fusion_kinds(&gk.kernel, &mut kinds);
+
+        let mut da = simd_device(true);
+        let mut db = simd_device(false);
+        let args_a = gk.alloc_args(&mut da);
+        let args_b = gk.alloc_args(&mut db);
+        let mut ha = TraceHasher::new();
+        let mut hb = TraceHasher::new();
+        let sa = da
+            .launch_observed(&gk.kernel, &gk.config, &args_a.args, &mut ha)
+            .expect("fusion-on launch");
+        let sb = db
+            .launch_observed(&gk.kernel, &gk.config, &args_b.args, &mut hb)
+            .expect("fusion-off launch");
+        assert_eq!(sa, sb, "seed {seed}: launch stats");
+        assert_eq!(ha.digest(), hb.digest(), "seed {seed}: trace digest");
+        assert_eq!(
+            da.global_image(),
+            db.global_image(),
+            "seed {seed}: memory image"
+        );
+    }
+
+    assert!(fused_total > 50, "only {fused_total} fused pairs in sweep");
+    for kind in ["cmp+branch", "mul+add", "ld+cvt"] {
+        assert!(kinds.contains(kind), "no {kind} fusion in generated sweep");
+    }
+}
+
+/// Fusion must also be invisible to the scalar reference backend: the
+/// scalar engine ignores the fusion table entirely, so a scalar device
+/// with fusion "enabled" still matches one with it disabled.
+#[test]
+fn scalar_backend_ignores_fusion_flag() {
+    for seed in [3u64, 17, 42] {
+        let gk = kgen::generate_seeded(seed).expect("kernel generation");
+        let mut da = Device::with_backend(BackendKind::Scalar);
+        da.set_fusion(true);
+        let mut db = Device::with_backend(BackendKind::Scalar);
+        db.set_fusion(false);
+        let args_a = gk.alloc_args(&mut da);
+        let args_b = gk.alloc_args(&mut db);
+        let mut ha = TraceHasher::new();
+        let mut hb = TraceHasher::new();
+        let sa = da
+            .launch_observed(&gk.kernel, &gk.config, &args_a.args, &mut ha)
+            .expect("launch");
+        let sb = db
+            .launch_observed(&gk.kernel, &gk.config, &args_b.args, &mut hb)
+            .expect("launch");
+        assert_eq!(sa, sb, "seed {seed}: launch stats");
+        assert_eq!(ha.digest(), hb.digest(), "seed {seed}: trace digest");
+        assert_eq!(da.global_image(), db.global_image(), "seed {seed}: memory");
+    }
+}
