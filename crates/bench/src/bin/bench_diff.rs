@@ -8,11 +8,19 @@
 //!     results/bench_baseline_small.json BENCH_run.json
 //! ```
 //!
+//! `--attribute` drills a regression down: it ranks the per-kernel
+//! wall-median deltas (bench schema v2 reports carry per-kernel
+//! rollups) and annotates each with the µop class whose lane-µop count
+//! moved the most, so the offending kernel and instruction mix change
+//! are named in the top row.
+//!
 //! Exit status: 0 = no regressions, 1 = regression found (suppressed by
 //! `--warn-only`), 2 = usage or read error.
 
 use gwc_bench::cli::{reject_value, take_count, take_ratio, unknown_opt, ArgStream, Token};
-use gwc_bench::perf::{diff_reports, render_diff, report_backend, DiffConfig};
+use gwc_bench::perf::{
+    attribute_reports, diff_reports, render_attribution, render_diff, report_backend, DiffConfig,
+};
 use gwc_obs::json::Json;
 
 const USAGE: &str = "\
@@ -27,6 +35,8 @@ options:
   --min-ns N         noise floor: baseline medians below N ns never
                      regress (default 1000000 = 1ms)
   --warn-only        report regressions but exit 0
+  --attribute        drill the diff down to per-kernel wall-median and
+                     µop-class deltas (needs bench schema v2 reports)
   -h, --help         print this help
 ";
 
@@ -48,6 +58,7 @@ fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut cfg = DiffConfig::default();
     let mut warn_only = false;
+    let mut attribute = false;
     let mut args = ArgStream::new(std::env::args().skip(1));
     while let Some(token) = args.next_token() {
         let (flag, inline) = match token {
@@ -61,6 +72,7 @@ fn main() {
             "--tolerance" => take_ratio(&flag, inline, &mut args).map(|t| cfg.tolerance = t),
             "--min-ns" => take_count(&flag, inline, &mut args).map(|n| cfg.min_ns = n as u64),
             "--warn-only" => reject_value(&flag, inline).map(|()| warn_only = true),
+            "--attribute" => reject_value(&flag, inline).map(|()| attribute = true),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -97,6 +109,14 @@ fn main() {
         }
     };
     print!("{}", render_diff(&diff, &cfg));
+    if attribute {
+        // The drill-down needs bench schema v2 rollups; older reports
+        // still diff fine, so a missing section degrades to a note.
+        match attribute_reports(&old, &new) {
+            Ok(rows) => print!("\n{}", render_attribution(&rows)),
+            Err(e) => eprintln!("bench_diff: cannot attribute: {e}"),
+        }
+    }
     let regressions = diff.regressions();
     if regressions.is_empty() {
         eprintln!(

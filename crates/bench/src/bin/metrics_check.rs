@@ -12,8 +12,12 @@
 //! one. `--counter NAME=VALUE` (repeatable) additionally asserts a
 //! counter's exact value — a counter absent from the report counts as 0,
 //! so `--counter cache.misses=0` holds for a fully warm run that never
-//! incremented it. Exits 0 on a valid report, 1 on a bad one, 2 on
-//! usage errors.
+//! incremented it. The name may end in a `*` prefix glob:
+//! `--counter 'cache.*=26'` asserts the *sum* of every counter under
+//! `cache.` and a bare `--counter 'cache.*'` asserts that at least one
+//! such counter exists. `--hist NAME` (repeatable) asserts the named
+//! latency histogram is present. Exits 0 on a valid report, 1 on a bad
+//! one, 2 on usage errors.
 
 use gwc_bench::cli::{take_value, unknown_opt, ArgStream, Token};
 use gwc_obs::report::validate_str_version;
@@ -24,10 +28,15 @@ usage: metrics_check [OPTIONS] FILE.json
 Validates a metrics report written by `regen --metrics`.
 
 options:
-  --schema v1|v2         require this exact schema version (default:
+  --schema v1|v2|v3      require this exact schema version (default:
                          accept any supported version)
   --counter NAME=VALUE   require the named counter to equal VALUE
-                         (repeatable; an absent counter counts as 0)
+                         (repeatable; an absent counter counts as 0).
+                         NAME may end in `*`: the values of all matching
+                         counters are summed; without `=VALUE` the glob
+                         asserts at least one counter matches
+  --hist NAME            require the named latency histogram to be
+                         present (repeatable)
   -h, --help             print this help
 ";
 
@@ -36,23 +45,48 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Value of the named counter in a validated report; absent counters
-/// read as 0 (a counter that was never incremented is never recorded).
-fn counter_value(doc: &gwc_obs::json::Json, name: &str) -> u64 {
+/// Whether a counter/histogram name matches a pattern — an exact name,
+/// or a trailing-`*` prefix glob (`cache.*` matches `cache.hits`).
+fn matches(pattern: &str, name: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => name == pattern,
+    }
+}
+
+/// `(matching counters, their summed value)` for a pattern in a
+/// validated report; counters that were never incremented are never
+/// recorded, so an unmatched exact name reads as `(0, 0)`.
+fn counter_sum(doc: &gwc_obs::json::Json, pattern: &str) -> (usize, u64) {
     doc.get("counters")
         .and_then(|c| c.as_arr())
         .unwrap_or(&[])
         .iter()
-        .find(|row| row.get("name").and_then(|n| n.as_str()) == Some(name))
-        .and_then(|row| row.get("value"))
-        .and_then(|v| v.as_u64())
-        .unwrap_or(0)
+        .filter(|row| {
+            row.get("name")
+                .and_then(|n| n.as_str())
+                .is_some_and(|n| matches(pattern, n))
+        })
+        .fold((0, 0), |(n, sum), row| {
+            let v = row.get("value").and_then(|v| v.as_u64()).unwrap_or(0);
+            (n + 1, sum + v)
+        })
+}
+
+/// Whether the report carries a histogram with exactly this name.
+fn has_hist(doc: &gwc_obs::json::Json, name: &str) -> bool {
+    doc.get("histograms")
+        .and_then(|h| h.as_arr())
+        .unwrap_or(&[])
+        .iter()
+        .any(|row| row.get("name").and_then(|n| n.as_str()) == Some(name))
 }
 
 fn main() {
     let mut path: Option<String> = None;
     let mut pin: Option<u64> = None;
-    let mut counter_asserts: Vec<(String, u64)> = Vec::new();
+    let mut counter_asserts: Vec<(String, Option<u64>)> = Vec::new();
+    let mut hist_asserts: Vec<String> = Vec::new();
     let mut args = ArgStream::new(std::env::args().skip(1));
     while let Some(token) = args.next_token() {
         let (flag, inline) = match token {
@@ -71,21 +105,45 @@ fn main() {
                 pin = Some(match v.as_str() {
                     "v1" | "1" => 1,
                     "v2" | "2" => 2,
-                    _ => usage_error(&format!("--schema: `{v}` is not a known version (v1, v2)")),
+                    "v3" | "3" => 3,
+                    _ => usage_error(&format!(
+                        "--schema: `{v}` is not a known version (v1, v2, v3)"
+                    )),
                 });
             }
             "--counter" => {
                 let v = take_value(&flag, inline, &mut args).unwrap_or_else(|e| usage_error(&e));
-                let Some((name, value)) = v.split_once('=') else {
-                    usage_error(&format!("--counter: `{v}` is not NAME=VALUE"));
-                };
-                let Ok(value) = value.parse::<u64>() else {
-                    usage_error(&format!("--counter: `{value}` is not an unsigned integer"));
+                let (name, value) = match v.split_once('=') {
+                    Some((name, value)) => {
+                        let Ok(value) = value.parse::<u64>() else {
+                            usage_error(&format!(
+                                "--counter: `{value}` is not an unsigned integer"
+                            ));
+                        };
+                        (name, Some(value))
+                    }
+                    // A bare glob is a presence assertion; a bare plain
+                    // name stays an error (its absent-reads-as-0
+                    // semantics would make it vacuously true).
+                    None if v.ends_with('*') => (v.as_str(), None),
+                    None => usage_error(&format!("--counter: `{v}` is not NAME=VALUE")),
                 };
                 if name.is_empty() {
                     usage_error("--counter: empty counter name");
                 }
+                if name.strip_suffix('*').unwrap_or(name).contains('*') {
+                    usage_error(&format!(
+                        "--counter: `{name}`: `*` is only allowed as a trailing glob"
+                    ));
+                }
                 counter_asserts.push((name.to_string(), value));
+            }
+            "--hist" => {
+                let v = take_value(&flag, inline, &mut args).unwrap_or_else(|e| usage_error(&e));
+                if v.is_empty() {
+                    usage_error("--hist: empty histogram name");
+                }
+                hist_asserts.push(v);
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -104,12 +162,25 @@ fn main() {
     match validate_str_version(&text, pin) {
         Ok(doc) => {
             for (name, expected) in &counter_asserts {
-                let actual = counter_value(&doc, name);
-                if actual != *expected {
-                    eprintln!(
-                        "metrics_check: `{path}`: counter `{name}` is {actual}, expected \
-                         {expected}"
-                    );
+                let (matched, actual) = counter_sum(&doc, name);
+                match expected {
+                    Some(expected) if actual != *expected => {
+                        eprintln!(
+                            "metrics_check: `{path}`: counter `{name}` is {actual}, expected \
+                             {expected}"
+                        );
+                        std::process::exit(1);
+                    }
+                    None if matched == 0 => {
+                        eprintln!("metrics_check: `{path}`: no counter matches `{name}`");
+                        std::process::exit(1);
+                    }
+                    _ => {}
+                }
+            }
+            for name in &hist_asserts {
+                if !has_hist(&doc, name) {
+                    eprintln!("metrics_check: `{path}`: histogram `{name}` is absent");
                     std::process::exit(1);
                 }
             }
@@ -118,13 +189,14 @@ fn main() {
                 .get("stages")
                 .and_then(|s| s.as_arr())
                 .map_or(0, |a| a.len());
+            let asserts = counter_asserts.len() + hist_asserts.len();
             println!(
                 "{path}: valid metrics report (schema v{}, {stages} stages{})",
                 version.unwrap_or(0),
-                if counter_asserts.is_empty() {
+                if asserts == 0 {
                     String::new()
                 } else {
-                    format!(", {} counter assertion(s) hold", counter_asserts.len())
+                    format!(", {asserts} assertion(s) hold")
                 }
             );
         }

@@ -19,8 +19,11 @@
 //! span timeline into a bounded ring buffer and writes it as Chrome
 //! trace-event JSON — open it at `https://ui.perfetto.dev` or
 //! `chrome://tracing`. `--trace-summary` prints the top spans to
-//! stderr. The flags combine freely (one tee'd recorder) and none of
-//! them perturbs the experiment output on stdout.
+//! stderr. `--flame PATH` folds the span aggregates into a self-time
+//! tree (see `gwc_obs::selftime`) and writes it in the collapsed-stack
+//! format `flamegraph.pl` and inferno consume. The flags combine
+//! freely (one tee'd recorder) and none of them perturbs the
+//! experiment output on stdout.
 //!
 //! Runs are incremental by default: kernel profiles persist in a
 //! content-addressed cache (`.gwc-cache/`, override with `--cache DIR`)
@@ -60,6 +63,8 @@ options:
   --metrics PATH     write a schema-versioned JSON metrics report to PATH
   --trace PATH       write a Chrome/Perfetto trace-event timeline to PATH
   --trace-summary    print the top spans by total time to stderr
+  --flame PATH       write the folded self-time tree to PATH in the
+                     collapsed-stack format (flamegraph.pl / inferno)
   -h, --help         print this help
 ";
 
@@ -71,6 +76,7 @@ struct Cli {
     metrics: Option<String>,
     trace: Option<String>,
     trace_summary: bool,
+    flame: Option<String>,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -87,6 +93,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         metrics: None,
         trace: None,
         trace_summary: false,
+        flame: None,
     };
     let mut cache_flag = false;
     let mut no_cache_flag = false;
@@ -126,6 +133,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
             "--metrics" => take_value(&flag, inline, &mut args).map(|v| cli.metrics = Some(v)),
             "--trace" => take_value(&flag, inline, &mut args).map(|v| cli.trace = Some(v)),
             "--trace-summary" => reject_value(&flag, inline).map(|()| cli.trace_summary = true),
+            "--flame" => take_value(&flag, inline, &mut args).map(|v| cli.flame = Some(v)),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -156,7 +164,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
 
 fn main() {
     let cli = parse_args(std::env::args().skip(1));
-    let need_metrics = cli.metrics.is_some() || cli.trace_summary;
+    let need_metrics = cli.metrics.is_some() || cli.trace_summary || cli.flame.is_some();
     let metrics_rec = need_metrics.then(|| Arc::new(MetricsRecorder::default()));
     let trace_rec = cli
         .trace
@@ -224,6 +232,17 @@ fn main() {
     let snap = rec.snapshot();
     if cli.trace_summary {
         eprint!("{}", render_summary(&snap, 10));
+    }
+    if let Some(path) = &cli.flame {
+        let tree = gwc_obs::selftime::fold(&snap.spans);
+        if let Err(e) = std::fs::write(path, gwc_obs::selftime::collapsed_stacks(&tree)) {
+            eprintln!("regen: cannot write flame stacks to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "collapsed flame stacks written to {path} ({} node(s))",
+            tree.nodes.len()
+        );
     }
     if let Some(path) = &cli.metrics {
         let report = build_report(

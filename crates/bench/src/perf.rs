@@ -30,14 +30,21 @@ use gwc_obs::metrics::MetricsRecorder;
 
 use crate::experiments::{render_experiments, StudyArtifacts};
 
-/// Version stamped into (and required from) every bench report.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// Version stamped into every freshly written bench report. Bench
+/// schema v2 extends v1 with a `kernels` array — per-kernel launch
+/// counts, launch wall-time summaries, and per-µop-class execution
+/// counters — which is what `bench_diff --attribute` drills into.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Bench schema versions [`validate_bench`] accepts. v1 reports simply
+/// lack the `kernels` section (they diff fine, but can't attribute).
+pub const BENCH_SUPPORTED_VERSIONS: [u64; 2] = [1, 2];
 
 /// The pipeline stages a bench report always carries.
 pub const STAGES: [&str; 3] = ["study", "reduce", "cluster"];
 
-/// One measured iteration: total wall time plus per-stage and
-/// per-experiment span rollups.
+/// One measured iteration: total wall time plus per-stage,
+/// per-experiment, and per-kernel rollups.
 #[derive(Debug, Clone)]
 pub struct BenchSample {
     /// Wall time of the whole iteration (study + fit + render).
@@ -46,6 +53,24 @@ pub struct BenchSample {
     pub stages: Vec<(String, u64)>,
     /// `(experiment id, wall_ns)` for each rendered experiment.
     pub experiments: Vec<(String, u64)>,
+    /// Per-kernel rollups from the iteration's metrics snapshot.
+    pub kernels: Vec<KernelRollup>,
+}
+
+/// One kernel's rollup within a single bench iteration: how often it
+/// launched, how long the launches took, and what it retired.
+#[derive(Debug, Clone)]
+pub struct KernelRollup {
+    /// Kernel name.
+    pub name: String,
+    /// Launches observed this iteration.
+    pub launches: u64,
+    /// Summed launch wall time this iteration.
+    pub wall_ns: u64,
+    /// `(class, warp_uops, lane_uops)` from the execution profile,
+    /// ordered by class name. Empty when profiling was off (a cache-warm
+    /// iteration launches nothing).
+    pub classes: Vec<(String, u64, u64)>,
 }
 
 /// Runs the full pipeline once — study, reduction, clustering, and the
@@ -84,6 +109,26 @@ pub fn measure_iteration(ids: &[&str], threads: usize, cache_dir: Option<&Path>)
             .filter_map(|s| {
                 let id = s.path.strip_prefix("experiment/")?;
                 (!id.contains('/')).then(|| (id.to_string(), s.total_ns))
+            })
+            .collect(),
+        kernels: snap
+            .kernels
+            .iter()
+            .map(|k| KernelRollup {
+                name: k.name.clone(),
+                launches: k.launches,
+                wall_ns: k.totals.wall_ns,
+                classes: snap
+                    .execs
+                    .iter()
+                    .find(|e| e.kernel == k.name)
+                    .map(|e| {
+                        e.classes
+                            .iter()
+                            .map(|c| (c.class.to_string(), c.warp_uops, c.lane_uops))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
             })
             .collect(),
     }
@@ -159,12 +204,31 @@ pub fn build_bench_report(ctx: &BenchContext, samples: &[BenchSample]) -> Json {
     // already deterministic per run).
     let mut stage_series: Vec<(String, Vec<u64>)> = Vec::new();
     let mut exp_series: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut launch_series: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut wall_series: Vec<(String, Vec<u64>)> = Vec::new();
+    // `(kernel, class) -> (warp series, lane series)`.
+    type ClassSeries = Vec<((String, String), (Vec<u64>, Vec<u64>))>;
+    let mut class_series: ClassSeries = Vec::new();
     for sample in samples {
         for (name, ns) in &sample.stages {
             push_series(&mut stage_series, name, *ns);
         }
         for (id, ns) in &sample.experiments {
             push_series(&mut exp_series, id, *ns);
+        }
+        for k in &sample.kernels {
+            push_series(&mut launch_series, &k.name, k.launches);
+            push_series(&mut wall_series, &k.name, k.wall_ns);
+            for (class, warp, lane) in &k.classes {
+                let key = (k.name.clone(), class.clone());
+                match class_series.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, (w, l))) => {
+                        w.push(*warp);
+                        l.push(*lane);
+                    }
+                    None => class_series.push((key, (vec![*warp], vec![*lane]))),
+                }
+            }
         }
     }
     let stages = stage_series
@@ -181,6 +245,36 @@ pub fn build_bench_report(ctx: &BenchContext, samples: &[BenchSample]) -> Json {
             let mut fields = vec![("id".to_string(), Json::Str(id.clone()))];
             fields.extend(summary_fields(summarize(series)));
             Json::Obj(fields)
+        })
+        .collect();
+    let kernels = wall_series
+        .iter()
+        .map(|(name, wall)| {
+            let launches = launch_series
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| summarize(s).median_ns)
+                .unwrap_or(0);
+            let wall = summarize(wall);
+            let classes = class_series
+                .iter()
+                .filter(|((k, _), _)| k == name)
+                .map(|((_, class), (warp, lane))| {
+                    Json::Obj(vec![
+                        ("class".into(), Json::Str(class.clone())),
+                        ("warp_uops".into(), Json::UInt(summarize(warp).median_ns)),
+                        ("lane_uops".into(), Json::UInt(summarize(lane).median_ns)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(name.clone())),
+                ("launches".into(), Json::UInt(launches)),
+                ("wall_min_ns".into(), Json::UInt(wall.min_ns)),
+                ("wall_median_ns".into(), Json::UInt(wall.median_ns)),
+                ("wall_p95_ns".into(), Json::UInt(wall.p95_ns)),
+                ("classes".into(), Json::Arr(classes)),
+            ])
         })
         .collect();
     Json::Obj(vec![
@@ -208,6 +302,7 @@ pub fn build_bench_report(ctx: &BenchContext, samples: &[BenchSample]) -> Json {
         ),
         ("stages".into(), Json::Arr(stages)),
         ("experiments".into(), Json::Arr(experiments)),
+        ("kernels".into(), Json::Arr(kernels)),
     ])
 }
 
@@ -229,9 +324,9 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
         .get("bench_schema_version")
         .and_then(Json::as_u64)
         .ok_or("`bench_schema_version` is missing or not an unsigned integer")?;
-    if version != BENCH_SCHEMA_VERSION {
+    if !BENCH_SUPPORTED_VERSIONS.contains(&version) {
         return Err(format!(
-            "bench_schema_version {version} != supported {BENCH_SCHEMA_VERSION}"
+            "bench_schema_version {version} not in supported {BENCH_SUPPORTED_VERSIONS:?}"
         ));
     }
     for key in ["label", "threads", "warmup", "iters", "experiment_ids"] {
@@ -264,6 +359,36 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
             for field in [id_field, "min_ns", "median_ns", "p95_ns"] {
                 row.get(field)
                     .ok_or_else(|| format!("`{key}[{i}]` is missing `{field}`"))?;
+            }
+        }
+    }
+    if version >= 2 {
+        let rows = doc
+            .get("kernels")
+            .ok_or("missing key `kernels`")?
+            .as_arr()
+            .ok_or("`kernels` is not an array")?;
+        for (i, row) in rows.iter().enumerate() {
+            for field in [
+                "name",
+                "launches",
+                "wall_min_ns",
+                "wall_median_ns",
+                "wall_p95_ns",
+            ] {
+                row.get(field)
+                    .ok_or_else(|| format!("`kernels[{i}]` is missing `{field}`"))?;
+            }
+            let classes = row
+                .get("classes")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("`kernels[{i}].classes` is missing or not an array"))?;
+            for (j, c) in classes.iter().enumerate() {
+                for field in ["class", "warp_uops", "lane_uops"] {
+                    c.get(field).ok_or_else(|| {
+                        format!("`kernels[{i}].classes[{j}]` is missing `{field}`")
+                    })?;
+                }
             }
         }
     }
@@ -432,6 +557,155 @@ pub fn render_diff(diff: &BenchDiff, cfg: &DiffConfig) -> String {
     out
 }
 
+/// One kernel's contribution to a bench delta, as ranked by
+/// `bench_diff --attribute`.
+#[derive(Debug, Clone)]
+pub struct KernelAttribution {
+    /// Kernel name.
+    pub name: String,
+    /// Baseline wall-median (0 when the kernel is new).
+    pub old_wall_ns: u64,
+    /// Candidate wall-median (0 when the kernel disappeared).
+    pub new_wall_ns: u64,
+    /// `new - old`, signed: positive means the kernel got slower.
+    pub delta_ns: i64,
+    /// This kernel's share of the summed positive wall deltas
+    /// (0.0 when nothing got slower, or for kernels that sped up).
+    pub share: f64,
+    /// The µop class whose lane-µop count moved the most (by absolute
+    /// delta, ties broken by name), with its signed delta. `None` when
+    /// neither report carries class counters for the kernel.
+    pub top_class: Option<(String, i64)>,
+}
+
+/// Per-kernel rows of a report keyed by name:
+/// `(wall_median_ns, [(class, lane_uops)])`.
+#[allow(clippy::type_complexity)]
+fn kernel_rows(doc: &Json) -> Option<Vec<(String, u64, Vec<(String, u64)>)>> {
+    let rows = doc.get("kernels")?.as_arr()?;
+    Some(
+        rows.iter()
+            .filter_map(|row| {
+                let name = row.get("name")?.as_str()?.to_string();
+                let wall = row.get("wall_median_ns")?.as_u64()?;
+                let classes = row
+                    .get("classes")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|c| {
+                        Some((
+                            c.get("class")?.as_str()?.to_string(),
+                            c.get("lane_uops")?.as_u64()?,
+                        ))
+                    })
+                    .collect();
+                Some((name, wall, classes))
+            })
+            .collect(),
+    )
+}
+
+/// Drills a bench diff down to per-kernel wall-median deltas annotated
+/// with the µop class that moved the most, ranked slowest-growing
+/// first. This is the `bench_diff --attribute` table.
+///
+/// # Errors
+///
+/// Returns a message when either report predates bench schema v2 and
+/// carries no `kernels` section (the diff itself still works — only the
+/// drill-down needs the rollups).
+pub fn attribute_reports(old: &Json, new: &Json) -> Result<Vec<KernelAttribution>, String> {
+    let old_rows =
+        kernel_rows(old).ok_or("baseline report has no `kernels` section (bench schema v1?)")?;
+    let new_rows =
+        kernel_rows(new).ok_or("candidate report has no `kernels` section (bench schema v1?)")?;
+    let mut names: Vec<&str> = old_rows.iter().map(|(n, _, _)| n.as_str()).collect();
+    for (n, _, _) in &new_rows {
+        if !names.contains(&n.as_str()) {
+            names.push(n);
+        }
+    }
+    let mut rows: Vec<KernelAttribution> = names
+        .iter()
+        .map(|name| {
+            let old_row = old_rows.iter().find(|(n, _, _)| n == name);
+            let new_row = new_rows.iter().find(|(n, _, _)| n == name);
+            let old_wall_ns = old_row.map_or(0, |(_, w, _)| *w);
+            let new_wall_ns = new_row.map_or(0, |(_, w, _)| *w);
+            let empty = Vec::new();
+            let old_classes = old_row.map_or(&empty, |(_, _, c)| c);
+            let new_classes = new_row.map_or(&empty, |(_, _, c)| c);
+            let mut class_names: Vec<&str> = old_classes.iter().map(|(c, _)| c.as_str()).collect();
+            for (c, _) in new_classes {
+                if !class_names.contains(&c.as_str()) {
+                    class_names.push(c);
+                }
+            }
+            class_names.sort_unstable();
+            let top_class = class_names
+                .iter()
+                .map(|class| {
+                    let lanes = |rows: &[(String, u64)]| {
+                        rows.iter().find(|(c, _)| c == class).map_or(0, |(_, l)| *l)
+                    };
+                    let delta = lanes(new_classes) as i64 - lanes(old_classes) as i64;
+                    (class.to_string(), delta)
+                })
+                .max_by_key(|(_, delta)| delta.unsigned_abs())
+                .filter(|(_, delta)| *delta != 0);
+            KernelAttribution {
+                name: name.to_string(),
+                old_wall_ns,
+                new_wall_ns,
+                delta_ns: new_wall_ns as i64 - old_wall_ns as i64,
+                share: 0.0,
+                top_class,
+            }
+        })
+        .collect();
+    let grown: i64 = rows.iter().map(|r| r.delta_ns.max(0)).sum();
+    if grown > 0 {
+        for r in &mut rows {
+            r.share = r.delta_ns.max(0) as f64 / grown as f64;
+        }
+    }
+    rows.sort_by(|a, b| b.delta_ns.cmp(&a.delta_ns).then(a.name.cmp(&b.name)));
+    Ok(rows)
+}
+
+/// Renders the ranked attribution table `bench_diff --attribute`
+/// prints below the diff.
+pub fn render_attribution(rows: &[KernelAttribution]) -> String {
+    use gwc_obs::report::fmt_ns;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "per-kernel attribution (ranked by wall-median delta):\n\
+         {:<24} {:>12} {:>12} {:>12} {:>7}  top µop-class delta",
+        "kernel", "old wall", "new wall", "delta", "share"
+    );
+    for r in rows {
+        let sign = if r.delta_ns < 0 { "-" } else { "+" };
+        let top = match &r.top_class {
+            Some((class, delta)) => format!("{class} {delta:+} lane-µops"),
+            None => "(no class counters)".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>12} {:>12} {:>6.0}%  {top}",
+            r.name,
+            fmt_ns(r.old_wall_ns),
+            fmt_ns(r.new_wall_ns),
+            format!("{sign}{}", fmt_ns(r.delta_ns.unsigned_abs())),
+            r.share * 100.0,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +719,23 @@ mod tests {
                 ("cluster".into(), total / 200),
             ],
             experiments: vec![("e1".into(), total / 50), ("e2".into(), total / 60)],
+            kernels: vec![
+                KernelRollup {
+                    name: "bfs_step".into(),
+                    launches: 4,
+                    wall_ns: study / 2,
+                    classes: vec![
+                        ("int_alu".into(), study / 1000, study / 30),
+                        ("mem_global".into(), study / 2000, study / 100),
+                    ],
+                },
+                KernelRollup {
+                    name: "fft_pass".into(),
+                    launches: 2,
+                    wall_ns: study / 4,
+                    classes: vec![("fp_alu".into(), 100, 3_200)],
+                },
+            ],
         }
     }
 
@@ -493,6 +784,45 @@ mod tests {
             stages[0].get("median_ns").unwrap().as_u64(),
             Some(81_000_000)
         );
+        let kernels = back.get("kernels").unwrap().as_arr().unwrap();
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(kernels[0].get("name").unwrap().as_str(), Some("bfs_step"));
+        assert_eq!(kernels[0].get("launches").unwrap().as_u64(), Some(4));
+        // Median of (80e6/81e6/82e6)/2.
+        assert_eq!(
+            kernels[0].get("wall_median_ns").unwrap().as_u64(),
+            Some(40_500_000)
+        );
+        let classes = kernels[0].get("classes").unwrap().as_arr().unwrap();
+        assert_eq!(classes[0].get("class").unwrap().as_str(), Some("int_alu"));
+        assert_eq!(
+            classes[0].get("lane_uops").unwrap().as_u64(),
+            Some(2_700_000)
+        );
+    }
+
+    #[test]
+    fn v1_reports_without_kernels_still_validate() {
+        let doc = report(1_000_000);
+        let Json::Obj(mut fields) = doc else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "kernels");
+        for f in &mut fields {
+            if f.0 == "bench_schema_version" {
+                f.1 = Json::UInt(1);
+            }
+        }
+        let v1 = Json::Obj(fields.clone());
+        validate_bench(&v1).expect("v1 report without kernels validates");
+        // A v2 report without kernels is malformed.
+        for f in &mut fields {
+            if f.0 == "bench_schema_version" {
+                f.1 = Json::UInt(2);
+            }
+        }
+        let err = validate_bench(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("kernels"), "{err}");
     }
 
     #[test]
@@ -560,6 +890,48 @@ mod tests {
         };
         let diff = diff_reports(&old, &new, &tight).unwrap();
         assert!(!diff.regressions().is_empty());
+    }
+
+    #[test]
+    fn attribution_ranks_the_slowest_growing_kernel_first() {
+        let old = report(1_000_000);
+        let new = report(2_000_000); // every kernel doubled
+        let rows = attribute_reports(&old, &new).expect("both reports carry kernels");
+        assert_eq!(rows.len(), 2);
+        // bfs_step's wall median (study/2) grows twice as much as
+        // fft_pass's (study/4), so it tops the ranking with 2/3 of the
+        // summed growth, attributed to its biggest lane-µop mover.
+        assert_eq!(rows[0].name, "bfs_step");
+        assert_eq!(rows[0].delta_ns, 40_500_000);
+        assert!(
+            (rows[0].share - 2.0 / 3.0).abs() < 1e-9,
+            "{}",
+            rows[0].share
+        );
+        let (class, delta) = rows[0].top_class.clone().expect("class counters present");
+        assert_eq!(class, "int_alu");
+        assert_eq!(delta, 2_700_000);
+        // fft_pass's fp_alu counters are scale-independent: no mover.
+        assert_eq!(rows[1].top_class, None);
+        let table = render_attribution(&rows);
+        assert!(table.contains("bfs_step"), "{table}");
+        assert!(table.contains("int_alu"), "{table}");
+        let bfs_at = table.find("bfs_step").unwrap();
+        assert!(bfs_at < table.find("fft_pass").unwrap(), "{table}");
+    }
+
+    #[test]
+    fn attribution_degrades_gracefully_without_kernel_rollups() {
+        let doc = report(1_000_000);
+        let Json::Obj(mut fields) = doc.clone() else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "kernels");
+        let legacy = Json::Obj(fields);
+        let err = attribute_reports(&legacy, &doc).unwrap_err();
+        assert!(err.contains("baseline") && err.contains("kernels"), "{err}");
+        let err = attribute_reports(&doc, &legacy).unwrap_err();
+        assert!(err.contains("candidate"), "{err}");
     }
 
     #[test]

@@ -162,6 +162,7 @@ fn bench_diff_flags_cross_backend_comparisons() {
             total_ns: 5_000_000,
             stages: STAGES.iter().map(|&s| (s.to_string(), 1_000_000)).collect(),
             experiments: vec![("e1".into(), 1_000_000)],
+            kernels: Vec::new(),
         };
         build_bench_report(&ctx, &[sample])
     };
@@ -192,6 +193,115 @@ fn bench_diff_flags_cross_backend_comparisons() {
     assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
     assert!(
         !stderr_of(&out).contains("different warp engines"),
+        "{}",
+        stderr_of(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_diff_attribute_names_the_offending_kernel_and_uop_class() {
+    use gwc_bench::perf::{build_bench_report, BenchContext, BenchSample, KernelRollup, STAGES};
+
+    let dir = std::env::temp_dir().join(format!("gwc_bench_diff_attr_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    // Fixture: two kernels; the candidate run slows `histogram` down 3x
+    // with a matching burst of atomic lane-µops, while `fft_pass` and
+    // everything else stays put.
+    let report = |histogram_slow: bool| {
+        let (wall, atomics) = if histogram_slow {
+            (9_000_000, 900_000)
+        } else {
+            (3_000_000, 300_000)
+        };
+        let kernels = vec![
+            KernelRollup {
+                name: "histogram".into(),
+                launches: 8,
+                wall_ns: wall,
+                classes: vec![
+                    ("atomic".into(), atomics / 32, atomics),
+                    ("int_alu".into(), 4_000, 128_000),
+                ],
+            },
+            KernelRollup {
+                name: "fft_pass".into(),
+                launches: 4,
+                wall_ns: 2_000_000,
+                classes: vec![("fp_alu".into(), 8_000, 256_000)],
+            },
+        ];
+        let sample = BenchSample {
+            total_ns: 20_000_000 + if histogram_slow { 6_000_000 } else { 0 },
+            stages: STAGES.iter().map(|&s| (s.to_string(), 2_000_000)).collect(),
+            experiments: vec![("e1".into(), 2_000_000)],
+            kernels,
+        };
+        let ctx = BenchContext {
+            label: "attr".into(),
+            backend: "simd".into(),
+            threads: 1,
+            warmup: 0,
+            iters: 1,
+            experiment_ids: vec!["e1".into()],
+        };
+        build_bench_report(&ctx, &[sample])
+    };
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(&old, report(false).render()).expect("write baseline");
+    std::fs::write(&new, report(true).render()).expect("write candidate");
+
+    let out = run(
+        env!("CARGO_BIN_EXE_bench_diff"),
+        &[
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--attribute",
+            "--warn-only",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let mut rows = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("per-kernel attribution"))
+        .skip(2); // section header + column header
+    let top = rows.next().expect("attribution table has a top row");
+    assert!(
+        top.starts_with("histogram") && top.contains("atomic") && top.contains("100%"),
+        "top row must name the slow kernel and its µop class:\n{stdout}"
+    );
+    assert!(
+        rows.next().is_some_and(|r| r.starts_with("fft_pass")),
+        "unchanged kernel ranks below:\n{stdout}"
+    );
+
+    // A v1 baseline (no kernels section) degrades to a note, not a
+    // failure.
+    let doc = report(false);
+    let gwc_obs::json::Json::Obj(mut fields) = doc else {
+        unreachable!()
+    };
+    fields.retain(|(k, _)| k != "kernels");
+    for f in &mut fields {
+        if f.0 == "bench_schema_version" {
+            f.1 = gwc_obs::json::Json::UInt(1);
+        }
+    }
+    std::fs::write(&old, gwc_obs::json::Json::Obj(fields).render()).expect("rewrite baseline");
+    let out = run(
+        env!("CARGO_BIN_EXE_bench_diff"),
+        &[
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--attribute",
+            "--warn-only",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("cannot attribute"),
         "{}",
         stderr_of(&out)
     );
@@ -235,6 +345,20 @@ fn metrics_check_counter_assertions_parse_strictly() {
             "is not an unsigned integer",
         ),
         (vec!["--counter==3", "m.json"], "empty counter name"),
+        (
+            vec!["--counter=cache.*hits=3", "m.json"],
+            "`*` is only allowed as a trailing glob",
+        ),
+        (
+            vec!["--counter=*cache=7", "m.json"],
+            "`*` is only allowed as a trailing glob",
+        ),
+        (vec!["m.json", "--hist"], "--hist needs a value"),
+        (vec!["--hist=", "m.json"], "empty histogram name"),
+        (
+            vec!["--schema", "v9", "m.json"],
+            "not a known version (v1, v2, v3)",
+        ),
     ];
     for (args, want) in cases {
         let out = run(env!("CARGO_BIN_EXE_metrics_check"), &args);

@@ -36,7 +36,7 @@ fn metrics_report_has_stages_pools_and_workloads() {
     for key in REQUIRED_KEYS {
         assert!(doc.get(key).is_some(), "missing required key `{key}`");
     }
-    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(2));
+    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(3));
     assert_eq!(doc.get("threads").unwrap().as_u64(), Some(threads as u64));
 
     // Schema v2: latency histograms with quantile summaries. The launch
@@ -116,7 +116,46 @@ fn metrics_report_has_stages_pools_and_workloads() {
         assert!(w.get("wall_ns").unwrap().as_u64().unwrap() > 0);
     }
 
-    // Kernel launch counters flowed up from the SIMT layer.
+    // Kernel launch counters flowed up from the SIMT layer, wall time
+    // included (schema v3).
     let kernels = doc.get("kernels").unwrap().as_arr().unwrap();
     assert!(!kernels.is_empty(), "kernel launches recorded");
+    assert!(
+        kernels
+            .iter()
+            .any(|k| k.get("wall_ns").unwrap().as_u64().unwrap() > 0),
+        "no kernel carries launch wall time"
+    );
+
+    // Schema v3: the self-time tree folds the span aggregates, and its
+    // exclusive times sum to the top-level inclusive total.
+    let self_time = doc.get("self_time").unwrap().as_arr().unwrap();
+    assert!(!self_time.is_empty(), "self_time tree is empty");
+    let inclusive_roots: u64 = self_time
+        .iter()
+        .filter(|n| n.get("depth").unwrap().as_u64() == Some(0))
+        .map(|n| n.get("inclusive_ns").unwrap().as_u64().unwrap())
+        .sum();
+    let exclusive_sum: u64 = self_time
+        .iter()
+        .map(|n| n.get("exclusive_ns").unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(exclusive_sum, inclusive_roots, "self-time fold invariant");
+
+    // Schema v3: per-kernel execution profiles with µop-class counters
+    // and pc hotspots.
+    let execs = doc.get("exec_profiles").unwrap().as_arr().unwrap();
+    assert!(!execs.is_empty(), "no execution profiles recorded");
+    for e in execs {
+        let classes = e.get("classes").unwrap().as_arr().unwrap();
+        assert!(!classes.is_empty(), "profile without class counters");
+        for c in classes {
+            let warp = c.get("warp_uops").unwrap().as_u64().unwrap();
+            let lane = c.get("lane_uops").unwrap().as_u64().unwrap();
+            assert!(warp > 0, "zero-count class emitted");
+            assert!(lane >= warp, "a warp µop retires at least one lane");
+        }
+        let hotspots = e.get("hotspots").unwrap().as_arr().unwrap();
+        assert!(!hotspots.is_empty(), "profile without hotspots");
+    }
 }

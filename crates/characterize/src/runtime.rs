@@ -115,13 +115,22 @@ pub fn profile_launch_sharded(
     });
 
     let mut total = LaunchStats::default();
+    // Exec profiles merge exactly like the shard observers: elementwise,
+    // in ascending block order (the merge is commutative anyway).
+    let mut exec_total: Option<gwc_simt::profile::ExecProfile> = None;
     {
         let _merge = gwc_obs::span!("shard/merge");
         for result in results {
             let t0 = gwc_obs::enabled().then(std::time::Instant::now);
-            let (shard_dev, shard, stats) = result?;
+            let (mut shard_dev, shard, stats) = result?;
             profiler.merge(shard);
             merge_stats(&mut total, &stats);
+            if let Some(shard_exec) = shard_dev.take_exec_profile() {
+                match &mut exec_total {
+                    Some(t) => t.merge(&shard_exec),
+                    None => exec_total = Some(shard_exec),
+                }
+            }
             device.absorb_writes(&base, &shard_dev);
             if let Some(t0) = t0 {
                 gwc_obs::hist("shard.merge_ns", t0.elapsed().as_nanos() as u64);
@@ -129,9 +138,16 @@ pub fn profile_launch_sharded(
         }
     }
     profiler.on_launch_end(&total);
-    gwc_simt::trace::record_launch(kernel.name(), &total);
-    if let Some(t0) = launch_t0 {
-        gwc_obs::hist("launch.latency_ns", t0.elapsed().as_nanos() as u64);
+    let wall_ns = launch_t0.map(|t0| t0.elapsed().as_nanos() as u64);
+    gwc_simt::trace::record_launch(kernel.name(), &total, wall_ns.unwrap_or(0));
+    if let Some(exec) = &exec_total {
+        gwc_simt::trace::record_exec_profile(kernel, exec);
+    }
+    // Deposit the merged profile (or clear a stale one) so
+    // `take_exec_profile` works the same as after a serial launch.
+    device.store_exec_profile(exec_total);
+    if let Some(ns) = wall_ns {
+        gwc_obs::hist("launch.latency_ns", ns);
     }
     gwc_obs::count("shard.sharded_launches", 1);
     gwc_obs::count("shard.shards", shards as u64);
@@ -225,6 +241,31 @@ mod tests {
                 dev_p.global_image(),
                 "global memory diverged at {threads} threads"
             );
+        }
+    }
+
+    #[test]
+    fn exec_profiles_are_thread_count_invariant() {
+        use gwc_simt::profile::ExecProfile;
+
+        let k = busy_kernel();
+        let config = LaunchConfig::new(24, 64);
+        let mut reference: Option<ExecProfile> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut dev = Device::new();
+            dev.set_exec_profiling(Some(true));
+            let args = setup(&mut dev);
+            characterize_launch_sharded(&mut dev, &k, &config, &args, threads).unwrap();
+            let exec = dev.take_exec_profile().expect("profile collected");
+            let total = exec.total();
+            assert!(total.warp_uops > 0 && total.lane_uops > 0);
+            // Shard merging is elementwise addition, so the merged
+            // profile must be bit-identical no matter how the blocks
+            // were split.
+            match &reference {
+                Some(r) => assert_eq!(r, &exec, "exec profile differs at {threads} threads"),
+                None => reference = Some(exec),
+            }
         }
     }
 

@@ -50,10 +50,13 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod selftime;
 pub mod span;
 pub mod trace;
 
-pub use recorder::{install, recorder, NoopRecorder, Recorder, RecorderGuard, TeeRecorder};
+pub use recorder::{
+    install, recorder, ExecClass, ExecHotspot, NoopRecorder, Recorder, RecorderGuard, TeeRecorder,
+};
 pub use span::SpanGuard;
 pub use trace::TraceRecorder;
 
@@ -87,6 +90,16 @@ pub fn gauge(name: &str, value: f64) {
 pub fn hist(name: &str, value: u64) {
     if let Some(r) = recorder() {
         r.record_hist(name, value);
+    }
+}
+
+/// Reports a launch's execution-cost profile
+/// ([`Recorder::record_exec_profile`]). The slices may borrow from the
+/// caller's stack; one branch when disabled.
+#[inline]
+pub fn exec_profile(kernel: &str, classes: &[ExecClass], hotspots: &[ExecHotspot]) {
+    if let Some(r) = recorder() {
+        r.record_exec_profile(kernel, classes, hotspots);
     }
 }
 

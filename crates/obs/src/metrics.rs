@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use crate::hist::Histogram;
-use crate::recorder::{KernelLaunch, PoolWorker, Recorder};
+use crate::recorder::{ExecClass, ExecHotspot, KernelLaunch, PoolWorker, Recorder};
 
 /// Aggregated statistics of one span path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,6 +54,42 @@ pub struct KernelStat {
     pub totals: KernelLaunch,
 }
 
+/// One µop class's totals within a kernel's execution-cost aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecClassStat {
+    /// Class name (`int_alu`, `fp_alu`, `mem_global`, …).
+    pub class: &'static str,
+    /// Warp-level µops retired in this class, summed over launches.
+    pub warp_uops: u64,
+    /// Active lane-slots summed over those µops.
+    pub lane_uops: u64,
+}
+
+/// One hotspot pc within a kernel's execution-cost aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecHotspotStat {
+    /// Decoded µop index within the kernel.
+    pub pc: u64,
+    /// The µop's class name.
+    pub class: &'static str,
+    /// Warp-level µops retired at this pc, summed over launches.
+    pub warp_uops: u64,
+    /// Active lane-slots summed over those µops.
+    pub lane_uops: u64,
+}
+
+/// One kernel's execution-cost aggregate (snapshot form). Classes are
+/// ordered by name, hotspots by pc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecStat {
+    /// Kernel name.
+    pub kernel: String,
+    /// Per-µop-class totals, summed over the kernel's launches.
+    pub classes: Vec<ExecClassStat>,
+    /// Hotspot pcs, summed over the kernel's launches.
+    pub hotspots: Vec<ExecHotspotStat>,
+}
+
 /// One serial-fallback aggregate (snapshot form).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FallbackStat {
@@ -80,6 +116,15 @@ pub struct MetricsRecorder {
     pools: Mutex<BTreeMap<String, BTreeMap<usize, PoolWorker>>>,
     workloads: Mutex<BTreeMap<String, (u64, u64)>>,
     hists: Mutex<BTreeMap<String, Histogram>>,
+    execs: Mutex<BTreeMap<String, ExecAgg>>,
+}
+
+/// Per-kernel execution-cost aggregation: class totals keyed by class
+/// name, hotspot totals keyed by pc.
+#[derive(Debug, Default)]
+struct ExecAgg {
+    classes: BTreeMap<&'static str, (u64, u64)>,
+    hotspots: BTreeMap<u64, (&'static str, u64, u64)>,
 }
 
 /// A frozen, ordered view of everything a [`MetricsRecorder`] saw.
@@ -104,6 +149,8 @@ pub struct MetricsSnapshot {
     /// kept (not just quantiles) so shard-merge equality is testable
     /// bucket for bucket.
     pub hists: Vec<(String, Histogram)>,
+    /// Per-kernel execution-cost aggregates, ordered by kernel name.
+    pub execs: Vec<ExecStat>,
 }
 
 impl MetricsSnapshot {
@@ -224,6 +271,34 @@ impl MetricsRecorder {
                 .iter()
                 .map(|(name, h)| (name.clone(), h.clone()))
                 .collect(),
+            execs: self
+                .execs
+                .lock()
+                .expect("execs poisoned")
+                .iter()
+                .map(|(kernel, agg)| ExecStat {
+                    kernel: kernel.clone(),
+                    classes: agg
+                        .classes
+                        .iter()
+                        .map(|(&class, &(warp_uops, lane_uops))| ExecClassStat {
+                            class,
+                            warp_uops,
+                            lane_uops,
+                        })
+                        .collect(),
+                    hotspots: agg
+                        .hotspots
+                        .iter()
+                        .map(|(&pc, &(class, warp_uops, lane_uops))| ExecHotspotStat {
+                            pc,
+                            class,
+                            warp_uops,
+                            lane_uops,
+                        })
+                        .collect(),
+                })
+                .collect(),
         }
     }
 }
@@ -257,6 +332,22 @@ impl Recorder for MetricsRecorder {
         totals.blocks += stats.blocks;
         totals.warps += stats.warps;
         totals.barriers += stats.barriers;
+        totals.wall_ns += stats.wall_ns;
+    }
+
+    fn record_exec_profile(&self, kernel: &str, classes: &[ExecClass], hotspots: &[ExecHotspot]) {
+        let mut execs = self.execs.lock().expect("execs poisoned");
+        let agg = execs.entry(kernel.to_string()).or_default();
+        for c in classes {
+            let slot = agg.classes.entry(c.class).or_insert((0, 0));
+            slot.0 += c.warp_uops;
+            slot.1 += c.lane_uops;
+        }
+        for h in hotspots {
+            let slot = agg.hotspots.entry(h.pc).or_insert((h.class, 0, 0));
+            slot.1 += h.warp_uops;
+            slot.2 += h.lane_uops;
+        }
     }
 
     fn record_shard_fallback(&self, kernel: &str, reason: &'static str) {
@@ -361,6 +452,7 @@ mod tests {
             blocks: 2,
             warps: 4,
             barriers: 1,
+            wall_ns: 50,
         };
         rec.record_kernel_launch("k", &s);
         rec.record_kernel_launch("k", &s);
@@ -369,5 +461,44 @@ mod tests {
         assert_eq!(snap.kernels[0].launches, 2);
         assert_eq!(snap.kernels[0].totals.warp_instrs, 20);
         assert_eq!(snap.kernels[0].totals.barriers, 2);
+        assert_eq!(snap.kernels[0].totals.wall_ns, 100);
+    }
+
+    #[test]
+    fn exec_profiles_accumulate_across_launches() {
+        let rec = MetricsRecorder::default();
+        let classes = [
+            ExecClass {
+                class: "fp_alu",
+                warp_uops: 3,
+                lane_uops: 96,
+            },
+            ExecClass {
+                class: "int_alu",
+                warp_uops: 1,
+                lane_uops: 32,
+            },
+        ];
+        let hotspots = [ExecHotspot {
+            pc: 7,
+            class: "fp_alu",
+            warp_uops: 3,
+            lane_uops: 96,
+        }];
+        rec.record_exec_profile("k", &classes, &hotspots);
+        rec.record_exec_profile("k", &classes[..1], &hotspots);
+        let snap = rec.snapshot();
+        assert_eq!(snap.execs.len(), 1);
+        let e = &snap.execs[0];
+        assert_eq!(e.kernel, "k");
+        // Ordered by class name: fp_alu before int_alu.
+        assert_eq!(e.classes[0].class, "fp_alu");
+        assert_eq!(e.classes[0].warp_uops, 6);
+        assert_eq!(e.classes[0].lane_uops, 192);
+        assert_eq!(e.classes[1].class, "int_alu");
+        assert_eq!(e.classes[1].warp_uops, 1);
+        assert_eq!(e.hotspots.len(), 1);
+        assert_eq!(e.hotspots[0].pc, 7);
+        assert_eq!(e.hotspots[0].lane_uops, 192);
     }
 }

@@ -67,6 +67,14 @@ pub trait Recorder: Send + Sync {
     fn record_workload(&self, name: &str, kernels: u64, nanos: u64) {
         let _ = (name, kernels, nanos);
     }
+
+    /// A kernel launch retired with an execution-cost profile: per-µop-
+    /// class retired counts plus the launch's hottest pcs. Reported once
+    /// per launch (after [`Recorder::record_kernel_launch`]), serial or
+    /// sharded. The slices are borrowed from the caller's stack.
+    fn record_exec_profile(&self, kernel: &str, classes: &[ExecClass], hotspots: &[ExecHotspot]) {
+        let _ = (kernel, classes, hotspots);
+    }
 }
 
 /// Per-launch statistics reported by [`Recorder::record_kernel_launch`].
@@ -82,6 +90,35 @@ pub struct KernelLaunch {
     pub warps: u64,
     /// Block-wide barriers released.
     pub barriers: u64,
+    /// Launch wall time (0 when the caller did not time the launch,
+    /// e.g. on the recorder-free path).
+    pub wall_ns: u64,
+}
+
+/// One µop class's retired counts within an execution-cost profile
+/// ([`Recorder::record_exec_profile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecClass {
+    /// Class name (`int_alu`, `fp_alu`, `mem_global`, …).
+    pub class: &'static str,
+    /// Warp-level µops retired in this class.
+    pub warp_uops: u64,
+    /// Active lane-slots summed over those µops.
+    pub lane_uops: u64,
+}
+
+/// One hotspot pc within an execution-cost profile
+/// ([`Recorder::record_exec_profile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecHotspot {
+    /// Decoded µop index within the kernel.
+    pub pc: u64,
+    /// The µop's class name.
+    pub class: &'static str,
+    /// Warp-level µops retired at this pc.
+    pub warp_uops: u64,
+    /// Active lane-slots summed over those µops.
+    pub lane_uops: u64,
 }
 
 /// Per-worker statistics reported by [`Recorder::record_pool_worker`].
@@ -183,6 +220,11 @@ impl Recorder for TeeRecorder {
     fn record_workload(&self, name: &str, kernels: u64, nanos: u64) {
         for s in &self.sinks {
             s.record_workload(name, kernels, nanos);
+        }
+    }
+    fn record_exec_profile(&self, kernel: &str, classes: &[ExecClass], hotspots: &[ExecHotspot]) {
+        for s in &self.sinks {
+            s.record_exec_profile(kernel, classes, hotspots);
         }
     }
 }

@@ -13,15 +13,19 @@ use crate::metrics::MetricsSnapshot;
 
 /// Version stamped into every freshly built report. Schema v2 extends
 /// v1 with a `histograms` array (latency distributions, p50/p90/p99/max
-/// per histogram); [`validate`] still accepts v1 documents, which simply
-/// lack that key.
-pub const SCHEMA_VERSION: u64 = 2;
+/// per histogram); schema v3 adds the execution-cost attribution
+/// sections — `self_time` (the folded span tree, see
+/// [`crate::selftime`]) and `exec_profiles` (per-kernel µop-class
+/// counters and pc hotspots) — and a `wall_ns` column on `kernels`.
+/// [`validate`] still accepts older documents, which simply lack the
+/// newer keys.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Schema versions [`validate`] accepts.
-pub const SUPPORTED_VERSIONS: [u64; 2] = [1, 2];
+pub const SUPPORTED_VERSIONS: [u64; 3] = [1, 2, 3];
 
 /// Required top-level keys of the current schema, in emission order.
-pub const REQUIRED_KEYS: [&str; 13] = [
+pub const REQUIRED_KEYS: [&str; 15] = [
     "schema_version",
     "threads",
     "experiment_ids",
@@ -35,6 +39,8 @@ pub const REQUIRED_KEYS: [&str; 13] = [
     "gauges",
     "histograms",
     "spans",
+    "self_time",
+    "exec_profiles",
 ];
 
 /// Run context the snapshot itself does not know.
@@ -97,6 +103,7 @@ pub fn build_report(snap: &MetricsSnapshot, ctx: &ReportContext) -> Json {
                 ("blocks".into(), Json::UInt(k.totals.blocks)),
                 ("warps".into(), Json::UInt(k.totals.warps)),
                 ("barriers".into(), Json::UInt(k.totals.barriers)),
+                ("wall_ns".into(), Json::UInt(k.totals.wall_ns)),
             ])
         })
         .collect();
@@ -183,6 +190,54 @@ pub fn build_report(snap: &MetricsSnapshot, ctx: &ReportContext) -> Json {
             ])
         })
         .collect();
+    let self_time = crate::selftime::fold(&snap.spans)
+        .nodes
+        .into_iter()
+        .map(|n| {
+            Json::Obj(vec![
+                ("path".into(), Json::Str(n.path)),
+                ("depth".into(), Json::UInt(n.depth as u64)),
+                ("count".into(), Json::UInt(n.count)),
+                ("total_ns".into(), Json::UInt(n.total_ns)),
+                ("inclusive_ns".into(), Json::UInt(n.inclusive_ns)),
+                ("exclusive_ns".into(), Json::UInt(n.exclusive_ns)),
+            ])
+        })
+        .collect();
+    let exec_profiles = snap
+        .execs
+        .iter()
+        .map(|e| {
+            let classes = e
+                .classes
+                .iter()
+                .map(|c| {
+                    Json::Obj(vec![
+                        ("class".into(), Json::Str(c.class.to_string())),
+                        ("warp_uops".into(), Json::UInt(c.warp_uops)),
+                        ("lane_uops".into(), Json::UInt(c.lane_uops)),
+                    ])
+                })
+                .collect();
+            let hotspots = e
+                .hotspots
+                .iter()
+                .map(|h| {
+                    Json::Obj(vec![
+                        ("pc".into(), Json::UInt(h.pc)),
+                        ("class".into(), Json::Str(h.class.to_string())),
+                        ("warp_uops".into(), Json::UInt(h.warp_uops)),
+                        ("lane_uops".into(), Json::UInt(h.lane_uops)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("kernel".into(), Json::Str(e.kernel.clone())),
+                ("classes".into(), Json::Arr(classes)),
+                ("hotspots".into(), Json::Arr(hotspots)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
         ("schema_version".into(), Json::UInt(SCHEMA_VERSION)),
         ("threads".into(), Json::UInt(ctx.threads as u64)),
@@ -205,6 +260,8 @@ pub fn build_report(snap: &MetricsSnapshot, ctx: &ReportContext) -> Json {
         ("gauges".into(), Json::Arr(gauges)),
         ("histograms".into(), Json::Arr(histograms)),
         ("spans".into(), Json::Arr(spans)),
+        ("self_time".into(), Json::Arr(self_time)),
+        ("exec_profiles".into(), Json::Arr(exec_profiles)),
     ])
 }
 
@@ -237,9 +294,10 @@ pub fn validate(doc: &Json) -> Result<(), String> {
 }
 
 /// Validates a parsed report, optionally pinning the schema version
-/// (`metrics_check --schema v1|v2`). With `expected: None`, any
-/// supported version passes; v1 documents are not required to carry the
-/// v2-only `histograms` key.
+/// (`metrics_check --schema v1|v2|v3`). With `expected: None`, any
+/// supported version passes; older documents are not required to carry
+/// newer keys (the v2-only `histograms`, the v3-only `self_time` and
+/// `exec_profiles`).
 ///
 /// # Errors
 ///
@@ -262,6 +320,9 @@ pub fn validate_version(doc: &Json, expected: Option<u64>) -> Result<(), String>
     }
     for key in REQUIRED_KEYS {
         if key == "histograms" && version < 2 {
+            continue;
+        }
+        if matches!(key, "self_time" | "exec_profiles") && version < 3 {
             continue;
         }
         if doc.get(key).is_none() {
@@ -321,6 +382,51 @@ pub fn validate_version(doc: &Json, expected: Option<u64>) -> Result<(), String>
         )?;
     }
     require_records(doc, "spans", &["path", "count", "total_ns"])?;
+    if version >= 3 {
+        require_records(
+            doc,
+            "self_time",
+            &[
+                "path",
+                "depth",
+                "count",
+                "total_ns",
+                "inclusive_ns",
+                "exclusive_ns",
+            ],
+        )?;
+        require_records(doc, "exec_profiles", &["kernel", "classes", "hotspots"])?;
+        for (i, prof) in doc
+            .get("exec_profiles")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
+            let classes = prof
+                .get("classes")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("`exec_profiles[{i}].classes` is not an array"))?;
+            for (j, c) in classes.iter().enumerate() {
+                for field in ["class", "warp_uops", "lane_uops"] {
+                    c.get(field).ok_or_else(|| {
+                        format!("`exec_profiles[{i}].classes[{j}]` is missing `{field}`")
+                    })?;
+                }
+            }
+            let hotspots = prof
+                .get("hotspots")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("`exec_profiles[{i}].hotspots` is not an array"))?;
+            for (j, h) in hotspots.iter().enumerate() {
+                for field in ["pc", "class", "warp_uops", "lane_uops"] {
+                    h.get(field).ok_or_else(|| {
+                        format!("`exec_profiles[{i}].hotspots[{j}]` is missing `{field}`")
+                    })?;
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -394,7 +500,7 @@ pub fn fmt_ns(ns: u64) -> String {
 mod tests {
     use super::*;
     use crate::metrics::MetricsRecorder;
-    use crate::recorder::{KernelLaunch, PoolWorker, Recorder};
+    use crate::recorder::{ExecClass, ExecHotspot, KernelLaunch, PoolWorker, Recorder};
 
     fn sample_snapshot() -> MetricsSnapshot {
         let rec = MetricsRecorder::default();
@@ -411,7 +517,29 @@ mod tests {
                 blocks: 2,
                 warps: 10,
                 barriers: 0,
+                wall_ns: 900,
             },
+        );
+        rec.record_exec_profile(
+            "bfs_step",
+            &[
+                ExecClass {
+                    class: "int_alu",
+                    warp_uops: 6,
+                    lane_uops: 192,
+                },
+                ExecClass {
+                    class: "mem_global",
+                    warp_uops: 4,
+                    lane_uops: 128,
+                },
+            ],
+            &[ExecHotspot {
+                pc: 3,
+                class: "mem_global",
+                warp_uops: 4,
+                lane_uops: 128,
+            }],
         );
         rec.record_shard_fallback("histogram", "global-atomics");
         rec.record_pool_worker(
@@ -448,7 +576,7 @@ mod tests {
     #[test]
     fn report_contains_the_recorded_facts() {
         let doc = build_report(&sample_snapshot(), &sample_ctx());
-        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(3));
         assert_eq!(doc.get("threads").unwrap().as_u64(), Some(4));
         let stages = doc.get("stages").unwrap().as_arr().unwrap();
         assert_eq!(stages.len(), 1, "only `study` is top-level: {stages:?}");
@@ -471,33 +599,71 @@ mod tests {
         assert_eq!(h.get("sum_ns").unwrap().as_u64(), Some(2_600));
         assert_eq!(h.get("max_ns").unwrap().as_u64(), Some(1_900));
         assert!(h.get("p50_ns").unwrap().as_u64().unwrap() >= 700);
+        let k = &doc.get("kernels").unwrap().as_arr().unwrap()[0];
+        assert_eq!(k.get("wall_ns").unwrap().as_u64(), Some(900));
+        let st = doc.get("self_time").unwrap().as_arr().unwrap();
+        let study = st
+            .iter()
+            .find(|n| n.get("path").unwrap().as_str() == Some("study"))
+            .expect("study node in self_time");
+        assert_eq!(study.get("inclusive_ns").unwrap().as_u64(), Some(100));
+        assert_eq!(study.get("exclusive_ns").unwrap().as_u64(), Some(40));
+        let ep = &doc.get("exec_profiles").unwrap().as_arr().unwrap()[0];
+        assert_eq!(ep.get("kernel").unwrap().as_str(), Some("bfs_step"));
+        let classes = ep.get("classes").unwrap().as_arr().unwrap();
+        assert_eq!(classes[0].get("class").unwrap().as_str(), Some("int_alu"));
+        assert_eq!(classes[0].get("lane_uops").unwrap().as_u64(), Some(192));
+        let hs = &ep.get("hotspots").unwrap().as_arr().unwrap()[0];
+        assert_eq!(hs.get("pc").unwrap().as_u64(), Some(3));
+        assert_eq!(hs.get("class").unwrap().as_str(), Some("mem_global"));
     }
 
-    #[test]
-    fn v1_documents_still_validate_unless_pinned_to_v2() {
+    /// Downgrades a freshly built report to `version`, stripping the
+    /// keys that version does not know about.
+    fn downgrade(version: u64) -> Json {
         let doc = build_report(&sample_snapshot(), &sample_ctx());
         let Json::Obj(mut fields) = doc else {
             unreachable!()
         };
-        fields.retain(|(k, _)| k != "histograms");
+        if version < 3 {
+            fields.retain(|(k, _)| k != "self_time" && k != "exec_profiles");
+        }
+        if version < 2 {
+            fields.retain(|(k, _)| k != "histograms");
+        }
         for f in &mut fields {
             if f.0 == "schema_version" {
-                f.1 = Json::UInt(1);
+                f.1 = Json::UInt(version);
             }
         }
-        let v1 = Json::Obj(fields);
-        validate(&v1).expect("v1 report without histograms validates");
+        Json::Obj(fields)
+    }
+
+    #[test]
+    fn older_documents_still_validate_unless_pinned_newer() {
+        let v1 = downgrade(1);
+        validate(&v1).expect("v1 report without newer keys validates");
         validate_version(&v1, Some(1)).expect("pinning v1 accepts it");
         let err = validate_version(&v1, Some(2)).unwrap_err();
         assert!(err.contains("pinned v2"), "{err}");
-        // A v2 document without histograms is malformed.
-        let doc = build_report(&sample_snapshot(), &sample_ctx());
-        let Json::Obj(mut fields) = doc else {
+        let v2 = downgrade(2);
+        validate(&v2).expect("v2 report without v3 keys validates");
+        let err = validate_version(&v2, Some(3)).unwrap_err();
+        assert!(err.contains("pinned v3"), "{err}");
+        // A v2 document without histograms is malformed, as is a v3
+        // document without the attribution sections.
+        let Json::Obj(mut fields) = downgrade(2) else {
             unreachable!()
         };
         fields.retain(|(k, _)| k != "histograms");
         let err = validate(&Json::Obj(fields)).unwrap_err();
         assert!(err.contains("histograms"), "{err}");
+        let Json::Obj(mut fields) = build_report(&sample_snapshot(), &sample_ctx()) else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "self_time");
+        let err = validate(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("self_time"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Self-time trees: folding the aggregated span stream into an
+//! inclusive/exclusive cost tree.
+//!
+//! A [`crate::metrics::MetricsSnapshot`] holds flat span aggregates
+//! keyed by `/`-separated paths (`study`, `study/workload/fft`, …).
+//! [`fold`] turns them into a tree where every node knows its
+//! **inclusive** time (itself plus its descendants) and its
+//! **exclusive** time (inclusive minus the children's inclusive sum —
+//! the time unexplained by any finer-grained span). The fold is what a
+//! flamegraph renders, so [`collapsed_stacks`] exports the tree in the
+//! collapsed-stack format `flamegraph.pl` and inferno consume:
+//! one `seg;seg;seg <value>` line per node with nonzero exclusive time.
+//!
+//! # Semantics
+//!
+//! Span aggregates may overlap in wall time (pool workers record
+//! concurrently), so a parent's recorded total can be *smaller* than
+//! its children's sum. A node's inclusive time is therefore
+//! `max(own_total, Σ children inclusive)` — "total recorded time", a
+//! CPU-time-like quantity — which makes the invariant exact by
+//! construction: **the exclusive times of a subtree always sum to its
+//! root's inclusive time.** Paths with recorded children but no recorded
+//! aggregate of their own (e.g. `study/workload` when only
+//! `study/workload/fft` was recorded) appear as synthetic nodes with
+//! `count == 0` and zero exclusive time.
+
+use crate::metrics::SpanStat;
+
+/// One node of a folded self-time tree, in depth-first pre-order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTimeNode {
+    /// Full `/`-separated span path.
+    pub path: String,
+    /// Depth in the tree (top-level spans are 0).
+    pub depth: usize,
+    /// Times the span itself closed (0 for synthetic intermediate
+    /// nodes).
+    pub count: u64,
+    /// The span's own recorded total (0 for synthetic nodes).
+    pub total_ns: u64,
+    /// Total recorded time of the subtree:
+    /// `max(total_ns, Σ children inclusive_ns)`.
+    pub inclusive_ns: u64,
+    /// `inclusive_ns` minus the children's inclusive sum: time not
+    /// explained by any child span.
+    pub exclusive_ns: u64,
+}
+
+/// A folded span tree in depth-first pre-order (children in path
+/// order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelfTimeTree {
+    /// Nodes in pre-order; a node's children are the following nodes
+    /// with `depth + 1` until the next node at `depth` or less.
+    pub nodes: Vec<SelfTimeNode>,
+}
+
+impl SelfTimeTree {
+    /// Sum of the top-level nodes' inclusive times — equivalently (by
+    /// the fold invariant) the sum of every node's exclusive time.
+    pub fn total_ns(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.depth == 0)
+            .map(|n| n.inclusive_ns)
+            .sum()
+    }
+}
+
+/// Folds flat span aggregates into a [`SelfTimeTree`]. Empty input
+/// returns an empty tree without allocating.
+pub fn fold(spans: &[SpanStat]) -> SelfTimeTree {
+    if spans.is_empty() {
+        return SelfTimeTree::default();
+    }
+    // Materialize every node path: recorded spans plus the synthetic
+    // ancestors their paths imply. Sorted path order IS pre-order,
+    // because a parent path is a strict prefix of its children.
+    let mut nodes: Vec<SelfTimeNode> = Vec::new();
+    let mut push = |path: &str, count: u64, total_ns: u64| {
+        let depth = path.matches('/').count();
+        nodes.push(SelfTimeNode {
+            path: path.to_string(),
+            depth,
+            count,
+            total_ns,
+            inclusive_ns: 0,
+            exclusive_ns: 0,
+        });
+    };
+    let mut known = std::collections::BTreeSet::new();
+    for s in spans {
+        known.insert(s.path.as_str());
+    }
+    for s in spans {
+        // Synthetic ancestors first (sorted order restores position).
+        let mut at = 0;
+        while let Some(i) = s.path[at..].find('/') {
+            let ancestor = &s.path[..at + i];
+            if known.insert(ancestor) {
+                push(ancestor, 0, 0);
+            }
+            at += i + 1;
+        }
+        push(&s.path, s.count, s.total_ns);
+    }
+    nodes.sort_by(|a, b| a.path.cmp(&b.path));
+
+    // Children's inclusive sums, bottom-up: iterate in reverse sorted
+    // order and fold each node into its parent via a depth stack.
+    let mut child_sum = vec![0u64; nodes.len()];
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (depth, index)
+    for i in (0..nodes.len()).rev() {
+        let depth = nodes[i].depth;
+        let mut sum = 0u64;
+        while let Some(&(d, j)) = stack.last() {
+            if d == depth + 1 {
+                sum += child_sum[j].max(nodes[j].total_ns);
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        child_sum[i] = sum;
+        stack.push((depth, i));
+    }
+    for (node, &children) in nodes.iter_mut().zip(&child_sum) {
+        node.inclusive_ns = node.total_ns.max(children);
+        node.exclusive_ns = node.inclusive_ns - children;
+    }
+    SelfTimeTree { nodes }
+}
+
+/// Renders a tree in the collapsed-stack format (`a;b;c <exclusive>`
+/// per node, skipping zero-exclusive nodes). Frame separators inside
+/// span names are replaced (`;` → `:`, space → `_`) so the output stays
+/// parseable by `flamegraph.pl` / inferno.
+pub fn collapsed_stacks(tree: &SelfTimeTree) -> String {
+    let mut out = String::new();
+    for node in &tree.nodes {
+        if node.exclusive_ns == 0 {
+            continue;
+        }
+        for (i, seg) in node.path.split('/').enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            for ch in seg.chars() {
+                out.push(match ch {
+                    ';' => ':',
+                    ' ' => '_',
+                    c => c,
+                });
+            }
+        }
+        out.push(' ');
+        out.push_str(&node.exclusive_ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(path: &str, count: u64, total_ns: u64) -> SpanStat {
+        SpanStat {
+            path: path.to_string(),
+            count,
+            total_ns,
+        }
+    }
+
+    #[test]
+    fn empty_input_folds_to_empty_tree() {
+        let tree = fold(&[]);
+        assert!(tree.nodes.is_empty());
+        assert_eq!(tree.total_ns(), 0);
+        assert_eq!(collapsed_stacks(&tree), "");
+    }
+
+    #[test]
+    fn nested_spans_get_exclusive_times() {
+        let tree = fold(&[
+            span("study", 1, 100),
+            span("study/observe", 4, 60),
+            span("study/merge", 4, 15),
+        ]);
+        let paths: Vec<&str> = tree.nodes.iter().map(|n| n.path.as_str()).collect();
+        assert_eq!(paths, ["study", "study/merge", "study/observe"]);
+        let study = &tree.nodes[0];
+        assert_eq!(study.inclusive_ns, 100);
+        assert_eq!(study.exclusive_ns, 25, "100 - (60 + 15)");
+        assert_eq!(tree.nodes[1].exclusive_ns, 15);
+        assert_eq!(tree.nodes[2].exclusive_ns, 60);
+    }
+
+    #[test]
+    fn synthetic_intermediate_nodes_carry_no_exclusive_time() {
+        let tree = fold(&[span("study", 1, 100), span("study/workload/fft", 2, 40)]);
+        let mid = tree
+            .nodes
+            .iter()
+            .find(|n| n.path == "study/workload")
+            .expect("synthetic node exists");
+        assert_eq!(mid.count, 0);
+        assert_eq!(mid.total_ns, 0);
+        assert_eq!(mid.inclusive_ns, 40);
+        assert_eq!(mid.exclusive_ns, 0);
+        assert_eq!(mid.depth, 1);
+    }
+
+    #[test]
+    fn overlapping_children_grow_the_parent_inclusive() {
+        // Two workers recorded 60ns each under a 70ns parent: the
+        // children overlap in wall time, so inclusive becomes their sum
+        // and the parent has no exclusive share.
+        let tree = fold(&[
+            span("study", 1, 70),
+            span("study/a", 1, 60),
+            span("study/b", 1, 60),
+        ]);
+        assert_eq!(tree.nodes[0].inclusive_ns, 120);
+        assert_eq!(tree.nodes[0].exclusive_ns, 0);
+    }
+
+    #[test]
+    fn exclusive_times_sum_to_inclusive_root() {
+        let spans = [
+            span("cluster", 1, 9),
+            span("reduce", 1, 30),
+            span("study", 1, 1000),
+            span("study/merge", 8, 100),
+            span("study/observe", 8, 700),
+            span("study/observe/decode", 16, 50),
+            span("study/workload/a", 3, 90),
+            span("study/workload/b", 3, 260),
+        ];
+        let tree = fold(&spans);
+        let exclusive_sum: u64 = tree.nodes.iter().map(|n| n.exclusive_ns).sum();
+        assert_eq!(exclusive_sum, tree.total_ns());
+        // Per-subtree too: every node's exclusive plus its children's
+        // inclusive equals its own inclusive.
+        for (i, node) in tree.nodes.iter().enumerate() {
+            let children_sum: u64 = tree
+                .nodes
+                .iter()
+                .skip(i + 1)
+                .take_while(|m| m.depth > node.depth)
+                .filter(|m| m.depth == node.depth + 1)
+                .map(|m| m.inclusive_ns)
+                .sum();
+            assert_eq!(
+                node.exclusive_ns + children_sum,
+                node.inclusive_ns,
+                "invariant broken at {}",
+                node.path
+            );
+        }
+    }
+
+    #[test]
+    fn collapsed_stacks_format() {
+        let tree = fold(&[
+            span("study", 1, 100),
+            span("study/launch/my kernel;v2", 2, 40),
+        ]);
+        let out = collapsed_stacks(&tree);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines, ["study 60", "study;launch;my_kernel:v2 40"]);
+    }
+}

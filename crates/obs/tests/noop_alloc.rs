@@ -33,6 +33,17 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 /// One measurement window: 10_000 passes over every disabled
 /// instrumentation site, returning the allocations observed.
 fn measure_window() -> usize {
+    let classes = [gwc_obs::ExecClass {
+        class: "int_alu",
+        warp_uops: 1,
+        lane_uops: 32,
+    }];
+    let hotspots = [gwc_obs::ExecHotspot {
+        pc: 0,
+        class: "int_alu",
+        warp_uops: 1,
+        lane_uops: 32,
+    }];
     let before = ALLOCS.load(Ordering::SeqCst);
     for i in 0..10_000u64 {
         // Dynamic span names: the format! must not run while disabled.
@@ -40,6 +51,13 @@ fn measure_window() -> usize {
         gwc_obs::count("simt.warp_instrs", i);
         gwc_obs::gauge("pool.busy", i as f64);
         gwc_obs::hist("launch.latency_ns", i);
+        // Exec-profile reporting borrows stack slices either way.
+        gwc_obs::exec_profile("kernel", &classes, &hotspots);
+        gwc_obs::exec_profile("kernel", &[], &[]);
+        // Folding an empty span stream must not allocate either: the
+        // recorder-free pipeline calls this with nothing recorded.
+        let tree = gwc_obs::selftime::fold(&[]);
+        std::hint::black_box(tree);
     }
     ALLOCS.load(Ordering::SeqCst) - before
 }

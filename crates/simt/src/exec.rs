@@ -26,6 +26,7 @@ use crate::decode::{self, DecodedKernel, Src, Uop};
 use crate::instr::{Space, SpecialReg, Value};
 use crate::kernel::Kernel;
 use crate::launch::LaunchConfig;
+use crate::profile::ExecProfile;
 use crate::trace::{
     AccessKind, BranchEvent, InstrEvent, LaunchStats, MemEvent, NullObserver, TraceObserver,
 };
@@ -87,6 +88,12 @@ pub struct Device {
     limits: DeviceLimits,
     backend: BackendKind,
     fusion: bool,
+    /// `Some(_)` forces execution-cost profiling on/off; `None` profiles
+    /// exactly when a recorder is installed.
+    exec_profiling: Option<bool>,
+    /// Exec profile of the most recent launch / block range, if one was
+    /// collected. Taken by [`Device::take_exec_profile`].
+    last_exec: Option<ExecProfile>,
 }
 
 impl Default for Device {
@@ -116,6 +123,8 @@ impl Device {
             limits: DeviceLimits::default(),
             backend,
             fusion: crate::backend::fusion_from_env(),
+            exec_profiling: None,
+            last_exec: None,
         }
     }
 
@@ -143,6 +152,35 @@ impl Device {
     /// Whether the SIMD backend executes the decode-time fusion table.
     pub fn fusion_enabled(&self) -> bool {
         self.fusion
+    }
+
+    /// Overrides execution-cost profiling for subsequent launches:
+    /// `Some(true)` always collects an [`ExecProfile`], `Some(false)`
+    /// never does, and `None` (the default) collects exactly when an
+    /// observability recorder is installed. The override lets tests
+    /// compare profiles across backends without a process-global
+    /// recorder.
+    pub fn set_exec_profiling(&mut self, enable: Option<bool>) {
+        self.exec_profiling = enable;
+    }
+
+    /// Takes the execution-cost profile of the most recent launch or
+    /// block range, if one was collected (see
+    /// [`Device::set_exec_profiling`]).
+    pub fn take_exec_profile(&mut self) -> Option<ExecProfile> {
+        self.last_exec.take()
+    }
+
+    /// Stores `profile` as the most recent launch's execution profile.
+    /// The sharded runtime merges per-shard profiles outside the device
+    /// and deposits the result here, so [`Device::take_exec_profile`]
+    /// behaves identically after serial and sharded launches.
+    pub fn store_exec_profile(&mut self, profile: Option<ExecProfile>) {
+        self.last_exec = profile;
+    }
+
+    fn exec_profiling_active(&self) -> bool {
+        self.exec_profiling.unwrap_or_else(gwc_obs::enabled)
     }
 
     /// Allocates `len` zeroed bytes of global memory (256-byte aligned).
@@ -311,11 +349,17 @@ impl Device {
         let stats =
             self.run_block_range(kernel, config, args, 0, config.blocks() as u32, observer)?;
         drop(span);
-        if let Some(t0) = t0 {
-            gwc_obs::hist("launch.latency_ns", t0.elapsed().as_nanos() as u64);
+        let wall_ns = t0.map(|t0| t0.elapsed().as_nanos() as u64);
+        if let Some(ns) = wall_ns {
+            gwc_obs::hist("launch.latency_ns", ns);
         }
         observer.on_launch_end(&stats);
-        crate::trace::record_launch(kernel.name(), &stats);
+        crate::trace::record_launch(kernel.name(), &stats, wall_ns.unwrap_or(0));
+        if gwc_obs::enabled() {
+            if let Some(profile) = &self.last_exec {
+                crate::trace::record_exec_profile(kernel, profile);
+            }
+        }
         Ok(stats)
     }
 
@@ -369,6 +413,9 @@ impl Device {
             blocks: (last - first) as u64,
             ..LaunchStats::default()
         };
+        let mut exec = self
+            .exec_profiling_active()
+            .then(|| ExecProfile::new(dec.len()));
 
         let mut scratch = LaunchScratch::default();
         let mut ctx = LaunchCtx {
@@ -381,6 +428,7 @@ impl Device {
             budget: self.limits.instr_budget,
             fusion: self.fusion,
             stats: &mut stats,
+            exec: exec.as_mut(),
         };
 
         // One dispatch per launch; each arm monomorphizes the whole
@@ -397,6 +445,9 @@ impl Device {
                 }
             }
         }
+        // Always overwrite: a stale profile from an earlier launch must
+        // not outlive the launch it measured.
+        self.last_exec = exec;
         Ok(stats)
     }
 
@@ -412,6 +463,8 @@ impl Device {
             limits: self.limits,
             backend: self.backend,
             fusion: self.fusion,
+            exec_profiling: self.exec_profiling,
+            last_exec: None,
         }
     }
 
@@ -516,6 +569,8 @@ pub struct LaunchCtx<'a> {
     /// Whether the SIMD backend executes the fusion table.
     pub(crate) fusion: bool,
     pub(crate) stats: &'a mut LaunchStats,
+    /// Execution-cost profile to bump per retired µop, when collecting.
+    pub(crate) exec: Option<&'a mut ExecProfile>,
 }
 
 impl LaunchCtx<'_> {
@@ -628,6 +683,9 @@ impl LaunchCtx<'_> {
             let pc = top.pc;
             let mask = top.mask;
             self.stats.thread_instrs += mask.count_ones() as u64;
+            if let Some(exec) = self.exec.as_deref_mut() {
+                exec.bump(pc, dec.class(pc), mask);
+            }
 
             observer.on_instr(&InstrEvent {
                 block,

@@ -85,6 +85,7 @@ pub mod instr;
 pub mod kernel;
 pub mod kgen;
 pub mod launch;
+pub mod profile;
 mod simd;
 pub mod trace;
 

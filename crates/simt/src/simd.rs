@@ -247,14 +247,19 @@ fn gather_addrs8(
 }
 
 /// Warp-instruction accounting: bump, enforce the budget, add active
-/// lanes — the exact order of the scalar loop's prologue.
+/// lanes, bump the exec profile — the exact order of the scalar loop's
+/// prologue. Fused pairs call this once per half at that half's pc, so
+/// the profile is fusion-invariant like the stats.
 #[inline]
-fn account(ctx: &mut LaunchCtx<'_>, mask: u32) -> Result<(), SimtError> {
+fn account(ctx: &mut LaunchCtx<'_>, pc: usize, mask: u32) -> Result<(), SimtError> {
     ctx.stats.warp_instrs += 1;
     if ctx.stats.warp_instrs > ctx.budget {
         return Err(SimtError::InstructionBudgetExceeded { budget: ctx.budget });
     }
     ctx.stats.thread_instrs += mask.count_ones() as u64;
+    if let Some(exec) = ctx.exec.as_deref_mut() {
+        exec.bump(pc, ctx.dec.class(pc), mask);
+    }
     Ok(())
 }
 
@@ -363,7 +368,7 @@ pub(crate) fn run_warp_simd<O: TraceObserver + ?Sized>(
             }
         }
 
-        account(ctx, mask)?;
+        account(ctx, pc, mask)?;
         observe_instr(dec, observer, block, warp, pc, mask);
 
         match uops[pc] {
@@ -667,7 +672,7 @@ fn exec_cmp_branch<O: TraceObserver + ?Sized>(
         unreachable!("fusion table says CmpBranch");
     };
 
-    account(ctx, mask)?;
+    account(ctx, pc, mask)?;
     observe_instr(dec, observer, block, warp, pc, mask);
     let mut taken = 0u32;
     for g in 0..GROUPS {
@@ -688,7 +693,7 @@ fn exec_cmp_branch<O: TraceObserver + ?Sized>(
 
     // Branch half. A budget fault here leaves the compare committed and
     // the branch unexecuted — exactly the scalar engine's state.
-    account(ctx, mask)?;
+    account(ctx, pc + 1, mask)?;
     let bpc = pc + 1;
     observe_instr(dec, observer, block, warp, bpc, mask);
     observer.on_branch(&BranchEvent {
@@ -734,7 +739,7 @@ fn exec_mul_add<O: TraceObserver + ?Sized>(
         unreachable!("fusion table says MulAdd");
     };
 
-    account(ctx, mask)?;
+    account(ctx, pc, mask)?;
     observe_instr(dec, observer, block, warp, pc, mask);
     let mut prod = [[0u32; 8]; GROUPS];
     for (g, prod) in prod.iter_mut().enumerate() {
@@ -748,7 +753,7 @@ fn exec_mul_add<O: TraceObserver + ?Sized>(
         blend8(warp, t, g, gm, prod);
     }
 
-    account(ctx, mask)?;
+    account(ctx, pc + 1, mask)?;
     observe_instr(dec, observer, block, warp, pc + 1, mask);
     for (g, prod) in prod.iter().enumerate() {
         let gm = group_mask(mask, g);
@@ -805,7 +810,7 @@ fn exec_ld_cvt<O: TraceObserver + ?Sized>(
         unreachable!("fusion table says LdCvt");
     };
 
-    account(ctx, mask)?;
+    account(ctx, pc, mask)?;
     observe_instr(dec, observer, block, warp, pc, mask);
     gather_addrs8(ctx, warp, block, mask, base, offset, addr_buf);
     observer.on_mem(&MemEvent {
@@ -836,7 +841,7 @@ fn exec_ld_cvt<O: TraceObserver + ?Sized>(
         write_reg(warp, t, lane, bits);
     }
 
-    account(ctx, mask)?;
+    account(ctx, pc + 1, mask)?;
     observe_instr(dec, observer, block, warp, pc + 1, mask);
     for g in 0..GROUPS {
         let gm = group_mask(mask, g);

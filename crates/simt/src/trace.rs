@@ -132,7 +132,7 @@ pub struct LaunchStats {
 /// launches; the sharded runtime calls it once per sharded launch with
 /// the summed shard stats, so a launch is reported exactly once either
 /// way.
-pub fn record_launch(kernel: &str, stats: &LaunchStats) {
+pub fn record_launch(kernel: &str, stats: &LaunchStats, wall_ns: u64) {
     let Some(rec) = gwc_obs::recorder() else {
         return;
     };
@@ -144,6 +144,7 @@ pub fn record_launch(kernel: &str, stats: &LaunchStats) {
             blocks: stats.blocks,
             warps: stats.warps,
             barriers: stats.barriers,
+            wall_ns,
         },
     );
     rec.add_counter("simt.launches", 1);
@@ -151,6 +152,52 @@ pub fn record_launch(kernel: &str, stats: &LaunchStats) {
     rec.add_counter("simt.thread_instrs", stats.thread_instrs);
     rec.add_counter("simt.blocks", stats.blocks);
     rec.add_counter("simt.barriers", stats.barriers);
+}
+
+/// Reports one retired launch's execution-cost profile: nonzero µop
+/// classes plus the [`crate::profile::HOTSPOT_TOP_N`] hottest pcs, each
+/// tagged with its class from the kernel's decoded stream. Like
+/// [`record_launch`], a sharded launch reports once with the merged
+/// shard profiles. One branch when no recorder is installed; the
+/// payload slices live on this stack frame.
+pub fn record_exec_profile(kernel: &Kernel, profile: &crate::profile::ExecProfile) {
+    let Some(rec) = gwc_obs::recorder() else {
+        return;
+    };
+    let mut classes = [gwc_obs::ExecClass {
+        class: "",
+        warp_uops: 0,
+        lane_uops: 0,
+    }; crate::profile::N_CLASSES];
+    let mut n = 0;
+    for (class, counts) in profile.classes() {
+        if counts.warp_uops == 0 {
+            continue;
+        }
+        classes[n] = gwc_obs::ExecClass {
+            class: class.name(),
+            warp_uops: counts.warp_uops,
+            lane_uops: counts.lane_uops,
+        };
+        n += 1;
+    }
+    let dec = kernel.decoded();
+    let top = profile.top_pcs(crate::profile::HOTSPOT_TOP_N);
+    let mut hotspots = [gwc_obs::ExecHotspot {
+        pc: 0,
+        class: "",
+        warp_uops: 0,
+        lane_uops: 0,
+    }; crate::profile::HOTSPOT_TOP_N];
+    for (slot, (pc, counts)) in hotspots.iter_mut().zip(&top) {
+        *slot = gwc_obs::ExecHotspot {
+            pc: *pc as u64,
+            class: dec.class(*pc).name(),
+            warp_uops: counts.warp_uops,
+            lane_uops: counts.lane_uops,
+        };
+    }
+    rec.record_exec_profile(kernel.name(), &classes[..n], &hotspots[..top.len()]);
 }
 
 /// Receives execution events during a launch.

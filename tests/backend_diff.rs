@@ -157,6 +157,52 @@ fn registry_profiles_bit_identical_across_backends_and_threads() {
     }
 }
 
+/// Retired-µop accounting must be backend-invariant: with execution
+/// profiling forced on (no recorder needed), both engines must report
+/// identical per-µop-class and per-pc warp/lane counts for every
+/// registry launch. This pins the fusion discipline — a fused SIMD pair
+/// accounts each half at its own pc, exactly like the scalar engine.
+#[test]
+fn exec_profiles_identical_across_backends() {
+    let mut scalar_wl = registry::all_workloads(SEED);
+    let mut simd_wl = registry::all_workloads(SEED);
+    for (ws, wp) in scalar_wl.iter_mut().zip(simd_wl.iter_mut()) {
+        let name = ws.meta().name;
+        let mut ds = Device::with_backend(BackendKind::Scalar);
+        let mut dp = Device::with_backend(BackendKind::Simd);
+        ds.set_exec_profiling(Some(true));
+        dp.set_exec_profiling(Some(true));
+        let specs_s = ws.setup(&mut ds, Scale::Tiny).expect("scalar setup");
+        let specs_p = wp.setup(&mut dp, Scale::Tiny).expect("simd setup");
+
+        for (ls, lp) in specs_s.iter().zip(specs_p.iter()) {
+            let ss = ds
+                .launch(&ls.kernel, &ls.config, &ls.args)
+                .expect("scalar launch");
+            let sp = dp
+                .launch(&lp.kernel, &lp.config, &lp.args)
+                .expect("simd launch");
+            let es = ds.take_exec_profile().expect("scalar profile collected");
+            let ep = dp.take_exec_profile().expect("simd profile collected");
+            assert_eq!(es, ep, "{name}/{}: exec profiles", ls.label);
+            // The profile shadows the launch statistics exactly: both
+            // engines account one µop per retired (fused-half) µop.
+            assert_eq!(ss, sp, "{name}/{}: launch stats", ls.label);
+            let total = es.total();
+            assert_eq!(
+                total.warp_uops, ss.warp_instrs,
+                "{name}/{}: warp µops",
+                ls.label
+            );
+            assert_eq!(
+                total.lane_uops, ss.thread_instrs,
+                "{name}/{}: lane µops",
+                ls.label
+            );
+        }
+    }
+}
+
 /// Runs one generated kernel through both backends and asserts trace,
 /// stats and memory equivalence (or that both fail identically).
 fn diff_generated(seed: u64) {
