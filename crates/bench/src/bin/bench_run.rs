@@ -14,13 +14,26 @@
 //! stage times are exactly the span rollups `regen --metrics` reports
 //! (recorder overhead included — the trajectory tracks what users
 //! measure, not an idealized uninstrumented run).
+//!
+//! `--metrics PATH` and `--trace PATH` additionally tee a run-long
+//! metrics/trace recorder into every iteration (warmup included) and
+//! write the same v4 metrics report / Chrome trace `regen` produces —
+//! rolled up across all iterations rather than one. `--heartbeat
+//! PATH|-` streams live NDJSON telemetry for the whole bench run (see
+//! `gwc_obs::sampler`): multi-minute cold benches no longer run dark.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use gwc_bench::all_experiments;
 use gwc_bench::cli::{reject_value, take_count, take_value, unknown_opt, ArgStream, Token};
-use gwc_bench::perf::{build_bench_report, measure_iteration, validate_bench, BenchContext};
+use gwc_bench::perf::{
+    build_bench_report, measure_iteration_observed, validate_bench, BenchContext,
+};
+use gwc_bench::telemetry::{self, TelemetryFlags};
+use gwc_obs::metrics::MetricsRecorder;
 use gwc_obs::report::fmt_ns;
+use gwc_obs::{Recorder, Sampler, TraceRecorder};
 use gwc_simt::backend::BackendKind;
 
 const USAGE: &str = "\
@@ -43,6 +56,17 @@ options:
                      settable via GWC_BACKEND. Recorded in the report.
   --label NAME       report label (default `run`)
   --out PATH         output path (default BENCH_<label>.json)
+  --metrics PATH     write a v4 JSON metrics report rolled up across all
+                     iterations (warmup included) to PATH
+  --trace PATH       write a Chrome/Perfetto trace-event timeline of the
+                     whole bench run to PATH
+  --heartbeat PATH|-  stream one NDJSON telemetry object per sampler tick
+                     to PATH (`-` = stderr): progress per domain, stage,
+                     throughput, ETA, and stall events
+  --heartbeat-interval-ms N
+                     sampler tick interval (default 500)
+  --stall-after K    fire the stall watchdog after K zero-progress ticks,
+                     0 to disable (default 8)
   -h, --help         print this help
 ";
 
@@ -55,6 +79,9 @@ struct Cli {
     backend: BackendKind,
     label: String,
     out: Option<String>,
+    metrics: Option<String>,
+    trace: Option<String>,
+    telemetry: TelemetryFlags,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -72,6 +99,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         backend: BackendKind::from_env(),
         label: "run".to_string(),
         out: None,
+        metrics: None,
+        trace: None,
+        telemetry: TelemetryFlags::default(),
     };
     let mut cache_flag = false;
     let mut no_cache_flag = false;
@@ -84,6 +114,12 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
             }
             Token::Opt { flag, inline } => (flag, inline),
         };
+        if let Some(result) = cli.telemetry.take_opt(&flag, inline.clone(), &mut args) {
+            if let Err(e) = result {
+                usage_error(&e);
+            }
+            continue;
+        }
         let result = match flag.as_str() {
             "--iters" => take_count(&flag, inline, &mut args).map(|n| cli.iters = n),
             "--warmup" => take_count(&flag, inline, &mut args).map(|n| cli.warmup = n),
@@ -103,6 +139,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
             }),
             "--label" => take_value(&flag, inline, &mut args).map(|v| cli.label = v),
             "--out" => take_value(&flag, inline, &mut args).map(|v| cli.out = Some(v)),
+            "--metrics" => take_value(&flag, inline, &mut args).map(|v| cli.metrics = Some(v)),
+            "--trace" => take_value(&flag, inline, &mut args).map(|v| cli.trace = Some(v)),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -152,13 +190,30 @@ fn main() {
         cli.threads,
         cli.backend.name()
     );
+    // Run-long recorders tee'd into every iteration's fresh install.
+    // A heartbeat gets one too so its ticks carry live counters, not
+    // just progress.
+    let metrics_rec = (cli.metrics.is_some() || cli.telemetry.heartbeat.is_some())
+        .then(|| Arc::new(MetricsRecorder::default()));
+    let trace_rec = cli
+        .trace
+        .is_some()
+        .then(|| Arc::new(TraceRecorder::default()));
+    let mut extra: Vec<Arc<dyn Recorder>> = Vec::new();
+    if let Some(rec) = &metrics_rec {
+        extra.push(rec.clone());
+    }
+    if let Some(rec) = &trace_rec {
+        extra.push(rec.clone());
+    }
+    let sampler = telemetry::maybe_start_sampler("bench_run", &cli.telemetry, metrics_rec.as_ref());
     for w in 0..cli.warmup {
         eprintln!("  warmup {}/{}...", w + 1, cli.warmup);
-        measure_iteration(&ids, cli.threads, cli.cache.as_deref());
+        measure_iteration_observed(&ids, cli.threads, cli.cache.as_deref(), &extra);
     }
     let mut samples = Vec::with_capacity(cli.iters);
     for i in 0..cli.iters {
-        let sample = measure_iteration(&ids, cli.threads, cli.cache.as_deref());
+        let sample = measure_iteration_observed(&ids, cli.threads, cli.cache.as_deref(), &extra);
         eprintln!(
             "  iter {}/{}: total {}",
             i + 1,
@@ -167,6 +222,9 @@ fn main() {
         );
         samples.push(sample);
     }
+    // Final tick (and any stall it detects) must land in the run-long
+    // recorder before its snapshot below.
+    let timeseries = sampler.map(Sampler::stop);
     let report = build_bench_report(
         &BenchContext {
             label: cli.label.clone(),
@@ -187,4 +245,18 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("bench report written to {out}");
+    if let (Some(path), Some(trace_rec)) = (&cli.trace, &trace_rec) {
+        telemetry::finish_trace("bench_run", path, trace_rec, metrics_rec.as_ref());
+    }
+    if let (Some(path), Some(rec)) = (&cli.metrics, &metrics_rec) {
+        telemetry::write_metrics_report(
+            "bench_run",
+            path,
+            &rec.snapshot(),
+            cli.threads,
+            cli.ids.clone(),
+            telemetry::run_meta(cli.backend.name(), cli.cache.as_deref(), &cli.label),
+            timeseries,
+        );
+    }
 }

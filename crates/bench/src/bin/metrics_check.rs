@@ -16,19 +16,27 @@
 //! `--counter 'cache.*=26'` asserts the *sum* of every counter under
 //! `cache.` and a bare `--counter 'cache.*'` asserts that at least one
 //! such counter exists. `--hist NAME` (repeatable) asserts the named
-//! latency histogram is present. Exits 0 on a valid report, 1 on a bad
-//! one, 2 on usage errors.
+//! latency histogram is present; `--hist NAME:p99<=NANOS` (also
+//! `p50`/`p90`/`max`) additionally bounds one of its quantiles —
+//! a latency budget CI can hold. `--heartbeat FILE` validates a
+//! heartbeat NDJSON stream captured with `regen --heartbeat` instead of
+//! (or alongside) a report: every line must parse, sequence numbers
+//! must strictly increase, and progress must be monotone; `--min-ticks
+//! N` requires at least N ticks. Exits 0 when everything is valid, 1 on
+//! a bad report/stream or failed assertion, 2 on usage errors.
 
-use gwc_bench::cli::{take_value, unknown_opt, ArgStream, Token};
+use gwc_bench::cli::{take_count, take_value, unknown_opt, ArgStream, Token};
 use gwc_obs::report::validate_str_version;
+use gwc_obs::sampler::validate_heartbeat;
 
 const USAGE: &str = "\
-usage: metrics_check [OPTIONS] FILE.json
+usage: metrics_check [OPTIONS] [FILE.json]
 
-Validates a metrics report written by `regen --metrics`.
+Validates a metrics report written by `regen --metrics` and/or a
+heartbeat NDJSON stream written by `--heartbeat`.
 
 options:
-  --schema v1|v2|v3      require this exact schema version (default:
+  --schema v1|v2|v3|v4   require this exact schema version (default:
                          accept any supported version)
   --counter NAME=VALUE   require the named counter to equal VALUE
                          (repeatable; an absent counter counts as 0).
@@ -37,6 +45,13 @@ options:
                          asserts at least one counter matches
   --hist NAME            require the named latency histogram to be
                          present (repeatable)
+  --hist NAME:Q<=NANOS   additionally bound quantile Q of that histogram
+                         (Q: p50, p90, p99, or max), e.g.
+                         `--hist 'launch.wall_ns:p99<=5000000'`
+  --heartbeat FILE       validate FILE as a heartbeat NDJSON stream
+                         (makes the positional report optional)
+  --min-ticks N          require at least N heartbeat ticks (default 1;
+                         only with --heartbeat)
   -h, --help             print this help
 ";
 
@@ -73,20 +88,61 @@ fn counter_sum(doc: &gwc_obs::json::Json, pattern: &str) -> (usize, u64) {
         })
 }
 
-/// Whether the report carries a histogram with exactly this name.
-fn has_hist(doc: &gwc_obs::json::Json, name: &str) -> bool {
+/// One `--hist` assertion: histogram presence, optionally bounding a
+/// quantile (`p99<=5000000` keeps `quantile = "p99"`, `bound_ns = 5e6`).
+struct HistAssert {
+    name: String,
+    quantile: Option<(String, u64)>,
+}
+
+/// Parses a `--hist` value: `NAME` or `NAME:Q<=NANOS` with Q one of
+/// p50/p90/p99/max. Only `<=` bounds are supported — a lower bound on a
+/// latency quantile is not a budget anyone checks in CI.
+fn parse_hist_assert(v: &str) -> Result<HistAssert, String> {
+    let Some((name, spec)) = v.split_once(':') else {
+        return Ok(HistAssert {
+            name: v.to_string(),
+            quantile: None,
+        });
+    };
+    if name.is_empty() {
+        return Err("--hist: empty histogram name".into());
+    }
+    let Some((quant, bound)) = spec.split_once("<=") else {
+        return Err(format!(
+            "--hist: `{spec}` is not a quantile bound (expected Q<=NANOS)"
+        ));
+    };
+    if !["p50", "p90", "p99", "max"].contains(&quant) {
+        return Err(format!(
+            "--hist: `{quant}` is not a quantile (expected p50, p90, p99, or max)"
+        ));
+    }
+    let bound_ns: u64 = bound
+        .parse()
+        .map_err(|_| format!("--hist: `{bound}` is not an unsigned nanosecond count"))?;
+    Ok(HistAssert {
+        name: name.to_string(),
+        quantile: Some((quant.to_string(), bound_ns)),
+    })
+}
+
+/// The report row of the histogram with exactly this name, if any.
+fn hist_row<'d>(doc: &'d gwc_obs::json::Json, name: &str) -> Option<&'d gwc_obs::json::Json> {
     doc.get("histograms")
         .and_then(|h| h.as_arr())
         .unwrap_or(&[])
         .iter()
-        .any(|row| row.get("name").and_then(|n| n.as_str()) == Some(name))
+        .find(|row| row.get("name").and_then(|n| n.as_str()) == Some(name))
 }
 
 fn main() {
     let mut path: Option<String> = None;
     let mut pin: Option<u64> = None;
     let mut counter_asserts: Vec<(String, Option<u64>)> = Vec::new();
-    let mut hist_asserts: Vec<String> = Vec::new();
+    let mut hist_asserts: Vec<HistAssert> = Vec::new();
+    let mut heartbeat: Option<String> = None;
+    let mut min_ticks: Option<usize> = None;
     let mut args = ArgStream::new(std::env::args().skip(1));
     while let Some(token) = args.next_token() {
         let (flag, inline) = match token {
@@ -106,8 +162,9 @@ fn main() {
                     "v1" | "1" => 1,
                     "v2" | "2" => 2,
                     "v3" | "3" => 3,
+                    "v4" | "4" => 4,
                     _ => usage_error(&format!(
-                        "--schema: `{v}` is not a known version (v1, v2, v3)"
+                        "--schema: `{v}` is not a known version (v1, v2, v3, v4)"
                     )),
                 });
             }
@@ -143,7 +200,15 @@ fn main() {
                 if v.is_empty() {
                     usage_error("--hist: empty histogram name");
                 }
-                hist_asserts.push(v);
+                hist_asserts.push(parse_hist_assert(&v).unwrap_or_else(|e| usage_error(&e)));
+            }
+            "--heartbeat" => {
+                let v = take_value(&flag, inline, &mut args).unwrap_or_else(|e| usage_error(&e));
+                heartbeat = Some(v);
+            }
+            "--min-ticks" => {
+                let n = take_count(&flag, inline, &mut args).unwrap_or_else(|e| usage_error(&e));
+                min_ticks = Some(n);
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -152,7 +217,39 @@ fn main() {
             _ => usage_error(&unknown_opt(&flag, inline.as_deref())),
         }
     }
+    if min_ticks.is_some() && heartbeat.is_none() {
+        usage_error("--min-ticks requires --heartbeat");
+    }
+    if let Some(hb_path) = &heartbeat {
+        let text = std::fs::read_to_string(hb_path).unwrap_or_else(|e| {
+            eprintln!("metrics_check: cannot read `{hb_path}`: {e}");
+            std::process::exit(2);
+        });
+        let summary = validate_heartbeat(&text).unwrap_or_else(|e| {
+            eprintln!("metrics_check: `{hb_path}` is not a valid heartbeat stream: {e}");
+            std::process::exit(1);
+        });
+        let want = min_ticks.unwrap_or(1);
+        if summary.ticks < want {
+            eprintln!(
+                "metrics_check: `{hb_path}`: {} tick(s), expected at least {want}",
+                summary.ticks
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "{hb_path}: valid heartbeat stream ({} tick(s), {} stall event(s))",
+            summary.ticks, summary.stalls
+        );
+    }
     let Some(path) = path else {
+        if heartbeat.is_some() {
+            // Heartbeat-only invocation: the stream above was the job.
+            if !counter_asserts.is_empty() || !hist_asserts.is_empty() || pin.is_some() {
+                usage_error("--schema/--counter/--hist assertions need a FILE.json to check");
+            }
+            return;
+        }
         usage_error("expected a FILE.json to validate");
     };
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -178,10 +275,27 @@ fn main() {
                     _ => {}
                 }
             }
-            for name in &hist_asserts {
-                if !has_hist(&doc, name) {
+            for assert in &hist_asserts {
+                let name = &assert.name;
+                let Some(row) = hist_row(&doc, name) else {
                     eprintln!("metrics_check: `{path}`: histogram `{name}` is absent");
                     std::process::exit(1);
+                };
+                if let Some((quant, bound_ns)) = &assert.quantile {
+                    let field = format!("{quant}_ns");
+                    let actual = row.get(&field).and_then(|v| v.as_u64()).unwrap_or_else(|| {
+                        eprintln!(
+                            "metrics_check: `{path}`: histogram `{name}` has no `{field}` field"
+                        );
+                        std::process::exit(1);
+                    });
+                    if actual > *bound_ns {
+                        eprintln!(
+                            "metrics_check: `{path}`: histogram `{name}` {quant} is {actual}ns, \
+                             over the {bound_ns}ns bound"
+                        );
+                        std::process::exit(1);
+                    }
                 }
             }
             let version = doc.get("schema_version").and_then(|v| v.as_u64());

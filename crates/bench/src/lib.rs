@@ -13,6 +13,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod perf;
+pub mod telemetry;
 
 pub use experiments::{
     all_experiments, render_experiments, run_experiment, ExperimentSpec, StudyArtifacts,

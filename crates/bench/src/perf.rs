@@ -27,6 +27,7 @@ use std::time::Instant;
 use gwc_core::pipeline::PipelineConfig;
 use gwc_obs::json::Json;
 use gwc_obs::metrics::MetricsRecorder;
+use gwc_obs::{Recorder, TeeRecorder};
 
 use crate::experiments::{render_experiments, StudyArtifacts};
 
@@ -85,8 +86,34 @@ pub struct KernelRollup {
 /// Panics if the study fails (bench runs have nothing to report from a
 /// broken pipeline).
 pub fn measure_iteration(ids: &[&str], threads: usize, cache_dir: Option<&Path>) -> BenchSample {
+    measure_iteration_observed(ids, threads, cache_dir, &[])
+}
+
+/// [`measure_iteration`] with extra recorder sinks tee'd alongside the
+/// iteration's own fresh [`MetricsRecorder`]. `bench_run --metrics` /
+/// `--trace` / `--heartbeat` pass run-long recorders here so live
+/// telemetry and cross-iteration rollups see every iteration, while the
+/// per-iteration recorder (which the returned sample reads) stays
+/// fresh. Empty `extra` is exactly `measure_iteration`.
+///
+/// # Panics
+///
+/// Panics if the study fails, like [`measure_iteration`].
+pub fn measure_iteration_observed(
+    ids: &[&str],
+    threads: usize,
+    cache_dir: Option<&Path>,
+    extra: &[Arc<dyn Recorder>],
+) -> BenchSample {
     let rec = Arc::new(MetricsRecorder::default());
-    let guard = gwc_obs::install(rec.clone());
+    let sink: Arc<dyn Recorder> = if extra.is_empty() {
+        rec.clone()
+    } else {
+        let mut sinks: Vec<Arc<dyn Recorder>> = vec![rec.clone()];
+        sinks.extend(extra.iter().cloned());
+        Arc::new(TeeRecorder::new(sinks))
+    };
+    let guard = gwc_obs::install(sink);
     let t0 = Instant::now();
     let artifacts = StudyArtifacts::collect(&PipelineConfig {
         threads,

@@ -356,8 +356,25 @@ fn metrics_check_counter_assertions_parse_strictly() {
         (vec!["m.json", "--hist"], "--hist needs a value"),
         (vec!["--hist=", "m.json"], "empty histogram name"),
         (
+            vec!["--hist=lat:p98<=5", "m.json"],
+            "`p98` is not a quantile",
+        ),
+        (
+            vec!["--hist=lat:p99<5", "m.json"],
+            "not a quantile bound (expected Q<=NANOS)",
+        ),
+        (
+            vec!["--hist=lat:p99<=fast", "m.json"],
+            "`fast` is not an unsigned nanosecond count",
+        ),
+        (vec!["--hist=:p99<=5", "m.json"], "empty histogram name"),
+        (
+            vec!["--min-ticks", "2", "m.json"],
+            "--min-ticks requires --heartbeat",
+        ),
+        (
             vec!["--schema", "v9", "m.json"],
-            "not a known version (v1, v2, v3)",
+            "not a known version (v1, v2, v3, v4)",
         ),
     ];
     for (args, want) in cases {
@@ -366,6 +383,43 @@ fn metrics_check_counter_assertions_parse_strictly() {
         assert!(
             stderr_of(&out).contains(want),
             "{args:?}: stderr:\n{}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn telemetry_flags_parse_strictly_on_both_run_binaries() {
+    for bin in [env!("CARGO_BIN_EXE_regen"), env!("CARGO_BIN_EXE_bench_run")] {
+        let cases: Vec<(Vec<&str>, &str)> = vec![
+            (vec!["e1", "--heartbeat"], "--heartbeat needs a value"),
+            (
+                vec!["e1", "--heartbeat-interval-ms=0"],
+                "interval must be positive",
+            ),
+            (
+                vec!["e1", "--heartbeat-interval-ms=soon"],
+                "`soon` is not a count",
+            ),
+            (vec!["e1", "--stall-after=-1"], "is not a count"),
+        ];
+        for (args, want) in cases {
+            let out = run(bin, &args);
+            assert_eq!(out.status.code(), Some(2), "{bin} {args:?}");
+            assert!(
+                stderr_of(&out).contains(want),
+                "{bin} {args:?}: stderr:\n{}",
+                stderr_of(&out)
+            );
+        }
+    }
+    // bench_run's report sinks parse like regen's.
+    for flag in ["--metrics", "--trace"] {
+        let out = run(env!("CARGO_BIN_EXE_bench_run"), &["e1", flag]);
+        assert_eq!(out.status.code(), Some(2), "{flag}: {}", stderr_of(&out));
+        assert!(
+            stderr_of(&out).contains(&format!("{flag} needs a value")),
+            "{flag}: {}",
             stderr_of(&out)
         );
     }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use gwc_bench::{render_experiments, StudyArtifacts};
 use gwc_obs::metrics::MetricsRecorder;
-use gwc_obs::report::{build_report, validate_str, ReportContext, REQUIRED_KEYS};
+use gwc_obs::report::{build_report, validate_str, ReportContext, RunMeta, REQUIRED_KEYS};
 
 #[test]
 fn metrics_report_has_stages_pools_and_workloads() {
@@ -29,6 +29,13 @@ fn metrics_report_has_stages_pools_and_workloads() {
         &ReportContext {
             threads,
             experiment_ids: vec!["e1".into(), "e2".into()],
+            meta: RunMeta {
+                timestamp_ms: 1_700_000_000_000,
+                backend: "simd".into(),
+                cache: "off".into(),
+                label: "test".into(),
+            },
+            timeseries: None,
         },
     );
     let rendered = report.render();
@@ -36,8 +43,15 @@ fn metrics_report_has_stages_pools_and_workloads() {
     for key in REQUIRED_KEYS {
         assert!(doc.get(key).is_some(), "missing required key `{key}`");
     }
-    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(3));
+    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(4));
     assert_eq!(doc.get("threads").unwrap().as_u64(), Some(threads as u64));
+
+    // Schema v4: the run-metadata header round-trips.
+    let meta = doc.get("meta").unwrap();
+    assert_eq!(meta.get("backend").unwrap().as_str(), Some("simd"));
+    assert_eq!(meta.get("cache").unwrap().as_str(), Some("off"));
+    assert_eq!(meta.get("label").unwrap().as_str(), Some("test"));
+    assert_eq!(meta.get("threads").unwrap().as_u64(), Some(threads as u64));
 
     // Schema v2: latency histograms with quantile summaries. The launch
     // path and the pool task path must both have reported samples.

@@ -151,6 +151,10 @@ pub fn profile_launch_sharded(
     }
     gwc_obs::count("shard.sharded_launches", 1);
     gwc_obs::count("shard.shards", shards as u64);
+    // The serial/fallback path ticks inside `launch_observed`; the
+    // sharded path owns the launch boundary, so it ticks here — exactly
+    // one launch tick either way.
+    gwc_obs::progress::tick(&gwc_obs::progress::LAUNCHES, 1);
     Ok(total)
 }
 

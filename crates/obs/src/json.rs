@@ -103,6 +103,42 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no trailing newline — one NDJSON
+    /// record (the heartbeat stream's line format).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -420,6 +456,22 @@ mod tests {
         assert_eq!(back, v);
         // u64 precision survives (this value is not representable in f64).
         assert_eq!(back.get("big").unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn compact_render_is_one_line_and_round_trips() {
+        let v = Json::Obj(vec![
+            ("type".into(), Json::Str("tick".into())),
+            ("seq".into(), Json::UInt(3)),
+            (
+                "arr".into(),
+                Json::Arr(vec![Json::Null, Json::Str("a\nb".into())]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let line = v.render_compact();
+        assert!(!line.contains('\n'), "compact output must be one line");
+        assert_eq!(parse(&line).unwrap(), v);
     }
 
     #[test]

@@ -350,6 +350,11 @@ impl Recorder for MetricsRecorder {
         }
     }
 
+    fn record_stall(&self, open_spans: &[String], stalled_ms: u64) {
+        let _ = (open_spans, stalled_ms);
+        self.add_counter("telemetry.stalls", 1);
+    }
+
     fn record_shard_fallback(&self, kernel: &str, reason: &'static str) {
         let mut fallbacks = self.fallbacks.lock().expect("fallbacks poisoned");
         *fallbacks.entry((kernel.to_string(), reason)).or_insert(0) += 1;

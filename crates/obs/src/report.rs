@@ -16,17 +16,21 @@ use crate::metrics::MetricsSnapshot;
 /// per histogram); schema v3 adds the execution-cost attribution
 /// sections — `self_time` (the folded span tree, see
 /// [`crate::selftime`]) and `exec_profiles` (per-kernel µop-class
-/// counters and pc hotspots) — and a `wall_ns` column on `kernels`.
-/// [`validate`] still accepts older documents, which simply lack the
-/// newer keys.
-pub const SCHEMA_VERSION: u64 = 3;
+/// counters and pc hotspots) — and a `wall_ns` column on `kernels`;
+/// schema v4 adds the run-metadata header `meta` (wall-clock timestamp,
+/// threads, backend, cache mode, label) and the live-telemetry
+/// `timeseries` section (the sampler's ring, see [`crate::sampler`] —
+/// an empty object when no sampler ran). [`validate`] still accepts
+/// older documents, which simply lack the newer keys.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Schema versions [`validate`] accepts.
-pub const SUPPORTED_VERSIONS: [u64; 3] = [1, 2, 3];
+pub const SUPPORTED_VERSIONS: [u64; 4] = [1, 2, 3, 4];
 
 /// Required top-level keys of the current schema, in emission order.
-pub const REQUIRED_KEYS: [&str; 15] = [
+pub const REQUIRED_KEYS: [&str; 17] = [
     "schema_version",
+    "meta",
     "threads",
     "experiment_ids",
     "stages",
@@ -41,7 +45,23 @@ pub const REQUIRED_KEYS: [&str; 15] = [
     "spans",
     "self_time",
     "exec_profiles",
+    "timeseries",
 ];
+
+/// Run provenance stamped into the v4 `meta` header: when and how the
+/// report was produced. The snapshot itself records none of this.
+#[derive(Debug, Clone, Default)]
+pub struct RunMeta {
+    /// Wall-clock milliseconds since the UNIX epoch at report time
+    /// (0 when the clock is unavailable — e.g. in deterministic tests).
+    pub timestamp_ms: u64,
+    /// Execution backend name (`scalar`, `simd`).
+    pub backend: String,
+    /// Cache mode: the cache directory, or `off`.
+    pub cache: String,
+    /// Free-form run label (the producing binary or `bench_run --label`).
+    pub label: String,
+}
 
 /// Run context the snapshot itself does not know.
 #[derive(Debug, Clone, Default)]
@@ -50,6 +70,10 @@ pub struct ReportContext {
     pub threads: usize,
     /// Experiment ids the run regenerated, in execution order.
     pub experiment_ids: Vec<String>,
+    /// Run provenance for the `meta` header.
+    pub meta: RunMeta,
+    /// The live-telemetry ring, when a sampler ran.
+    pub timeseries: Option<crate::sampler::TimeSeries>,
 }
 
 /// Builds the metrics report document.
@@ -238,8 +262,20 @@ pub fn build_report(snap: &MetricsSnapshot, ctx: &ReportContext) -> Json {
             ])
         })
         .collect();
+    let meta = Json::Obj(vec![
+        ("timestamp_ms".into(), Json::UInt(ctx.meta.timestamp_ms)),
+        ("threads".into(), Json::UInt(ctx.threads as u64)),
+        ("backend".into(), Json::Str(ctx.meta.backend.clone())),
+        ("cache".into(), Json::Str(ctx.meta.cache.clone())),
+        ("label".into(), Json::Str(ctx.meta.label.clone())),
+    ]);
+    let timeseries = match &ctx.timeseries {
+        Some(series) => series.to_json(),
+        None => Json::Obj(vec![]),
+    };
     Json::Obj(vec![
         ("schema_version".into(), Json::UInt(SCHEMA_VERSION)),
+        ("meta".into(), meta),
         ("threads".into(), Json::UInt(ctx.threads as u64)),
         (
             "experiment_ids".into(),
@@ -262,6 +298,7 @@ pub fn build_report(snap: &MetricsSnapshot, ctx: &ReportContext) -> Json {
         ("spans".into(), Json::Arr(spans)),
         ("self_time".into(), Json::Arr(self_time)),
         ("exec_profiles".into(), Json::Arr(exec_profiles)),
+        ("timeseries".into(), timeseries),
     ])
 }
 
@@ -294,10 +331,10 @@ pub fn validate(doc: &Json) -> Result<(), String> {
 }
 
 /// Validates a parsed report, optionally pinning the schema version
-/// (`metrics_check --schema v1|v2|v3`). With `expected: None`, any
+/// (`metrics_check --schema v1|v2|v3|v4`). With `expected: None`, any
 /// supported version passes; older documents are not required to carry
 /// newer keys (the v2-only `histograms`, the v3-only `self_time` and
-/// `exec_profiles`).
+/// `exec_profiles`, the v4-only `meta` and `timeseries`).
 ///
 /// # Errors
 ///
@@ -323,6 +360,9 @@ pub fn validate_version(doc: &Json, expected: Option<u64>) -> Result<(), String>
             continue;
         }
         if matches!(key, "self_time" | "exec_profiles") && version < 3 {
+            continue;
+        }
+        if matches!(key, "meta" | "timeseries") && version < 4 {
             continue;
         }
         if doc.get(key).is_none() {
@@ -422,6 +462,62 @@ pub fn validate_version(doc: &Json, expected: Option<u64>) -> Result<(), String>
                 for field in ["pc", "class", "warp_uops", "lane_uops"] {
                     h.get(field).ok_or_else(|| {
                         format!("`exec_profiles[{i}].hotspots[{j}]` is missing `{field}`")
+                    })?;
+                }
+            }
+        }
+    }
+    if version >= 4 {
+        let meta = doc.get("meta").ok_or("missing key `meta`")?;
+        for field in ["timestamp_ms", "threads", "backend", "cache", "label"] {
+            meta.get(field)
+                .ok_or_else(|| format!("`meta` is missing `{field}`"))?;
+        }
+        let ts = doc.get("timeseries").ok_or("missing key `timeseries`")?;
+        let Json::Obj(ts_fields) = ts else {
+            return Err("`timeseries` is not an object".into());
+        };
+        // An empty object means no sampler ran; otherwise the full ring
+        // shape is required.
+        if !ts_fields.is_empty() {
+            for field in [
+                "interval_ms",
+                "capacity",
+                "dropped",
+                "stalls",
+                "samples",
+                "stall_events",
+            ] {
+                ts.get(field)
+                    .ok_or_else(|| format!("`timeseries` is missing `{field}`"))?;
+            }
+            let samples = ts
+                .get("samples")
+                .and_then(Json::as_arr)
+                .ok_or("`timeseries.samples` is not an array")?;
+            for (i, s) in samples.iter().enumerate() {
+                for field in [
+                    "seq",
+                    "t_ms",
+                    "epoch",
+                    "stage",
+                    "progress",
+                    "blocks_per_s",
+                    "eta_ms",
+                    "stalls",
+                ] {
+                    s.get(field)
+                        .ok_or_else(|| format!("`timeseries.samples[{i}]` is missing `{field}`"))?;
+                }
+            }
+            let events = ts
+                .get("stall_events")
+                .and_then(Json::as_arr)
+                .ok_or("`timeseries.stall_events` is not an array")?;
+            for (i, e) in events.iter().enumerate() {
+                for field in ["seq", "t_ms", "stalled_ms", "open_spans"] {
+                    e.get(field).ok_or_else(|| {
+                        format!("`timeseries.stall_events[{i}]` is missing `{field}`")
                     })?;
                 }
             }
@@ -562,6 +658,13 @@ mod tests {
         ReportContext {
             threads: 4,
             experiment_ids: vec!["e1".into()],
+            meta: RunMeta {
+                timestamp_ms: 1_700_000_000_000,
+                backend: "simd".into(),
+                cache: "off".into(),
+                label: "test".into(),
+            },
+            timeseries: None,
         }
     }
 
@@ -576,8 +679,22 @@ mod tests {
     #[test]
     fn report_contains_the_recorded_facts() {
         let doc = build_report(&sample_snapshot(), &sample_ctx());
-        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(4));
         assert_eq!(doc.get("threads").unwrap().as_u64(), Some(4));
+        let meta = doc.get("meta").unwrap();
+        assert_eq!(
+            meta.get("timestamp_ms").unwrap().as_u64(),
+            Some(1_700_000_000_000)
+        );
+        assert_eq!(meta.get("threads").unwrap().as_u64(), Some(4));
+        assert_eq!(meta.get("backend").unwrap().as_str(), Some("simd"));
+        assert_eq!(meta.get("cache").unwrap().as_str(), Some("off"));
+        assert_eq!(meta.get("label").unwrap().as_str(), Some("test"));
+        assert_eq!(
+            doc.get("timeseries").unwrap(),
+            &Json::Obj(vec![]),
+            "no sampler ran: the timeseries section is an empty object"
+        );
         let stages = doc.get("stages").unwrap().as_arr().unwrap();
         assert_eq!(stages.len(), 1, "only `study` is top-level: {stages:?}");
         let study = &stages[0];
@@ -625,6 +742,9 @@ mod tests {
         let Json::Obj(mut fields) = doc else {
             unreachable!()
         };
+        if version < 4 {
+            fields.retain(|(k, _)| k != "meta" && k != "timeseries");
+        }
         if version < 3 {
             fields.retain(|(k, _)| k != "self_time" && k != "exec_profiles");
         }
@@ -650,6 +770,10 @@ mod tests {
         validate(&v2).expect("v2 report without v3 keys validates");
         let err = validate_version(&v2, Some(3)).unwrap_err();
         assert!(err.contains("pinned v3"), "{err}");
+        let v3 = downgrade(3);
+        validate(&v3).expect("v3 report without v4 keys validates");
+        let err = validate_version(&v3, Some(4)).unwrap_err();
+        assert!(err.contains("pinned v4"), "{err}");
         // A v2 document without histograms is malformed, as is a v3
         // document without the attribution sections.
         let Json::Obj(mut fields) = downgrade(2) else {
@@ -664,6 +788,58 @@ mod tests {
         fields.retain(|(k, _)| k != "self_time");
         let err = validate(&Json::Obj(fields)).unwrap_err();
         assert!(err.contains("self_time"), "{err}");
+    }
+
+    #[test]
+    fn timeseries_section_validates_and_round_trips() {
+        use crate::progress::ProgressSnapshot;
+        use crate::sampler::{StallEvent, TimeSample, TimeSeries};
+        let mut ctx = sample_ctx();
+        ctx.timeseries = Some(TimeSeries {
+            interval_ms: 100,
+            capacity: 8,
+            samples: vec![TimeSample {
+                seq: 0,
+                t_ms: 0,
+                progress: ProgressSnapshot::default(),
+                blocks_per_s: 12.5,
+                eta_ms: None,
+                stalls: 1,
+                counters: vec![("cache.hits".into(), 3)],
+                hists: Vec::new(),
+            }],
+            dropped: 0,
+            stalls: 1,
+            stall_events: vec![StallEvent {
+                seq: 1,
+                t_ms: 400,
+                stalled_ms: 400,
+                open_spans: vec!["study/workload/bfs".into()],
+            }],
+        });
+        let doc = build_report(&sample_snapshot(), &ctx);
+        let back = validate_str(&doc.render()).expect("valid v4 report with timeseries");
+        assert_eq!(back, doc);
+        let ts = doc.get("timeseries").unwrap();
+        assert_eq!(ts.get("stalls").unwrap().as_u64(), Some(1));
+        let sample = &ts.get("samples").unwrap().as_arr().unwrap()[0];
+        assert_eq!(sample.get("eta_ms").unwrap(), &Json::Null);
+        let ev = &ts.get("stall_events").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            ev.get("open_spans").unwrap().as_arr().unwrap()[0].as_str(),
+            Some("study/workload/bfs")
+        );
+        // A malformed (non-empty but incomplete) section is rejected.
+        let Json::Obj(mut fields) = doc else {
+            unreachable!()
+        };
+        for f in &mut fields {
+            if f.0 == "timeseries" {
+                f.1 = Json::Obj(vec![("interval_ms".into(), Json::UInt(100))]);
+            }
+        }
+        let err = validate(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("timeseries"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Live-sampler behavior against a real installed recorder: ticks are
+//! monotone and reflect progress, and the stall watchdog fires —
+//! naming the open span — when progress freezes.
+//!
+//! These tests install the global recorder; `gwc_obs::install` is
+//! exclusive, so they serialize against each other automatically.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gwc_obs::metrics::MetricsRecorder;
+use gwc_obs::progress::{self, WORKLOADS};
+use gwc_obs::sampler::validate_heartbeat;
+use gwc_obs::{Sampler, SamplerConfig};
+
+/// An in-memory heartbeat sink the test can read back after the
+/// sampler thread (which owns the `Box<dyn Write>`) is joined.
+#[derive(Clone, Default)]
+struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+impl SharedSink {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("heartbeat is UTF-8")
+    }
+}
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn sampler_ticks_are_monotone_and_track_progress() {
+    let rec = Arc::new(MetricsRecorder::default());
+    let guard = gwc_obs::install(rec.clone());
+    let sink = SharedSink::default();
+    let sampler = Sampler::start(SamplerConfig {
+        interval: Duration::from_millis(5),
+        stall_after: 0,
+        metrics: Some(rec.clone()),
+        heartbeat: Some(Box::new(sink.clone())),
+        ..SamplerConfig::default()
+    });
+    progress::declare(&WORKLOADS, 4);
+    for _ in 0..4 {
+        progress::tick(&WORKLOADS, 1);
+        std::thread::sleep(Duration::from_millis(12));
+    }
+    let series = sampler.stop();
+    drop(guard);
+
+    // The validator holds the full monotonicity contract: parseable
+    // lines, strictly increasing seq, non-decreasing time and progress.
+    let summary = validate_heartbeat(&sink.contents()).expect("heartbeat stream validates");
+    assert!(summary.ticks >= 2, "expected >= 2 ticks, got {summary:?}");
+    assert_eq!(summary.stalls, 0, "no stall with the watchdog disabled");
+
+    assert_eq!(series.stalls, 0);
+    assert_eq!(series.dropped, 0);
+    assert!(series.samples.len() >= 2);
+    for pair in series.samples.windows(2) {
+        assert!(pair[1].seq > pair[0].seq, "seq not strictly increasing");
+        assert!(pair[1].t_ms >= pair[0].t_ms, "time went backwards");
+    }
+    let last = series.samples.last().unwrap();
+    assert_eq!(last.progress.workloads.done, 4);
+    assert_eq!(last.progress.workloads.total, 4);
+    assert_eq!(last.eta_ms, Some(0), "all declared work done");
+}
+
+#[test]
+fn watchdog_fires_on_frozen_progress_and_names_the_open_span() {
+    let rec = Arc::new(MetricsRecorder::default());
+    let guard = gwc_obs::install(rec.clone());
+    let sink = SharedSink::default();
+    let interval = Duration::from_millis(10);
+    let sampler = Sampler::start(SamplerConfig {
+        interval,
+        stall_after: 3,
+        metrics: Some(rec.clone()),
+        heartbeat: Some(Box::new(sink.clone())),
+        stall_stderr: false,
+        ..SamplerConfig::default()
+    });
+    // A span opened after the sampler enabled open-tracking, then a
+    // single progress tick followed by silence: the watchdog's target.
+    let _outer = gwc_obs::span!("study");
+    let _inner = gwc_obs::span!("simulate");
+    progress::declare(&WORKLOADS, 2);
+    progress::tick(&WORKLOADS, 1);
+    // stall_after=3 at a 10ms interval fires by ~40ms; 250ms is lots of
+    // slack for a loaded CI box without being a timing assertion.
+    std::thread::sleep(Duration::from_millis(250));
+    let series = sampler.stop();
+    drop(_inner);
+    drop(_outer);
+    drop(guard);
+
+    let summary = validate_heartbeat(&sink.contents()).expect("heartbeat stream validates");
+    assert!(summary.stalls >= 1, "watchdog never fired: {summary:?}");
+
+    assert!(series.stalls >= 1);
+    let event = series.stall_events.first().expect("stall event recorded");
+    assert!(
+        event.open_spans.iter().any(|p| p == "study/simulate"),
+        "stall event does not name the open span: {:?}",
+        event.open_spans
+    );
+    assert!(
+        event.stalled_ms >= 3 * interval.as_millis() as u64,
+        "stall fired before the configured streak: {}ms",
+        event.stalled_ms
+    );
+
+    // The stall is also an ordinary counter in the metrics snapshot.
+    let snap = rec.snapshot();
+    let stalls = snap
+        .counters
+        .iter()
+        .find(|(name, _)| name == "telemetry.stalls")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(stalls >= 1, "telemetry.stalls counter not bumped");
+}

@@ -354,6 +354,7 @@ impl Device {
             gwc_obs::hist("launch.latency_ns", ns);
         }
         observer.on_launch_end(&stats);
+        gwc_obs::progress::tick(&gwc_obs::progress::LAUNCHES, 1);
         crate::trace::record_launch(kernel.name(), &stats, wall_ns.unwrap_or(0));
         if gwc_obs::enabled() {
             if let Some(profile) = &self.last_exec {
@@ -432,16 +433,20 @@ impl Device {
         };
 
         // One dispatch per launch; each arm monomorphizes the whole
-        // block/warp loop over its engine.
+        // block/warp loop over its engine. Block progress is declared
+        // per range, so shard declares sum to the launch's grid.
+        gwc_obs::progress::declare(&gwc_obs::progress::BLOCKS, (last - first) as u64);
         match self.backend {
             BackendKind::Scalar => {
                 for block in first..last {
                     ctx.run_block::<ScalarBackend, O>(block, &mut scratch, observer)?;
+                    gwc_obs::progress::tick(&gwc_obs::progress::BLOCKS, 1);
                 }
             }
             BackendKind::Simd => {
                 for block in first..last {
                     ctx.run_block::<SimdBackend, O>(block, &mut scratch, observer)?;
+                    gwc_obs::progress::tick(&gwc_obs::progress::BLOCKS, 1);
                 }
             }
         }
