@@ -19,7 +19,8 @@
 
 use gwc_bench::cli::{reject_value, take_count, take_ratio, unknown_opt, ArgStream, Token};
 use gwc_bench::perf::{
-    attribute_reports, diff_reports, render_attribution, render_diff, report_backend, DiffConfig,
+    attribute_reports, diff_reports, render_attribution, render_diff, report_backend,
+    report_observer_tier, report_scale, DiffConfig,
 };
 use gwc_obs::json::Json;
 
@@ -100,6 +101,25 @@ fn main() {
             old_backend.unwrap_or("unrecorded"),
             new_backend.unwrap_or("unrecorded"),
         );
+    }
+    // Same story for population scale and observer tier: a standard-vs-
+    // large or exact-vs-sketch diff measures the tier change itself.
+    for (what, old_v, new_v) in [
+        ("study populations", report_scale(&old), report_scale(&new)),
+        (
+            "observer tiers",
+            report_observer_tier(&old),
+            report_observer_tier(&new),
+        ),
+    ] {
+        if old_v != new_v {
+            eprintln!(
+                "bench_diff: note: reports come from different {what} \
+                 (baseline: {}, candidate: {}) — ratios include the tier change",
+                old_v.unwrap_or("unrecorded"),
+                new_v.unwrap_or("unrecorded"),
+            );
+        }
     }
     let diff = match diff_reports(&old, &new, &cfg) {
         Ok(diff) => diff,

@@ -27,14 +27,15 @@ use std::sync::Arc;
 
 use gwc_bench::all_experiments;
 use gwc_bench::cli::{reject_value, take_count, take_value, unknown_opt, ArgStream, Token};
-use gwc_bench::perf::{
-    build_bench_report, measure_iteration_observed, validate_bench, BenchContext,
-};
+use gwc_bench::perf::{build_bench_report, measure_iteration_config, validate_bench, BenchContext};
 use gwc_bench::telemetry::{self, TelemetryFlags};
+use gwc_characterize::ObserverTier;
+use gwc_core::pipeline::PipelineConfig;
 use gwc_obs::metrics::MetricsRecorder;
 use gwc_obs::report::fmt_ns;
 use gwc_obs::{Recorder, Sampler, TraceRecorder};
 use gwc_simt::backend::BackendKind;
+use gwc_workloads::StudyScale;
 
 const USAGE: &str = "\
 usage: bench_run [EXPERIMENT...] [OPTIONS]
@@ -54,6 +55,12 @@ options:
   --no-cache         explicit spelling of the default
   --backend ENGINE   warp engine: `simd` (default) or `scalar`; also
                      settable via GWC_BACKEND. Recorded in the report.
+  --scale TIER       study population: `standard` (default) or `large`
+                     (replicated registry, hundreds of kernel
+                     instances). Recorded in the report.
+  --observer-tier T  observer memory tier: `exact` (default) or
+                     `sketch` (bounded-memory streaming sketches).
+                     Recorded in the report.
   --label NAME       report label (default `run`)
   --out PATH         output path (default BENCH_<label>.json)
   --metrics PATH     write a v4 JSON metrics report rolled up across all
@@ -77,6 +84,8 @@ struct Cli {
     threads: usize,
     cache: Option<PathBuf>,
     backend: BackendKind,
+    scale: StudyScale,
+    tier: ObserverTier,
     label: String,
     out: Option<String>,
     metrics: Option<String>,
@@ -97,6 +106,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         threads: gwc_core::available_threads(),
         cache: None,
         backend: BackendKind::from_env(),
+        scale: StudyScale::Standard,
+        tier: ObserverTier::Exact,
         label: "run".to_string(),
         out: None,
         metrics: None,
@@ -136,6 +147,16 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
                 BackendKind::parse(&v)
                     .map(|kind| cli.backend = kind)
                     .ok_or(format!("unknown backend `{v}` (expected scalar or simd)"))
+            }),
+            "--scale" => take_value(&flag, inline, &mut args).and_then(|v| {
+                StudyScale::parse(&v)
+                    .map(|s| cli.scale = s)
+                    .ok_or(format!("unknown scale `{v}` (expected standard or large)"))
+            }),
+            "--observer-tier" => take_value(&flag, inline, &mut args).and_then(|v| {
+                ObserverTier::parse(&v).map(|t| cli.tier = t).ok_or(format!(
+                    "unknown observer tier `{v}` (expected exact or sketch)"
+                ))
             }),
             "--label" => take_value(&flag, inline, &mut args).map(|v| cli.label = v),
             "--out" => take_value(&flag, inline, &mut args).map(|v| cli.out = Some(v)),
@@ -183,13 +204,23 @@ fn main() {
     gwc_simt::backend::set_default(cli.backend);
     let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
     eprintln!(
-        "bench_run: {} warmup + {} measured iteration(s) of {:?} on {} thread(s), {} backend",
+        "bench_run: {} warmup + {} measured iteration(s) of {:?} on {} thread(s), {} backend, {} \
+         population, {} observers",
         cli.warmup,
         cli.iters,
         ids,
         cli.threads,
-        cli.backend.name()
+        cli.backend.name(),
+        cli.scale.name(),
+        cli.tier.name()
     );
+    let mut pipeline_cfg = PipelineConfig {
+        threads: cli.threads,
+        cache_dir: cli.cache.clone(),
+        ..PipelineConfig::default()
+    };
+    pipeline_cfg.study.study_scale = cli.scale;
+    pipeline_cfg.study.observer_tier = cli.tier;
     // Run-long recorders tee'd into every iteration's fresh install.
     // A heartbeat gets one too so its ticks carry live counters, not
     // just progress.
@@ -209,11 +240,11 @@ fn main() {
     let sampler = telemetry::maybe_start_sampler("bench_run", &cli.telemetry, metrics_rec.as_ref());
     for w in 0..cli.warmup {
         eprintln!("  warmup {}/{}...", w + 1, cli.warmup);
-        measure_iteration_observed(&ids, cli.threads, cli.cache.as_deref(), &extra);
+        measure_iteration_config(&ids, &pipeline_cfg, &extra);
     }
     let mut samples = Vec::with_capacity(cli.iters);
     for i in 0..cli.iters {
-        let sample = measure_iteration_observed(&ids, cli.threads, cli.cache.as_deref(), &extra);
+        let sample = measure_iteration_config(&ids, &pipeline_cfg, &extra);
         eprintln!(
             "  iter {}/{}: total {}",
             i + 1,
@@ -233,6 +264,8 @@ fn main() {
             warmup: cli.warmup,
             iters: cli.iters,
             experiment_ids: cli.ids.clone(),
+            scale: cli.scale.name().to_string(),
+            observer_tier: cli.tier.name().to_string(),
         },
         &samples,
     );

@@ -15,7 +15,10 @@
 //! incremented it. The name may end in a `*` prefix glob:
 //! `--counter 'cache.*=26'` asserts the *sum* of every counter under
 //! `cache.` and a bare `--counter 'cache.*'` asserts that at least one
-//! such counter exists. `--hist NAME` (repeatable) asserts the named
+//! such counter exists. `--counter-min NAME=VALUE` is the lower-bound
+//! variant (counter >= VALUE, same glob semantics) — the right shape for
+//! monotone gauges like `observer.bytes_peak` whose exact value is an
+//! implementation detail. `--hist NAME` (repeatable) asserts the named
 //! latency histogram is present; `--hist NAME:p99<=NANOS` (also
 //! `p50`/`p90`/`max`) additionally bounds one of its quantiles —
 //! a latency budget CI can hold. `--heartbeat FILE` validates a
@@ -43,6 +46,9 @@ options:
                          NAME may end in `*`: the values of all matching
                          counters are summed; without `=VALUE` the glob
                          asserts at least one counter matches
+  --counter-min NAME=VALUE
+                         require the named counter (or glob sum) to be
+                         at least VALUE (repeatable)
   --hist NAME            require the named latency histogram to be
                          present (repeatable)
   --hist NAME:Q<=NANOS   additionally bound quantile Q of that histogram
@@ -140,6 +146,7 @@ fn main() {
     let mut path: Option<String> = None;
     let mut pin: Option<u64> = None;
     let mut counter_asserts: Vec<(String, Option<u64>)> = Vec::new();
+    let mut counter_min_asserts: Vec<(String, u64)> = Vec::new();
     let mut hist_asserts: Vec<HistAssert> = Vec::new();
     let mut heartbeat: Option<String> = None;
     let mut min_ticks: Option<usize> = None;
@@ -195,6 +202,26 @@ fn main() {
                 }
                 counter_asserts.push((name.to_string(), value));
             }
+            "--counter-min" => {
+                let v = take_value(&flag, inline, &mut args).unwrap_or_else(|e| usage_error(&e));
+                let Some((name, value)) = v.split_once('=') else {
+                    usage_error(&format!("--counter-min: `{v}` is not NAME=VALUE"));
+                };
+                let Ok(value) = value.parse::<u64>() else {
+                    usage_error(&format!(
+                        "--counter-min: `{value}` is not an unsigned integer"
+                    ));
+                };
+                if name.is_empty() {
+                    usage_error("--counter-min: empty counter name");
+                }
+                if name.strip_suffix('*').unwrap_or(name).contains('*') {
+                    usage_error(&format!(
+                        "--counter-min: `{name}`: `*` is only allowed as a trailing glob"
+                    ));
+                }
+                counter_min_asserts.push((name.to_string(), value));
+            }
             "--hist" => {
                 let v = take_value(&flag, inline, &mut args).unwrap_or_else(|e| usage_error(&e));
                 if v.is_empty() {
@@ -245,7 +272,11 @@ fn main() {
     let Some(path) = path else {
         if heartbeat.is_some() {
             // Heartbeat-only invocation: the stream above was the job.
-            if !counter_asserts.is_empty() || !hist_asserts.is_empty() || pin.is_some() {
+            if !counter_asserts.is_empty()
+                || !counter_min_asserts.is_empty()
+                || !hist_asserts.is_empty()
+                || pin.is_some()
+            {
                 usage_error("--schema/--counter/--hist assertions need a FILE.json to check");
             }
             return;
@@ -273,6 +304,16 @@ fn main() {
                         std::process::exit(1);
                     }
                     _ => {}
+                }
+            }
+            for (name, floor) in &counter_min_asserts {
+                let (_, actual) = counter_sum(&doc, name);
+                if actual < *floor {
+                    eprintln!(
+                        "metrics_check: `{path}`: counter `{name}` is {actual}, expected at \
+                         least {floor}"
+                    );
+                    std::process::exit(1);
                 }
             }
             for assert in &hist_asserts {
@@ -303,7 +344,7 @@ fn main() {
                 .get("stages")
                 .and_then(|s| s.as_arr())
                 .map_or(0, |a| a.len());
-            let asserts = counter_asserts.len() + hist_asserts.len();
+            let asserts = counter_asserts.len() + counter_min_asserts.len() + hist_asserts.len();
             println!(
                 "{path}: valid metrics report (schema v{}, {stages} stages{})",
                 version.unwrap_or(0),

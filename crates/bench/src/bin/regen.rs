@@ -42,11 +42,13 @@ use std::sync::Arc;
 use gwc_bench::cli::{reject_value, take_count, take_value, unknown_opt, ArgStream, Token};
 use gwc_bench::telemetry::{self, TelemetryFlags};
 use gwc_bench::{all_experiments, render_experiments, StudyArtifacts, EXPERIMENTS};
+use gwc_characterize::ObserverTier;
 use gwc_core::pipeline::PipelineConfig;
 use gwc_obs::metrics::MetricsRecorder;
 use gwc_obs::report::render_summary;
 use gwc_obs::{Recorder, Sampler, TeeRecorder, TraceRecorder};
 use gwc_simt::backend::BackendKind;
+use gwc_workloads::StudyScale;
 
 const USAGE: &str = "\
 usage: regen [EXPERIMENT...] [OPTIONS]
@@ -63,6 +65,12 @@ options:
   --backend ENGINE   warp engine: `simd` (default) or `scalar`; also
                      settable via GWC_BACKEND. Output is bit-identical
                      either way — this switches speed, not results.
+  --scale TIER       study population: `standard` (default, the 26
+                     canonical workloads) or `large` (adds 5 parameter-
+                     swept replicas of each — hundreds of kernels)
+  --observer-tier T  locality/coalescing observer memory tier: `exact`
+                     (default, per-address state, the bit-exact oracle)
+                     or `sketch` (bounded-memory streaming sketches)
   --list             list experiment ids with descriptions and exit
   --metrics PATH     write a schema-versioned JSON metrics report to PATH
   --trace PATH       write a Chrome/Perfetto trace-event timeline to PATH
@@ -84,6 +92,8 @@ struct Cli {
     ids: Vec<String>,
     cache: Option<PathBuf>,
     backend: BackendKind,
+    scale: StudyScale,
+    tier: ObserverTier,
     metrics: Option<String>,
     trace: Option<String>,
     trace_summary: bool,
@@ -102,6 +112,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         ids: Vec::new(),
         cache: Some(PathBuf::from(gwc_characterize::cache::DEFAULT_DIR)),
         backend: BackendKind::from_env(),
+        scale: StudyScale::Standard,
+        tier: ObserverTier::Exact,
         metrics: None,
         trace: None,
         trace_summary: false,
@@ -149,6 +161,16 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
                 }
                 std::process::exit(0);
             }
+            "--scale" => take_value(&flag, inline, &mut args).and_then(|v| {
+                StudyScale::parse(&v)
+                    .map(|s| cli.scale = s)
+                    .ok_or(format!("unknown scale `{v}` (expected standard or large)"))
+            }),
+            "--observer-tier" => take_value(&flag, inline, &mut args).and_then(|v| {
+                ObserverTier::parse(&v).map(|t| cli.tier = t).ok_or(format!(
+                    "unknown observer tier `{v}` (expected exact or sketch)"
+                ))
+            }),
             "--metrics" => take_value(&flag, inline, &mut args).map(|v| cli.metrics = Some(v)),
             "--trace" => take_value(&flag, inline, &mut args).map(|v| cli.trace = Some(v)),
             "--trace-summary" => reject_value(&flag, inline).map(|()| cli.trace_summary = true),
@@ -214,20 +236,25 @@ fn main() {
     gwc_simt::backend::set_default(cli.backend);
     eprintln!(
         "running the characterization study (Small scale, seed 7, {} thread{}, cache {}, {} \
-         backend)...",
+         backend, {} population, {} observers)...",
         cli.threads,
         if cli.threads == 1 { "" } else { "s" },
         match &cli.cache {
             Some(dir) => format!("{}", dir.display()),
             None => "off".to_string(),
         },
-        cli.backend.name()
+        cli.backend.name(),
+        cli.scale.name(),
+        cli.tier.name()
     );
-    let artifacts = StudyArtifacts::collect(&PipelineConfig {
+    let mut config = PipelineConfig {
         threads: cli.threads,
         cache_dir: cli.cache.clone(),
         ..PipelineConfig::default()
-    });
+    };
+    config.study.study_scale = cli.scale;
+    config.study.observer_tier = cli.tier;
+    let artifacts = StudyArtifacts::collect(&config);
     let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
     print!("{}", render_experiments(&ids, &artifacts));
     // Final sampler tick (and the stall counter it may bump) must land

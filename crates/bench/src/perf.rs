@@ -105,6 +105,27 @@ pub fn measure_iteration_observed(
     cache_dir: Option<&Path>,
     extra: &[Arc<dyn Recorder>],
 ) -> BenchSample {
+    let cfg = PipelineConfig {
+        threads,
+        cache_dir: cache_dir.map(Path::to_path_buf),
+        ..PipelineConfig::default()
+    };
+    measure_iteration_config(ids, &cfg, extra)
+}
+
+/// [`measure_iteration_observed`] over an arbitrary pipeline
+/// configuration — how `bench_run --scale` / `--observer-tier` measures
+/// non-canonical tiers without the wrappers growing a parameter per
+/// knob.
+///
+/// # Panics
+///
+/// Panics if the study fails, like [`measure_iteration`].
+pub fn measure_iteration_config(
+    ids: &[&str],
+    cfg: &PipelineConfig,
+    extra: &[Arc<dyn Recorder>],
+) -> BenchSample {
     let rec = Arc::new(MetricsRecorder::default());
     let sink: Arc<dyn Recorder> = if extra.is_empty() {
         rec.clone()
@@ -115,11 +136,7 @@ pub fn measure_iteration_observed(
     };
     let guard = gwc_obs::install(sink);
     let t0 = Instant::now();
-    let artifacts = StudyArtifacts::collect(&PipelineConfig {
-        threads,
-        cache_dir: cache_dir.map(Path::to_path_buf),
-        ..PipelineConfig::default()
-    });
+    let artifacts = StudyArtifacts::collect(cfg);
     std::hint::black_box(render_experiments(ids, &artifacts));
     let total_ns = t0.elapsed().as_nanos() as u64;
     drop(guard);
@@ -214,6 +231,11 @@ pub struct BenchContext {
     pub iters: usize,
     /// Experiment ids rendered each iteration.
     pub experiment_ids: Vec<String>,
+    /// Study population tier (`standard` or `large`). Empty = omitted
+    /// from the report, so baselines predating the field stay valid.
+    pub scale: String,
+    /// Observer memory tier (`exact` or `sketch`). Empty = omitted.
+    pub observer_tier: String,
 }
 
 fn summary_fields(s: Summary) -> Vec<(String, Json)> {
@@ -304,13 +326,21 @@ pub fn build_bench_report(ctx: &BenchContext, samples: &[BenchSample]) -> Json {
             ])
         })
         .collect();
-    Json::Obj(vec![
+    let mut fields = vec![
         (
             "bench_schema_version".into(),
             Json::UInt(BENCH_SCHEMA_VERSION),
         ),
         ("label".into(), Json::Str(ctx.label.clone())),
         ("backend".into(), Json::Str(ctx.backend.clone())),
+    ];
+    if !ctx.scale.is_empty() {
+        fields.push(("scale".into(), Json::Str(ctx.scale.clone())));
+    }
+    if !ctx.observer_tier.is_empty() {
+        fields.push(("observer_tier".into(), Json::Str(ctx.observer_tier.clone())));
+    }
+    fields.extend(vec![
         ("threads".into(), Json::UInt(ctx.threads as u64)),
         ("warmup".into(), Json::UInt(ctx.warmup as u64)),
         ("iters".into(), Json::UInt(ctx.iters as u64)),
@@ -330,7 +360,8 @@ pub fn build_bench_report(ctx: &BenchContext, samples: &[BenchSample]) -> Json {
         ("stages".into(), Json::Arr(stages)),
         ("experiments".into(), Json::Arr(experiments)),
         ("kernels".into(), Json::Arr(kernels)),
-    ])
+    ]);
+    Json::Obj(fields)
 }
 
 fn push_series(series: &mut Vec<(String, Vec<u64>)>, name: &str, value: u64) {
@@ -361,12 +392,15 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
             return Err(format!("missing key `{key}`"));
         }
     }
-    // `backend` arrived after version 1 shipped: optional so committed
-    // baselines predating it stay valid, but when present it must be a
-    // string (`report_backend` treats anything else as absent).
-    if let Some(backend) = doc.get("backend") {
-        if backend.as_str().is_none() {
-            return Err("`backend` is not a string".into());
+    // `backend`, `scale` and `observer_tier` arrived after version 1
+    // shipped: optional so committed baselines predating them stay
+    // valid, but when present each must be a string (the accessors
+    // treat anything else as absent).
+    for key in ["backend", "scale", "observer_tier"] {
+        if let Some(v) = doc.get(key) {
+            if v.as_str().is_none() {
+                return Err(format!("`{key}` is not a string"));
+            }
         }
     }
     let total = doc.get("total").ok_or("missing key `total`")?;
@@ -426,6 +460,16 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
 /// before the backend field shipped return `None`.
 pub fn report_backend(doc: &Json) -> Option<&str> {
     doc.get("backend").and_then(Json::as_str)
+}
+
+/// The study population tier recorded in a bench report, if any.
+pub fn report_scale(doc: &Json) -> Option<&str> {
+    doc.get("scale").and_then(Json::as_str)
+}
+
+/// The observer memory tier recorded in a bench report, if any.
+pub fn report_observer_tier(doc: &Json) -> Option<&str> {
+    doc.get("observer_tier").and_then(Json::as_str)
 }
 
 /// How [`diff_reports`] decides what counts as a regression.
@@ -774,6 +818,8 @@ mod tests {
             warmup: 1,
             iters: 3,
             experiment_ids: vec!["e1".into(), "e2".into()],
+            scale: "standard".into(),
+            observer_tier: "exact".into(),
         };
         let samples: Vec<BenchSample> = (0..3)
             .map(|i| sample(scale * (100 + i), scale * (80 + i)))
@@ -877,6 +923,40 @@ mod tests {
         }
         let err = validate_bench(&Json::Obj(fields)).unwrap_err();
         assert!(err.contains("backend"), "{err}");
+    }
+
+    #[test]
+    fn scale_and_tier_are_stamped_optional_and_typed() {
+        let doc = report(1_000_000);
+        assert_eq!(report_scale(&doc), Some("standard"));
+        assert_eq!(report_observer_tier(&doc), Some("exact"));
+
+        // Baselines from before the fields existed stay valid.
+        let Json::Obj(mut fields) = doc.clone() else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "scale" && k != "observer_tier");
+        let legacy = Json::Obj(fields);
+        validate_bench(&legacy).expect("tier-less report validates");
+        assert_eq!(report_scale(&legacy), None);
+        assert_eq!(report_observer_tier(&legacy), None);
+
+        // A mistyped tier is a schema error.
+        let Json::Obj(mut fields) = doc else {
+            unreachable!()
+        };
+        for (k, v) in &mut fields {
+            if k == "observer_tier" {
+                *v = Json::UInt(1);
+            }
+        }
+        let err = validate_bench(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("observer_tier"), "{err}");
+
+        // An empty-context report omits both fields entirely.
+        let bare = build_bench_report(&BenchContext::default(), &[]);
+        assert_eq!(report_scale(&bare), None);
+        assert_eq!(report_observer_tier(&bare), None);
     }
 
     #[test]

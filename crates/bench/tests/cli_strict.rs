@@ -157,6 +157,8 @@ fn bench_diff_flags_cross_backend_comparisons() {
             warmup: 0,
             iters: 1,
             experiment_ids: vec!["e1".into()],
+            scale: String::new(),
+            observer_tier: String::new(),
         };
         let sample = gwc_bench::perf::BenchSample {
             total_ns: 5_000_000,
@@ -244,6 +246,8 @@ fn bench_diff_attribute_names_the_offending_kernel_and_uop_class() {
             warmup: 0,
             iters: 1,
             experiment_ids: vec!["e1".into()],
+            scale: String::new(),
+            observer_tier: String::new(),
         };
         build_bench_report(&ctx, &[sample])
     };

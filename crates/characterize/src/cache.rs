@@ -132,6 +132,140 @@ impl ProfileCache {
     }
 }
 
+/// Version of the on-disk matrix column-block envelope. Bump on any
+/// change to the layout below.
+pub const MATRIX_CACHE_FORMAT_VERSION: u32 = 1;
+
+/// One workload's rows of the study matrix: the per-kernel
+/// characteristic vectors in study order, plus their labels. Values are
+/// persisted as raw `f64` bits, so a cache round-trip is bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixBlock {
+    /// Kernel labels, in the workload's launch order.
+    pub labels: Vec<String>,
+    /// One characteristic vector per label, each `schema::len()` wide.
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// A content-addressed store of per-workload matrix column blocks,
+/// living alongside [`ProfileCache`] entries in the same directory
+/// (entries are prefixed `m`, so the two stores can never collide).
+/// Keys are the same workload fingerprints the profile cache uses;
+/// appending a workload to a cached study therefore reuses every
+/// existing block and recomputes only reduce/cluster.
+#[derive(Debug, Clone)]
+pub struct MatrixCache {
+    dir: PathBuf,
+}
+
+impl MatrixCache {
+    /// A cache rooted at `dir` (usually the profile-cache directory).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Full cache key: fingerprint mixed with the schema version and
+    /// this store's own format version.
+    pub fn key(fingerprint: u64) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(fingerprint);
+        h.write_u32(schema::VERSION);
+        h.write_u32(MATRIX_CACHE_FORMAT_VERSION);
+        h.finish()
+    }
+
+    fn entry_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir
+            .join(format!("m{:016x}.json", Self::key(fingerprint)))
+    }
+
+    /// Loads the matrix block cached for `fingerprint`, or `None`.
+    /// Same trust model as the profile cache: any anomaly discards the
+    /// entry and the caller rebuilds the block from profiles.
+    pub fn load(&self, fingerprint: u64) -> Option<MatrixBlock> {
+        let text = fs::read_to_string(self.entry_path(fingerprint)).ok()?;
+        let doc = json::parse(&text).ok()?;
+        if doc.get("matrix_cache_version")?.as_u64()? != u64::from(MATRIX_CACHE_FORMAT_VERSION)
+            || doc.get("schema_version")?.as_u64()? != u64::from(schema::VERSION)
+            || doc.get("fingerprint")?.as_u64()? != fingerprint
+        {
+            return None;
+        }
+        let labels: Vec<String> = doc
+            .get("labels")?
+            .as_arr()?
+            .iter()
+            .map(|l| l.as_str().map(str::to_string))
+            .collect::<Option<_>>()?;
+        let rows: Vec<Vec<f64>> = doc
+            .get("rows")?
+            .as_arr()?
+            .iter()
+            .map(|row| {
+                let bits = row.as_arr()?;
+                if bits.len() != schema::len() {
+                    return None;
+                }
+                bits.iter()
+                    .map(|b| b.as_u64().map(f64::from_bits))
+                    .collect()
+            })
+            .collect::<Option<_>>()?;
+        if labels.len() != rows.len() {
+            return None;
+        }
+        Some(MatrixBlock { labels, rows })
+    }
+
+    /// Stores a workload's matrix block, atomically; failures are
+    /// silent, successes bump `cache.bytes_written`.
+    pub fn store(&self, fingerprint: u64, block: &MatrixBlock) {
+        let doc = Json::Obj(vec![
+            (
+                "matrix_cache_version".to_string(),
+                Json::UInt(u64::from(MATRIX_CACHE_FORMAT_VERSION)),
+            ),
+            (
+                "schema_version".to_string(),
+                Json::UInt(u64::from(schema::VERSION)),
+            ),
+            ("fingerprint".to_string(), Json::UInt(fingerprint)),
+            (
+                "labels".to_string(),
+                Json::Arr(block.labels.iter().map(|l| Json::Str(l.clone())).collect()),
+            ),
+            (
+                "rows".to_string(),
+                Json::Arr(
+                    block
+                        .rows
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(|v| Json::UInt(v.to_bits())).collect()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let text = doc.render();
+        let path = self.entry_path(fingerprint);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let written = fs::create_dir_all(&self.dir).is_ok()
+            && fs::File::create(&tmp)
+                .and_then(|mut f| f.write_all(text.as_bytes()))
+                .is_ok()
+            && fs::rename(&tmp, &path).is_ok();
+        if written {
+            gwc_obs::count("cache.bytes_written", text.len() as u64);
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +350,79 @@ mod tests {
     fn key_mixes_fingerprint_and_versions() {
         assert_ne!(ProfileCache::key(1), ProfileCache::key(2));
         assert_eq!(ProfileCache::key(1), ProfileCache::key(1));
+    }
+
+    #[test]
+    fn matrix_block_round_trips_bit_exactly() {
+        let dir = std::env::temp_dir().join(format!("gwc-mcache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = MatrixCache::new(&dir);
+        let block = MatrixBlock {
+            labels: vec!["k0".to_string(), "k1".to_string()],
+            rows: vec![
+                (0..schema::len()).map(|i| 1.0 / (i as f64 + 3.0)).collect(),
+                (0..schema::len()).map(|i| (i as f64).sqrt()).collect(),
+            ],
+        };
+        assert!(cache.load(42).is_none(), "cold cache misses");
+        cache.store(42, &block);
+        let back = cache.load(42).expect("entry readable");
+        assert_eq!(back.labels, block.labels);
+        for (a, b) in block.rows.iter().zip(&back.rows) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert!(cache.load(43).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn matrix_entries_do_not_collide_with_profile_entries() {
+        let dir = std::env::temp_dir().join(format!("gwc-mpcache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let profiles = ProfileCache::new(&dir);
+        let matrices = MatrixCache::new(&dir);
+        profiles.store(42, &sample_profiles());
+        matrices.store(
+            42,
+            &MatrixBlock {
+                labels: vec!["k0".to_string()],
+                rows: vec![vec![0.5; schema::len()]],
+            },
+        );
+        // Both entries coexist under one directory and load back.
+        assert!(profiles.load(42).is_some());
+        assert!(matrices.load(42).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_matrix_entries_load_as_none() {
+        let dir = std::env::temp_dir().join(format!("gwc-mc-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = MatrixCache::new(&dir);
+        let block = MatrixBlock {
+            labels: vec!["k0".to_string()],
+            rows: vec![vec![1.25; schema::len()]],
+        };
+        cache.store(7, &block);
+        let path = cache
+            .dir()
+            .join(format!("m{:016x}.json", MatrixCache::key(7)));
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.load(7).is_none());
+        fs::write(
+            &path,
+            full.replacen(
+                "\"matrix_cache_version\": 1",
+                "\"matrix_cache_version\": 999",
+                1,
+            ),
+        )
+        .unwrap();
+        assert!(cache.load(7).is_none());
+        let _ = fs::remove_dir_all(&dir);
     }
 }

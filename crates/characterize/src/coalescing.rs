@@ -96,6 +96,15 @@ impl CoalescingObserver {
             n as f64 / self.global_accesses as f64
         }
     }
+
+    /// Bytes of state held by this observer. Already bounded — seven
+    /// plain counters, no per-address state — so the `Exact` and
+    /// `Sketch` observer tiers share this one implementation; it exists
+    /// so the `observer.bytes_peak` gauge accounts for every heavy
+    /// observer uniformly.
+    pub fn bytes_in_use(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64
+    }
 }
 
 /// Sorts (in place) and counts the distinct values in a short scratch

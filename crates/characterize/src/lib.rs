@@ -58,10 +58,12 @@ pub mod profiler;
 pub mod runtime;
 pub mod schema;
 pub mod serialize;
+pub mod sketch;
 
-pub use cache::ProfileCache;
+pub use cache::{MatrixBlock, MatrixCache, ProfileCache};
 pub use merge::MergeableObserver;
 pub use profile::{KernelProfile, RawCounts};
 pub use profiler::{characterize_launch, Profiler};
 pub use runtime::{characterize_launch_sharded, profile_launch_sharded};
 pub use schema::{Group, SCHEMA};
+pub use sketch::ObserverTier;

@@ -17,20 +17,27 @@ use crate::fxhash::FxHashMap;
 /// Reuse-distance histogram thresholds, in 128-byte lines.
 pub const REUSE_THRESHOLDS: [u64; 3] = [16, 256, 4096];
 
-/// Binary indexed tree over time slots.
+/// Binary indexed tree over time slots. Shared with the bounded-window
+/// sketch tier (see [`crate::sketch`]), which runs the same
+/// last-access-time algorithm over a capped recency window.
 #[derive(Debug, Clone)]
-struct Fenwick {
+pub(crate) struct Fenwick {
     tree: Vec<u32>,
 }
 
 impl Fenwick {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self {
             tree: vec![0; n + 1],
         }
     }
 
-    fn add(&mut self, mut i: usize, delta: i32) {
+    /// Backing-array length in slots, for memory accounting.
+    pub(crate) fn slots(&self) -> usize {
+        self.tree.len()
+    }
+
+    pub(crate) fn add(&mut self, mut i: usize, delta: i32) {
         i += 1;
         while i < self.tree.len() {
             self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
@@ -39,7 +46,7 @@ impl Fenwick {
     }
 
     /// Sum of `[0, i]`.
-    fn prefix(&self, mut i: usize) -> u64 {
+    pub(crate) fn prefix(&self, mut i: usize) -> u64 {
         i += 1;
         let mut s = 0u64;
         while i > 0 {
@@ -50,7 +57,7 @@ impl Fenwick {
     }
 
     /// Sum of `[lo, hi]` (inclusive); 0 when the range is empty.
-    fn range(&self, lo: usize, hi: usize) -> u64 {
+    pub(crate) fn range(&self, lo: usize, hi: usize) -> u64 {
         if lo > hi {
             return 0;
         }
@@ -172,7 +179,17 @@ impl LocalityObserver {
         shared as f64 / self.lines.len() as f64
     }
 
-    fn touch(&mut self, line: u32, warp: (u32, u32)) {
+    /// Approximate heap bytes held by this observer's per-line state.
+    /// Capacity-based (not length-based): it is the allocation, not the
+    /// occupancy, that the `observer.bytes_peak` gauge must account for.
+    pub fn bytes_in_use(&self) -> u64 {
+        let map_entry = std::mem::size_of::<(u32, LineInfo)>() + 1;
+        (self.lines.capacity() * map_entry
+            + self.fenwick.slots() * std::mem::size_of::<u32>()
+            + self.first_touch_order.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
+    pub(crate) fn touch(&mut self, line: u32, warp: (u32, u32)) {
         self.touches += 1;
         if self.now >= self.cap {
             // Compression needs headroom over the live footprint; grow
@@ -297,7 +314,12 @@ impl crate::merge::MergeableObserver for LocalityObserver {
             }
         }
 
-        // Rebuild the merged time axis and line map.
+        // Rebuild the merged time axis. The recency order is computed
+        // first (it needs both maps intact), then `later`'s lines are
+        // absorbed into `self.lines` *in place*: re-allocating a merged
+        // map per shard merge showed up as the dominant allocation in
+        // sharded studies, and the order vector already carries every
+        // final timestamp, so the flag union is all the map itself needs.
         let mut order: Vec<(u8, usize, u32)> =
             Vec::with_capacity(self.lines.len() + later.lines.len());
         for (&line, info) in &self.lines {
@@ -316,44 +338,36 @@ impl crate::merge::MergeableObserver for LocalityObserver {
         if order.len() * 2 > self.cap {
             self.cap = (order.len() * 4).next_power_of_two();
         }
-        let mut merged: FxHashMap<u32, LineInfo> =
-            FxHashMap::with_capacity_and_hasher(order.len(), Default::default());
+        self.lines.reserve(later.lines.len());
+        for (line, b) in later.lines {
+            match self.lines.entry(line) {
+                // Sharing flags mean "≥ 2 distinct warps/blocks ever
+                // touched the line", so they survive re-anchoring to
+                // self's first warp.
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let a = e.get_mut();
+                    a.multi_warp = a.multi_warp || b.multi_warp || a.first_warp != b.first_warp;
+                    a.multi_block =
+                        a.multi_block || b.multi_block || a.first_warp.0 != b.first_warp.0;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(b);
+                }
+            }
+        }
         self.fenwick = Fenwick::new(self.cap);
-        for (new_t, &(section, _, line)) in order.iter().enumerate() {
-            let info = if section == 0 {
-                LineInfo {
-                    last_time: new_t,
-                    ..self.lines[&line]
-                }
-            } else {
-                let b = later.lines[&line];
-                match self.lines.get(&line) {
-                    // Sharing flags mean "≥ 2 distinct warps/blocks ever
-                    // touched the line", so they survive re-anchoring to
-                    // self's first warp.
-                    Some(a) => LineInfo {
-                        last_time: new_t,
-                        first_warp: a.first_warp,
-                        multi_warp: a.multi_warp || b.multi_warp || a.first_warp != b.first_warp,
-                        multi_block: a.multi_block
-                            || b.multi_block
-                            || a.first_warp.0 != b.first_warp.0,
-                    },
-                    None => LineInfo {
-                        last_time: new_t,
-                        ..b
-                    },
-                }
-            };
+        for (new_t, &(_, _, line)) in order.iter().enumerate() {
+            self.lines
+                .get_mut(&line)
+                .expect("line in merged map")
+                .last_time = new_t;
             self.fenwick.add(new_t, 1);
-            merged.insert(line, info);
         }
         self.now = order.len();
         assert!(
             self.now < self.cap,
             "footprint exceeds locality time-axis capacity"
         );
-        self.lines = merged;
     }
 }
 

@@ -16,27 +16,136 @@ use crate::merge::MergeableObserver;
 use crate::mix::MixObserver;
 use crate::profile::{KernelProfile, RawCounts};
 use crate::schema;
+use crate::sketch::{ObserverTier, SketchLocalityObserver};
+
+/// Tier-selected locality state: the exact per-line observer or its
+/// bounded-memory sketch. Both sides expose the same derived
+/// characteristics and the same serial-equivalent shard merge, so the
+/// profiler treats them uniformly.
+#[derive(Debug)]
+pub enum LocalityState {
+    Exact(LocalityObserver),
+    Sketch(SketchLocalityObserver),
+}
+
+impl LocalityState {
+    fn new(tier: ObserverTier) -> Self {
+        match tier {
+            ObserverTier::Exact => LocalityState::Exact(LocalityObserver::new()),
+            ObserverTier::Sketch => LocalityState::Sketch(SketchLocalityObserver::new()),
+        }
+    }
+
+    fn tier(&self) -> ObserverTier {
+        match self {
+            LocalityState::Exact(_) => ObserverTier::Exact,
+            LocalityState::Sketch(_) => ObserverTier::Sketch,
+        }
+    }
+
+    fn reuse_cdf(&self, bucket: usize) -> f64 {
+        match self {
+            LocalityState::Exact(o) => o.reuse_cdf(bucket),
+            LocalityState::Sketch(o) => o.reuse_cdf(bucket),
+        }
+    }
+
+    fn cold_frac(&self) -> f64 {
+        match self {
+            LocalityState::Exact(o) => o.cold_frac(),
+            LocalityState::Sketch(o) => o.cold_frac(),
+        }
+    }
+
+    fn inter_warp_sharing(&self) -> f64 {
+        match self {
+            LocalityState::Exact(o) => o.inter_warp_sharing(),
+            LocalityState::Sketch(o) => o.inter_warp_sharing(),
+        }
+    }
+
+    fn inter_block_sharing(&self) -> f64 {
+        match self {
+            LocalityState::Exact(o) => o.inter_block_sharing(),
+            LocalityState::Sketch(o) => o.inter_block_sharing(),
+        }
+    }
+
+    fn footprint_lines(&self) -> u64 {
+        match self {
+            LocalityState::Exact(o) => o.footprint_lines(),
+            LocalityState::Sketch(o) => o.footprint_lines(),
+        }
+    }
+
+    fn bytes_in_use(&self) -> u64 {
+        match self {
+            LocalityState::Exact(o) => o.bytes_in_use(),
+            LocalityState::Sketch(o) => o.bytes_in_use(),
+        }
+    }
+
+    fn on_mem(&mut self, e: &MemEvent<'_>) {
+        match self {
+            LocalityState::Exact(o) => o.on_mem(e),
+            LocalityState::Sketch(o) => o.on_mem(e),
+        }
+    }
+
+    fn merge(&mut self, later: LocalityState) {
+        match (self, later) {
+            (LocalityState::Exact(a), LocalityState::Exact(b)) => a.merge(b),
+            (LocalityState::Sketch(a), LocalityState::Sketch(b)) => a.merge(b),
+            _ => unreachable!("shards always share the master's observer tier"),
+        }
+    }
+}
 
 /// Runs all characterization observers over a launch.
 ///
 /// Use [`characterize_launch`] unless you need to keep the profiler
 /// around (e.g. to profile several launches of the same logical kernel
 /// into one profile — the observers accumulate across launches).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Profiler {
     mix: MixObserver,
     ilp: IlpObserver,
     divergence: DivergenceObserver,
     coalescing: CoalescingObserver,
-    locality: LocalityObserver,
+    locality: LocalityState,
     stats: LaunchStats,
     launch_shape: Option<(u64, u64, u64)>,
 }
 
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::with_tier(ObserverTier::Exact)
+    }
+}
+
 impl Profiler {
-    /// Creates an empty profiler.
+    /// Creates an empty profiler on the exact (default) tier.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty profiler with the given observer tier.
+    pub fn with_tier(tier: ObserverTier) -> Self {
+        Self {
+            mix: MixObserver::default(),
+            ilp: IlpObserver::default(),
+            divergence: DivergenceObserver::default(),
+            coalescing: CoalescingObserver::default(),
+            locality: LocalityState::new(tier),
+            stats: LaunchStats::default(),
+            launch_shape: None,
+        }
+    }
+
+    /// The observer tier this profiler runs. Shards must be created on
+    /// the same tier so their merges stay serial-equivalent.
+    pub fn tier(&self) -> ObserverTier {
+        self.locality.tier()
     }
 
     /// Creates a profiler for one *shard* of a launch: block-range events
@@ -44,12 +153,24 @@ impl Profiler {
     /// master profiler owns those), and it is later folded back into the
     /// master with [`MergeableObserver::merge`].
     pub fn shard(kernel: &Kernel, config: &LaunchConfig) -> Self {
-        let mut p = Self::new();
+        Self::shard_with(kernel, config, ObserverTier::Exact)
+    }
+
+    /// [`Profiler::shard`] with an explicit observer tier — must match
+    /// the master profiler's tier.
+    pub fn shard_with(kernel: &Kernel, config: &LaunchConfig, tier: ObserverTier) -> Self {
+        let mut p = Self::with_tier(tier);
         // Prime the ILP observer with the kernel's register count; the
         // fold inside is a no-op on a fresh observer, and `launch_shape`
         // stays unset so merging never double-counts the launch.
         p.ilp.on_launch(kernel, config);
         p
+    }
+
+    /// Approximate heap bytes held by the heavy (locality + coalescing)
+    /// observers right now; feeds the `observer.bytes_peak` gauge.
+    pub fn observer_bytes(&self) -> u64 {
+        self.locality.bytes_in_use() + self.coalescing.bytes_in_use()
     }
 
     /// Finalizes the accumulated observations into a [`KernelProfile`]
@@ -168,6 +289,7 @@ impl TraceObserver for Profiler {
         self.stats.blocks += stats.blocks;
         self.stats.warps += stats.warps;
         self.stats.barriers += stats.barriers;
+        gwc_obs::count_max("observer.bytes_peak", self.observer_bytes());
     }
 }
 
@@ -181,6 +303,11 @@ impl MergeableObserver for Profiler {
         debug_assert!(
             later.launch_shape.is_none(),
             "merge expects a shard profiler, not one that saw on_launch"
+        );
+        // The true peak is while master and shard state coexist.
+        gwc_obs::count_max(
+            "observer.bytes_peak",
+            self.observer_bytes() + later.observer_bytes(),
         );
         self.mix.merge(later.mix);
         self.ilp.merge(later.ilp);

@@ -86,6 +86,10 @@ pub fn profile_launch_sharded(
     // One relaxed load + branch when no recorder is installed.
     let launch_t0 = gwc_obs::enabled().then(std::time::Instant::now);
     let base = device.global_image().to_vec();
+    // Shards must observe on the master's tier or the merge would mix
+    // exact and sketch state; capture it before the borrow moves into
+    // the worker closures.
+    let tier = profiler.tier();
     let dev = &*device;
     let results: Vec<Result<(Device, Profiler, LaunchStats), SimtError>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..shards)
@@ -98,7 +102,7 @@ pub fn profile_launch_sharded(
                     let t0 = gwc_obs::enabled().then(std::time::Instant::now);
                     let _observe = gwc_obs::span!("shard/observe");
                     let mut shard_dev = dev.fork();
-                    let mut shard = Profiler::shard(kernel, config);
+                    let mut shard = Profiler::shard_with(kernel, config, tier);
                     let stats =
                         shard_dev.run_block_range(kernel, config, args, first, last, &mut shard)?;
                     if let Some(t0) = t0 {
@@ -245,6 +249,38 @@ mod tests {
                 dev_p.global_image(),
                 "global memory diverged at {threads} threads"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_sketch_tier_is_bit_identical_to_serial() {
+        use crate::sketch::ObserverTier;
+
+        let k = busy_kernel();
+        let config = LaunchConfig::new(24, 64);
+
+        let mut dev_s = Device::new();
+        let args = setup(&mut dev_s);
+        let mut serial_p = Profiler::with_tier(ObserverTier::Sketch);
+        profile_launch_sharded(&mut dev_s, &k, &config, &args, &mut serial_p, 1).unwrap();
+        let serial = serial_p.finish("busy");
+
+        for threads in [2, 3, 4, 8] {
+            let mut dev_p = Device::new();
+            let args = setup(&mut dev_p);
+            let mut sharded_p = Profiler::with_tier(ObserverTier::Sketch);
+            profile_launch_sharded(&mut dev_p, &k, &config, &args, &mut sharded_p, threads)
+                .unwrap();
+            assert_eq!(sharded_p.tier(), ObserverTier::Sketch);
+            let sharded = sharded_p.finish("busy");
+            for (i, (a, b)) in serial.values().iter().zip(sharded.values()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "sketch dim {i} differs at {threads} threads: {a} vs {b}"
+                );
+            }
+            assert_eq!(serial.raw(), sharded.raw());
         }
     }
 

@@ -101,6 +101,7 @@ mod tests {
             seed: 5,
             scale: Scale::Tiny,
             verify: false,
+            ..StudyConfig::default()
         })
         .unwrap()
     }

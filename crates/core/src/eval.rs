@@ -197,6 +197,7 @@ mod tests {
             seed: 11,
             scale: Scale::Tiny,
             verify: false,
+            ..StudyConfig::default()
         })
         .unwrap()
     }

@@ -32,6 +32,7 @@
 //!     seed: 7,
 //!     scale: Scale::Small,
 //!     verify: true,
+//!     ..StudyConfig::default()
 //! })?;
 //! let space = ReducedSpace::fit(&study.matrix(), 0.9)?;
 //! println!("{} kernels, {} PCs", study.records().len(), space.kept());

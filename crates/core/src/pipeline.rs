@@ -19,8 +19,8 @@
 
 use std::path::PathBuf;
 
-use gwc_characterize::ProfileCache;
-use gwc_stats::Matrix;
+use gwc_characterize::{MatrixBlock, MatrixCache, ProfileCache};
+use gwc_stats::{Matrix, MatrixBuilder};
 use gwc_workloads::Scale;
 
 use crate::analysis::ClusterAnalysis;
@@ -155,6 +155,7 @@ impl Default for PipelineConfig {
                 seed: 7,
                 scale: Scale::Small,
                 verify: true,
+                ..StudyConfig::default()
             },
             threads: 1,
             exclude_workload: Some("vector_add"),
@@ -240,7 +241,17 @@ impl Stage for StudyStage {
     }
 }
 
-/// The matrix-assembly stage.
+/// The matrix-assembly stage (incremental and cache-aware).
+///
+/// Rows are assembled one per-workload column block at a time through
+/// [`MatrixBuilder`], so peak memory is one matrix. With a cache
+/// directory configured, each block is keyed on its workload's content
+/// fingerprint in a [`MatrixCache`] living alongside the profile cache:
+/// appending a workload to a cached study re-reads every existing block
+/// (values stored as raw `f64` bits, so reuse is bit-exact) and computes
+/// only the new one. Hit/miss totals land on `matrix.cache.hits` /
+/// `matrix.cache.misses`. A cached block whose labels disagree with the
+/// study (stale or corrupt entry) is recomputed and re-stored.
 pub struct MatrixStage;
 
 impl Stage for MatrixStage {
@@ -248,10 +259,59 @@ impl Stage for MatrixStage {
     type Input<'a> = &'a StudyArtifact;
     type Output = MatrixArtifact;
 
-    fn run(_cfg: &PipelineConfig, input: &StudyArtifact) -> MatrixArtifact {
+    fn run(cfg: &PipelineConfig, input: &StudyArtifact) -> MatrixArtifact {
+        let study = &input.study;
+        let records = study.records();
+        let cache = cfg.cache_dir.as_ref().map(MatrixCache::new);
+        let cols = records
+            .first()
+            .map(|r| r.profile.values().len())
+            .unwrap_or(0);
+        let mut labels: Vec<String> = Vec::with_capacity(records.len());
+        let mut builder = MatrixBuilder::new(cols);
+        for name in study.workload_names() {
+            let rows_idx = study.rows_of_workload(name);
+            let fingerprint = records[rows_idx[0]].fingerprint;
+            let block_labels: Vec<String> = rows_idx.iter().map(|&i| records[i].label()).collect();
+            let cached = cache
+                .as_ref()
+                .and_then(|c| c.load(fingerprint))
+                .filter(|b| b.labels == block_labels);
+            if let Some(block) = cached {
+                gwc_obs::count("matrix.cache.hits", 1);
+                for row in &block.rows {
+                    builder
+                        .push_row(row)
+                        .expect("block width validated on load");
+                }
+            } else {
+                if cache.is_some() {
+                    gwc_obs::count("matrix.cache.misses", 1);
+                }
+                let rows: Vec<Vec<f64>> = rows_idx
+                    .iter()
+                    .map(|&i| records[i].profile.values().to_vec())
+                    .collect();
+                for row in &rows {
+                    builder
+                        .push_row(row)
+                        .expect("profiles share the schema width");
+                }
+                if let Some(c) = &cache {
+                    c.store(
+                        fingerprint,
+                        &MatrixBlock {
+                            labels: block_labels.clone(),
+                            rows,
+                        },
+                    );
+                }
+            }
+            labels.extend(block_labels);
+        }
         MatrixArtifact {
-            labels: input.study.labels(),
-            matrix: input.study.matrix(),
+            labels,
+            matrix: builder.finish().expect("study is never empty"),
         }
     }
 }

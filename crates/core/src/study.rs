@@ -3,11 +3,13 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use gwc_characterize::{profile_launch_sharded, KernelProfile, ProfileCache, Profiler};
+use gwc_characterize::{
+    profile_launch_sharded, sketch, KernelProfile, ObserverTier, ProfileCache, Profiler,
+};
 use gwc_simt::exec::Device;
 use gwc_stats::Matrix;
 use gwc_workloads::fingerprint::workload_fingerprint;
-use gwc_workloads::{registry, Scale, Suite, Workload, WorkloadError};
+use gwc_workloads::{registry, Scale, StudyScale, Suite, Workload, WorkloadError};
 
 use crate::parallel::parallel_map_named;
 
@@ -21,6 +23,13 @@ pub struct StudyConfig {
     /// Verify GPU results against CPU references after each workload
     /// (recommended; adds CPU-side time only).
     pub verify: bool,
+    /// Memory tier of the heavyweight observers: [`ObserverTier::Exact`]
+    /// (the default, per-address state, the bit-exact oracle) or
+    /// [`ObserverTier::Sketch`] (bounded-memory streaming sketches).
+    pub observer_tier: ObserverTier,
+    /// Size of the study population ([`StudyScale::Standard`] = the
+    /// canonical 26-workload registry).
+    pub study_scale: StudyScale,
 }
 
 impl Default for StudyConfig {
@@ -29,6 +38,8 @@ impl Default for StudyConfig {
             seed: 7,
             scale: Scale::Small,
             verify: true,
+            observer_tier: ObserverTier::Exact,
+            study_scale: StudyScale::Standard,
         }
     }
 }
@@ -44,6 +55,11 @@ pub struct KernelRecord {
     pub kernel: String,
     /// The measured profile.
     pub profile: KernelProfile,
+    /// Content fingerprint of the workload instance this record came
+    /// from (salted by observer tier) — the key downstream incremental
+    /// caches (e.g. the matrix column cache) reuse rows under. Every
+    /// record of one workload shares its fingerprint.
+    pub fingerprint: u64,
 }
 
 impl KernelRecord {
@@ -108,7 +124,7 @@ impl Study {
         threads: usize,
         cache: Option<&ProfileCache>,
     ) -> Result<Study, WorkloadError> {
-        let mut workloads = registry::all_workloads(config.seed);
+        let mut workloads = registry::study_workloads(config.seed, config.study_scale);
         gwc_obs::progress::declare(&gwc_obs::progress::WORKLOADS, workloads.len() as u64);
         if threads <= 1 {
             let mut records = Vec::new();
@@ -189,9 +205,16 @@ impl Study {
         let start = rec.as_ref().map(|_| std::time::Instant::now());
         let mut dev = Device::new();
         let launches = workload.setup(&mut dev, config.scale)?;
+        // Sketch-tier profiles are a different (approximate) function of
+        // the same inputs, so the tier salts the fingerprint: the two
+        // tiers can never alias each other's cache entries.
+        let tier_salt = match config.observer_tier {
+            ObserverTier::Exact => 0,
+            ObserverTier::Sketch => sketch::CACHE_SALT,
+        };
         let fingerprint =
-            cache.map(|_| workload_fingerprint(meta.name, config.seed, config.scale, &launches));
-        let cached = cache.and_then(|c| c.load(fingerprint.expect("set with cache")));
+            workload_fingerprint(meta.name, config.seed, config.scale, &launches) ^ tier_salt;
+        let cached = cache.and_then(|c| c.load(fingerprint));
         let records: Vec<KernelRecord> = if let Some(profiles) = cached {
             gwc_obs::count("cache.hits", 1);
             profiles
@@ -201,6 +224,7 @@ impl Study {
                     suite: meta.suite,
                     kernel: profile.name().to_string(),
                     profile,
+                    fingerprint,
                 })
                 .collect()
         } else {
@@ -218,7 +242,10 @@ impl Study {
             for launch in &launches {
                 if !profilers.contains_key(&launch.label) {
                     order.push(launch.label.clone());
-                    profilers.insert(launch.label.clone(), Profiler::new());
+                    profilers.insert(
+                        launch.label.clone(),
+                        Profiler::with_tier(config.observer_tier),
+                    );
                 }
                 let profiler = profilers.get_mut(&launch.label).expect("just inserted");
                 profile_launch_sharded(
@@ -243,13 +270,14 @@ impl Study {
                         suite: meta.suite,
                         kernel: label,
                         profile,
+                        fingerprint,
                     }
                 })
                 .collect();
-            if let (Some(c), Some(fp)) = (cache, fingerprint) {
+            if let Some(c) = cache {
                 let profiles: Vec<KernelProfile> =
                     records.iter().map(|r| r.profile.clone()).collect();
-                c.store(fp, &profiles);
+                c.store(fingerprint, &profiles);
             }
             records
         };
@@ -370,6 +398,7 @@ mod tests {
                 seed: 3,
                 scale: Scale::Tiny,
                 verify: true,
+                ..StudyConfig::default()
             },
         )
         .unwrap();
@@ -392,6 +421,7 @@ mod tests {
                 seed: 3,
                 scale: Scale::Tiny,
                 verify: false,
+                ..StudyConfig::default()
             },
         )
         .unwrap();

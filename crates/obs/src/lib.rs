@@ -81,6 +81,16 @@ pub fn count(name: &str, delta: u64) {
     }
 }
 
+/// Folds `value` into the named counter as a running maximum — for
+/// high-water marks like `observer.bytes_peak`. One branch when
+/// disabled.
+#[inline]
+pub fn count_max(name: &str, value: u64) {
+    if let Some(r) = recorder() {
+        r.max_counter(name, value);
+    }
+}
+
 /// Sets the named gauge to `value`. One branch when disabled.
 #[inline]
 pub fn gauge(name: &str, value: f64) {

@@ -316,6 +316,12 @@ impl Recorder for MetricsRecorder {
         *counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
+    fn max_counter(&self, name: &str, value: u64) {
+        let mut counters = self.counters.lock().expect("counters poisoned");
+        let e = counters.entry(name.to_string()).or_insert(0);
+        *e = (*e).max(value);
+    }
+
     fn set_gauge(&self, name: &str, value: f64) {
         self.gauges
             .lock()

@@ -42,6 +42,12 @@ pub trait Recorder: Send + Sync {
         let _ = (name, delta);
     }
 
+    /// Folds `value` into the named counter as a running maximum — a
+    /// high-water mark (e.g. `observer.bytes_peak`) rather than a sum.
+    fn max_counter(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
     /// Sets a gauge to its latest value.
     fn set_gauge(&self, name: &str, value: f64) {
         let _ = (name, value);
@@ -203,6 +209,11 @@ impl Recorder for TeeRecorder {
     fn add_counter(&self, name: &str, delta: u64) {
         for s in &self.sinks {
             s.add_counter(name, delta);
+        }
+    }
+    fn max_counter(&self, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.max_counter(name, value);
         }
     }
     fn set_gauge(&self, name: &str, value: f64) {

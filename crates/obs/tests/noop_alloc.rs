@@ -49,6 +49,7 @@ fn measure_window() -> usize {
         // Dynamic span names: the format! must not run while disabled.
         let _s = gwc_obs::span!("hot/kernel-{i}");
         gwc_obs::count("simt.warp_instrs", i);
+        gwc_obs::count_max("observer.bytes_peak", i);
         gwc_obs::gauge("pool.busy", i as f64);
         gwc_obs::hist("launch.latency_ns", i);
         // Exec-profile reporting borrows stack slices either way.
@@ -73,6 +74,7 @@ fn disabled_hot_path_never_allocates() {
     {
         let _s = gwc_obs::span!("warmup/{}", 0);
         gwc_obs::count("warmup", 1);
+        gwc_obs::count_max("warmup", 1);
         gwc_obs::gauge("warmup", 0.0);
         gwc_obs::hist("warmup", 1);
         gwc_obs::progress::declare(&gwc_obs::progress::TASKS, 1);

@@ -49,5 +49,5 @@ mod error;
 mod rng;
 
 pub use error::StatsError;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixBuilder};
 pub(crate) use rng::SplitMix64;

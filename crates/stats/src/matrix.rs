@@ -295,6 +295,75 @@ impl Matrix {
     }
 }
 
+/// Incremental row-major matrix assembly: rows stream in chunk by chunk
+/// (e.g. one cached block per workload) and land directly in the final
+/// flat buffer, so peak memory is one matrix — not a `Vec<Vec<f64>>`
+/// staging copy plus the matrix, as [`Matrix::from_rows`] needs.
+///
+/// # Example
+///
+/// ```
+/// use gwc_stats::MatrixBuilder;
+///
+/// # fn main() -> Result<(), gwc_stats::StatsError> {
+/// let mut b = MatrixBuilder::new(2);
+/// b.push_row(&[1.0, 2.0])?;
+/// b.push_row(&[3.0, 4.0])?;
+/// let m = b.finish()?;
+/// assert_eq!(m.shape(), (2, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatrixBuilder {
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl MatrixBuilder {
+    /// An empty builder for matrices of `cols` columns.
+    pub fn new(cols: usize) -> Self {
+        Self {
+            cols,
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ShapeMismatch`] if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), StatsError> {
+        if row.len() != self.cols {
+            return Err(StatsError::ShapeMismatch {
+                expected: self.cols,
+                found: row.len(),
+            });
+        }
+        self.data.extend_from_slice(row);
+        Ok(())
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.cols).unwrap_or(0)
+    }
+
+    /// Finalizes into a [`Matrix`] without copying the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] when no rows were appended.
+    pub fn finish(self) -> Result<Matrix, StatsError> {
+        let rows = self.rows();
+        if rows == 0 {
+            return Err(StatsError::Empty);
+        }
+        Matrix::from_vec(rows, self.cols, self.data)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +473,27 @@ mod tests {
         assert_eq!(
             m.check_finite().unwrap_err(),
             StatsError::NonFinite { row: 1, col: 2 }
+        );
+    }
+
+    #[test]
+    fn builder_matches_from_rows() {
+        let rows = [vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let mut b = MatrixBuilder::new(3);
+        for r in &rows {
+            b.push_row(r).unwrap();
+        }
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.finish().unwrap(), Matrix::from_rows(&rows).unwrap());
+    }
+
+    #[test]
+    fn builder_rejects_ragged_and_empty() {
+        let mut b = MatrixBuilder::new(2);
+        assert!(b.push_row(&[1.0]).is_err());
+        assert_eq!(
+            MatrixBuilder::new(2).finish().unwrap_err(),
+            StatsError::Empty
         );
     }
 

@@ -41,5 +41,6 @@ pub mod rodinia;
 pub mod sdk;
 
 pub use workload::{
-    run_workload, LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadError, WorkloadMeta,
+    run_workload, LaunchSpec, Scale, StudyScale, Suite, VerifyError, Workload, WorkloadError,
+    WorkloadMeta,
 };

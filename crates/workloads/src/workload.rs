@@ -66,6 +66,47 @@ impl Scale {
     }
 }
 
+/// Size tier of the whole study *population* (orthogonal to [`Scale`],
+/// which sizes each workload's inputs). [`StudyScale::Standard`] is the
+/// 26-workload registry every committed result was produced from;
+/// [`StudyScale::Large`] replicates the registry with parameter-swept
+/// input seeds and scales into hundreds of kernel instances, for
+/// stressing observer memory and cache throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StudyScale {
+    /// The canonical 26-workload population.
+    #[default]
+    Standard,
+    /// The canonical population plus replicated, parameter-swept
+    /// instances of every workload (hundreds of kernel instances).
+    Large,
+}
+
+impl StudyScale {
+    /// Short lower-case name (the `--scale` CLI value).
+    pub fn name(self) -> &'static str {
+        match self {
+            StudyScale::Standard => "standard",
+            StudyScale::Large => "large",
+        }
+    }
+
+    /// Parses a `--scale` CLI value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "standard" => Some(StudyScale::Standard),
+            "large" => Some(StudyScale::Large),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StudyScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Static description of a workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkloadMeta {

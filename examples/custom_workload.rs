@@ -98,6 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
         scale: Scale::Small,
         verify: true,
+        ..StudyConfig::default()
     };
     let study = Study::run(&cfg)?.without_workload("vector_add");
     let space = ReducedSpace::fit(&study.matrix(), 0.9)?;

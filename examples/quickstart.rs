@@ -71,6 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 7,
             scale: Scale::Tiny,
             verify: true,
+            ..StudyConfig::default()
         },
         ..PipelineConfig::default()
     });

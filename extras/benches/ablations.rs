@@ -19,6 +19,7 @@ fn study() -> Study {
         seed: 7,
         scale: Scale::Tiny,
         verify: false,
+        ..StudyConfig::default()
     })
     .expect("study runs")
 }

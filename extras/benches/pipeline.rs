@@ -78,6 +78,7 @@ fn tiny_study() -> Study {
         seed: 7,
         scale: Scale::Tiny,
         verify: false,
+        ..StudyConfig::default()
     })
     .expect("study runs")
 }

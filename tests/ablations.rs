@@ -16,6 +16,7 @@ fn study() -> &'static Study {
             seed: 7,
             scale: Scale::Tiny,
             verify: false,
+            ..StudyConfig::default()
         })
         .expect("study runs")
         .without_workload("vector_add")

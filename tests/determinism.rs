@@ -28,6 +28,7 @@ fn tiny_config(seed: u64) -> StudyConfig {
         seed,
         scale: Scale::Tiny,
         verify: true,
+        ..StudyConfig::default()
     }
 }
 

@@ -1,0 +1,122 @@
+//! Incremental matrix assembly: the per-workload column-block cache
+//! must be invisible in the output (bit-identical to an uncached cold
+//! assembly) while its hit/miss counters prove columns are actually
+//! being reused — including the headline scenario, *appending* a
+//! workload to an already-cached study without recomputing the
+//! existing columns.
+//!
+//! Everything lives in one `#[test]`: the phases share cache
+//! directories and the global metrics recorder, so they must not run
+//! concurrently with each other.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gwc::core::pipeline::{MatrixArtifact, MatrixStage, PipelineConfig, Stage, StudyStage};
+use gwc::obs::metrics::MetricsRecorder;
+use gwc::workloads::Scale;
+
+fn config(cache: Option<PathBuf>, exclude: Option<&'static str>) -> PipelineConfig {
+    let mut cfg = PipelineConfig {
+        cache_dir: cache,
+        exclude_workload: exclude,
+        ..PipelineConfig::default()
+    };
+    // Tiny, unverified: this test is about assembly plumbing, not
+    // characterization fidelity.
+    cfg.study.scale = Scale::Tiny;
+    cfg.study.verify = false;
+    cfg
+}
+
+/// Runs study + matrix stages under a fresh metrics recorder, returning
+/// the matrix artifact and the (hits, misses) the assembly recorded.
+fn assemble(cfg: &PipelineConfig) -> (MatrixArtifact, (u64, u64)) {
+    let rec = Arc::new(MetricsRecorder::default());
+    let guard = gwc::obs::install(rec.clone());
+    let study = StudyStage::run(cfg, ());
+    let matrix = MatrixStage::run(cfg, &study);
+    drop(guard);
+    let snap = rec.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    (
+        matrix,
+        (counter("matrix.cache.hits"), counter("matrix.cache.misses")),
+    )
+}
+
+/// Bit-level equality: `==` on f64 would also accept 0.0 == -0.0.
+fn assert_identical(label: &str, a: &MatrixArtifact, b: &MatrixArtifact) {
+    assert_eq!(a.labels, b.labels, "{label}: labels");
+    assert_eq!(a.matrix.shape(), b.matrix.shape(), "{label}: shape");
+    for r in 0..a.matrix.rows() {
+        for (c, (x, y)) in a.matrix.row(r).iter().zip(b.matrix.row(r)).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{label}: cell ({r},{c}) differs: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_assembly_is_incremental_and_byte_identical() {
+    let base = std::env::temp_dir().join(format!("gwc-inc-matrix-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cache = base.join("cache");
+
+    // Cold: every block is computed and stored.
+    let cold_cfg = config(Some(cache.clone()), Some("vector_add"));
+    let (cold, (hits, misses)) = assemble(&cold_cfg);
+    let workloads = {
+        // One block per post-exclusion workload; records are contiguous
+        // per workload, so consecutive dedup counts them.
+        let mut names: Vec<&str> = cold
+            .labels
+            .iter()
+            .map(|l| l.split('/').next().unwrap())
+            .collect();
+        names.dedup();
+        names.len() as u64
+    };
+    assert_eq!(
+        (hits, misses),
+        (0, workloads),
+        "cold run computes every block"
+    );
+
+    // Uncached reference: the cache must be invisible in the output.
+    let (uncached, (h, m)) = assemble(&config(None, Some("vector_add")));
+    assert_eq!((h, m), (0, 0), "no cache, no counters");
+    assert_identical("cold vs uncached", &cold, &uncached);
+
+    // Warm: identical bytes, every block reused, nothing recomputed.
+    let (warm, counters) = assemble(&cold_cfg);
+    assert_eq!(counters, (workloads, 0), "warm run reuses every block");
+    assert_identical("warm vs cold", &warm, &cold);
+
+    // Append: widening the population (un-excluding `vector_add`) must
+    // reuse every existing column block and compute only the new one.
+    let append_cfg = config(Some(cache.clone()), None);
+    let (appended, counters) = assemble(&append_cfg);
+    assert_eq!(
+        counters,
+        (workloads, 1),
+        "append recomputes only the appended workload's block"
+    );
+    assert_eq!(appended.labels.len(), cold.labels.len() + 1);
+
+    // ... and the appended result is byte-identical to a cold run of
+    // the widened population in a fresh cache.
+    let fresh = base.join("fresh");
+    let (reference, counters) = assemble(&config(Some(fresh), None));
+    assert_eq!(counters, (0, workloads + 1), "reference run is fully cold");
+    assert_identical("append vs cold reference", &appended, &reference);
+
+    let _ = std::fs::remove_dir_all(&base);
+}

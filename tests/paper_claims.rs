@@ -29,6 +29,7 @@ fn study() -> &'static Study {
             seed: 7,
             scale: Scale::Small,
             verify: true,
+            ..StudyConfig::default()
         })
         .expect("study runs")
         .without_workload("vector_add")

@@ -16,6 +16,7 @@ fn tiny_study() -> Study {
         seed: 7,
         scale: Scale::Tiny,
         verify: true,
+        ..StudyConfig::default()
     })
     .expect("study runs and verifies")
 }

@@ -16,6 +16,7 @@ fn tiny_config() -> StudyConfig {
         seed: 7,
         scale: Scale::Tiny,
         verify: true,
+        ..StudyConfig::default()
     }
 }
 
