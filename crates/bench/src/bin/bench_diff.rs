@@ -20,7 +20,7 @@
 use gwc_bench::cli::{reject_value, take_count, take_ratio, unknown_opt, ArgStream, Token};
 use gwc_bench::perf::{
     attribute_reports, diff_reports, render_attribution, render_diff, report_backend,
-    report_observer_tier, report_scale, DiffConfig,
+    report_observer_tier, report_policy, report_scale, DiffConfig,
 };
 use gwc_obs::json::Json;
 
@@ -102,14 +102,20 @@ fn main() {
             new_backend.unwrap_or("unrecorded"),
         );
     }
-    // Same story for population scale and observer tier: a standard-vs-
-    // large or exact-vs-sketch diff measures the tier change itself.
+    // Same story for population scale, observer tier and co-schedule
+    // policy: a standard-vs-large, exact-vs-sketch or cross-policy diff
+    // measures the tier change itself.
     for (what, old_v, new_v) in [
         ("study populations", report_scale(&old), report_scale(&new)),
         (
             "observer tiers",
             report_observer_tier(&old),
             report_observer_tier(&new),
+        ),
+        (
+            "co-schedule policies",
+            report_policy(&old),
+            report_policy(&new),
         ),
     ] {
         if old_v != new_v {

@@ -35,13 +35,14 @@ use gwc_obs::metrics::MetricsRecorder;
 use gwc_obs::report::fmt_ns;
 use gwc_obs::{Recorder, Sampler, TraceRecorder};
 use gwc_simt::backend::BackendKind;
+use gwc_simt::sched::SchedPolicy;
 use gwc_workloads::StudyScale;
 
 const USAGE: &str = "\
 usage: bench_run [EXPERIMENT...] [OPTIONS]
 
 Runs the characterization pipeline (study + the given experiments;
-all of E1..E13 when no ids are given) warmup + iters times and writes
+all of E1..E14 when no ids are given) warmup + iters times and writes
 a bench report with min/median/p95 wall times per stage, per
 experiment, and in total.
 
@@ -61,6 +62,9 @@ options:
   --observer-tier T  observer memory tier: `exact` (default) or
                      `sketch` (bounded-memory streaming sketches).
                      Recorded in the report.
+  --policy NAME      block-dispatch policy for the E14 co-scheduled pair
+                     study: `round-robin` (default), `sm-partitioned`,
+                     or `leftover-fill`. Recorded in the report.
   --label NAME       report label (default `run`)
   --out PATH         output path (default BENCH_<label>.json)
   --metrics PATH     write a v4 JSON metrics report rolled up across all
@@ -86,6 +90,7 @@ struct Cli {
     backend: BackendKind,
     scale: StudyScale,
     tier: ObserverTier,
+    policy: SchedPolicy,
     label: String,
     out: Option<String>,
     metrics: Option<String>,
@@ -108,6 +113,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         backend: BackendKind::from_env(),
         scale: StudyScale::Standard,
         tier: ObserverTier::Exact,
+        policy: SchedPolicy::RoundRobin,
         label: "run".to_string(),
         out: None,
         metrics: None,
@@ -158,6 +164,13 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
                     "unknown observer tier `{v}` (expected exact or sketch)"
                 ))
             }),
+            "--policy" => take_value(&flag, inline, &mut args).and_then(|v| {
+                SchedPolicy::parse(&v)
+                    .map(|p| cli.policy = p)
+                    .ok_or(format!(
+                    "unknown policy `{v}` (expected round-robin, sm-partitioned or leftover-fill)"
+                ))
+            }),
             "--label" => take_value(&flag, inline, &mut args).map(|v| cli.label = v),
             "--out" => take_value(&flag, inline, &mut args).map(|v| cli.out = Some(v)),
             "--metrics" => take_value(&flag, inline, &mut args).map(|v| cli.metrics = Some(v)),
@@ -205,14 +218,15 @@ fn main() {
     let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
     eprintln!(
         "bench_run: {} warmup + {} measured iteration(s) of {:?} on {} thread(s), {} backend, {} \
-         population, {} observers",
+         population, {} observers, {} co-schedule",
         cli.warmup,
         cli.iters,
         ids,
         cli.threads,
         cli.backend.name(),
         cli.scale.name(),
-        cli.tier.name()
+        cli.tier.name(),
+        cli.policy.name()
     );
     let mut pipeline_cfg = PipelineConfig {
         threads: cli.threads,
@@ -221,6 +235,7 @@ fn main() {
     };
     pipeline_cfg.study.study_scale = cli.scale;
     pipeline_cfg.study.observer_tier = cli.tier;
+    pipeline_cfg.pair_policy = cli.policy;
     // Run-long recorders tee'd into every iteration's fresh install.
     // A heartbeat gets one too so its ticks carry live counters, not
     // just progress.
@@ -266,6 +281,7 @@ fn main() {
             experiment_ids: cli.ids.clone(),
             scale: cli.scale.name().to_string(),
             observer_tier: cli.tier.name().to_string(),
+            policy: cli.policy.name().to_string(),
         },
         &samples,
     );

@@ -1,7 +1,7 @@
 //! Regenerates the study's experiment artifacts (tables and figures).
 //!
 //! ```sh
-//! cargo run --release -p gwc-bench --bin regen               # all of E1..E13
+//! cargo run --release -p gwc-bench --bin regen               # all of E1..E14
 //! cargo run --release -p gwc-bench --bin regen e5 e12        # a subset
 //! cargo run --release -p gwc-bench --bin regen --threads 4   # parallel study
 //! cargo run --release -p gwc-bench --bin regen -- e1 --metrics m.json
@@ -48,12 +48,13 @@ use gwc_obs::metrics::MetricsRecorder;
 use gwc_obs::report::render_summary;
 use gwc_obs::{Recorder, Sampler, TeeRecorder, TraceRecorder};
 use gwc_simt::backend::BackendKind;
+use gwc_simt::sched::SchedPolicy;
 use gwc_workloads::StudyScale;
 
 const USAGE: &str = "\
 usage: regen [EXPERIMENT...] [OPTIONS]
 
-Regenerates experiment artifacts E1..E13 (all of them when no ids are
+Regenerates experiment artifacts E1..E14 (all of them when no ids are
 given) to stdout. Exits 0 on success, 2 on a usage error.
 
 options:
@@ -71,6 +72,9 @@ options:
   --observer-tier T  locality/coalescing observer memory tier: `exact`
                      (default, per-address state, the bit-exact oracle)
                      or `sketch` (bounded-memory streaming sketches)
+  --policy NAME      block-dispatch policy for the E14 co-scheduled pair
+                     study: `round-robin` (default), `sm-partitioned`,
+                     or `leftover-fill`
   --list             list experiment ids with descriptions and exit
   --metrics PATH     write a schema-versioned JSON metrics report to PATH
   --trace PATH       write a Chrome/Perfetto trace-event timeline to PATH
@@ -94,6 +98,7 @@ struct Cli {
     backend: BackendKind,
     scale: StudyScale,
     tier: ObserverTier,
+    policy: SchedPolicy,
     metrics: Option<String>,
     trace: Option<String>,
     trace_summary: bool,
@@ -114,6 +119,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
         backend: BackendKind::from_env(),
         scale: StudyScale::Standard,
         tier: ObserverTier::Exact,
+        policy: SchedPolicy::RoundRobin,
         metrics: None,
         trace: None,
         trace_summary: false,
@@ -169,6 +175,13 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Cli {
             "--observer-tier" => take_value(&flag, inline, &mut args).and_then(|v| {
                 ObserverTier::parse(&v).map(|t| cli.tier = t).ok_or(format!(
                     "unknown observer tier `{v}` (expected exact or sketch)"
+                ))
+            }),
+            "--policy" => take_value(&flag, inline, &mut args).and_then(|v| {
+                SchedPolicy::parse(&v)
+                    .map(|p| cli.policy = p)
+                    .ok_or(format!(
+                    "unknown policy `{v}` (expected round-robin, sm-partitioned or leftover-fill)"
                 ))
             }),
             "--metrics" => take_value(&flag, inline, &mut args).map(|v| cli.metrics = Some(v)),
@@ -236,7 +249,7 @@ fn main() {
     gwc_simt::backend::set_default(cli.backend);
     eprintln!(
         "running the characterization study (Small scale, seed 7, {} thread{}, cache {}, {} \
-         backend, {} population, {} observers)...",
+         backend, {} population, {} observers, {} co-schedule)...",
         cli.threads,
         if cli.threads == 1 { "" } else { "s" },
         match &cli.cache {
@@ -245,7 +258,8 @@ fn main() {
         },
         cli.backend.name(),
         cli.scale.name(),
-        cli.tier.name()
+        cli.tier.name(),
+        cli.policy.name()
     );
     let mut config = PipelineConfig {
         threads: cli.threads,
@@ -254,6 +268,7 @@ fn main() {
     };
     config.study.study_scale = cli.scale;
     config.study.observer_tier = cli.tier;
+    config.pair_policy = cli.policy;
     let artifacts = StudyArtifacts::collect(&config);
     let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
     print!("{}", render_experiments(&ids, &artifacts));

@@ -1,6 +1,8 @@
-//! One function per experiment (E1–E13), all sharing one staged
+//! One function per experiment (E1–E14), all sharing one staged
 //! pipeline run ([`gwc_core::pipeline`]). Each experiment declares the
-//! pipeline artifacts it consumes in [`EXPERIMENTS`].
+//! pipeline artifacts it consumes in [`EXPERIMENTS`]. E14 additionally
+//! drives the lazy pair stage ([`gwc_core::pipeline::PairsStage`]) off
+//! the shared study artifact.
 
 use std::fmt::Write as _;
 
@@ -34,7 +36,7 @@ pub fn study_config() -> StudyConfig {
 /// it consumes (`regen --list` prints this table).
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentSpec {
-    /// Stable id (`e1` .. `e13`).
+    /// Stable id (`e1` .. `e14`).
     pub id: &'static str,
     /// One-line description.
     pub desc: &'static str,
@@ -115,6 +117,11 @@ pub const EXPERIMENTS: &[ExperimentSpec] = &[
     ExperimentSpec {
         id: "e13",
         desc: "stress-workload selection per functional block",
+        consumes: &[ArtifactKind::Study],
+    },
+    ExperimentSpec {
+        id: "e14",
+        desc: "pairwise interference of co-scheduled kernels",
         consumes: &[ArtifactKind::Study],
     },
 ];
@@ -334,7 +341,7 @@ pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
         labels.len(),
         rep_names.join(", ")
     );
-    let eval = evaluate_subset_threads(a.study(), &baseline, &configs, reps, a.threads);
+    let eval = evaluate_subset_threads(a.study(), &baseline, &configs, reps, a.config.threads);
     let _ = writeln!(
         out,
         "\n{:<16} {:>10} {:>10} {:>8}",
@@ -360,7 +367,7 @@ pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
         reps.len(),
         20,
         99,
-        a.threads,
+        a.config.threads,
     );
     let _ = writeln!(
         out,
@@ -375,7 +382,7 @@ pub fn e12_eval_metrics(a: &StudyArtifacts) -> String {
             size,
             20,
             1234 + size as u64,
-            a.threads,
+            a.config.threads,
         );
         let _ = writeln!(
             out,
@@ -393,6 +400,71 @@ pub fn e13_stress_selection(a: &StudyArtifacts) -> String {
         let _ = writeln!(out, "{} (by {}):", sel.block, sel.characteristic);
         for (name, v) in &sel.top {
             let _ = writeln!(out, "    {name:<44} {v:.4}");
+        }
+    }
+    out
+}
+
+/// E14 — pairwise interference of co-scheduled kernels.
+///
+/// Runs the lazy pair stage against the shared study artifact (same
+/// seed, scale, and dispatch policy as the collection config), prints
+/// each scenario's contention-adjusted locality deltas (co-resident
+/// minus in-pass solo timeline), the cached solo-study reference rows,
+/// and clusters the pairs by their interference signature.
+pub fn e14_pair_interference(a: &StudyArtifacts) -> String {
+    use gwc_core::pipeline::{PairsStage, Stage as _};
+
+    let pairs = PairsStage::run(&a.config, &a.study).pairs;
+    let mut out = format!(
+        "E14: pairwise interference under co-scheduling (policy: {})\n",
+        pairs.policy().name()
+    );
+    for r in pairs.records() {
+        let p = &r.profile;
+        let _ = writeln!(
+            out,
+            "{} (expect {}): interference {:.4}, footprint {} lines, overlap {:.3}",
+            r.scenario.name,
+            r.scenario.expected.name(),
+            p.interference(),
+            p.footprint_lines,
+            p.overlap_frac()
+        );
+        for (m, member) in p.members.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {:<20} co-cdf {:.3} {:.3} {:.3} cold {:.3} | delta {:+.3} {:+.3} {:+.3} cold {:+.3} | solo-study {}",
+                member.name,
+                member.co.reuse_cdf[0],
+                member.co.reuse_cdf[1],
+                member.co.reuse_cdf[2],
+                member.co.cold_frac,
+                member.reuse_delta(0),
+                member.reuse_delta(1),
+                member.reuse_delta(2),
+                member.cold_delta(),
+                match r.solo_ref[m] {
+                    Some(s) => format!("{:.3} {:.3} {:.3} cold {:.3}", s[0], s[1], s[2], s[3]),
+                    None => "n/a (not in population)".to_string(),
+                }
+            );
+        }
+    }
+    let (labels, matrix) = pairs.signature_matrix();
+    let (z, _) = zscore(&matrix);
+    let analysis = ClusterAnalysis::fit(&z, 3, 7).expect("pair signatures cluster");
+    let _ = writeln!(
+        out,
+        "\ninterference clusters (BIC-selected k = {}):",
+        analysis.k()
+    );
+    for (c, &rep) in analysis.representatives().iter().enumerate() {
+        let _ = writeln!(out, "cluster {c} (rep: {})", labels[rep]);
+        for (i, &l) in analysis.labels().iter().enumerate() {
+            if l == c {
+                let _ = writeln!(out, "    {}", labels[i]);
+            }
         }
     }
     out
@@ -424,6 +496,7 @@ pub fn run_experiment(id: &str, a: &StudyArtifacts) -> String {
         "e11" => e11_suite_diversity(a),
         "e12" => e12_eval_metrics(a),
         "e13" => e13_stress_selection(a),
+        "e14" => e14_pair_interference(a),
         other => panic!("unknown experiment `{other}`"),
     }
 }
@@ -460,9 +533,10 @@ mod tests {
 
     #[test]
     fn experiment_ids_are_complete() {
-        assert_eq!(all_experiments().len(), 13);
+        assert_eq!(all_experiments().len(), 14);
         assert_eq!(all_experiments()[0], "e1");
         assert_eq!(all_experiments()[12], "e13");
+        assert_eq!(all_experiments()[13], "e14");
     }
 
     #[test]

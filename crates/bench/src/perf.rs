@@ -236,6 +236,10 @@ pub struct BenchContext {
     pub scale: String,
     /// Observer memory tier (`exact` or `sketch`). Empty = omitted.
     pub observer_tier: String,
+    /// Co-schedule dispatch policy the E14 pair study ran under
+    /// (`round-robin`, `sm-partitioned` or `leftover-fill`). Empty =
+    /// omitted.
+    pub policy: String,
 }
 
 fn summary_fields(s: Summary) -> Vec<(String, Json)> {
@@ -340,6 +344,9 @@ pub fn build_bench_report(ctx: &BenchContext, samples: &[BenchSample]) -> Json {
     if !ctx.observer_tier.is_empty() {
         fields.push(("observer_tier".into(), Json::Str(ctx.observer_tier.clone())));
     }
+    if !ctx.policy.is_empty() {
+        fields.push(("policy".into(), Json::Str(ctx.policy.clone())));
+    }
     fields.extend(vec![
         ("threads".into(), Json::UInt(ctx.threads as u64)),
         ("warmup".into(), Json::UInt(ctx.warmup as u64)),
@@ -392,11 +399,11 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
             return Err(format!("missing key `{key}`"));
         }
     }
-    // `backend`, `scale` and `observer_tier` arrived after version 1
-    // shipped: optional so committed baselines predating them stay
-    // valid, but when present each must be a string (the accessors
+    // `backend`, `scale`, `observer_tier` and `policy` arrived after
+    // version 1 shipped: optional so committed baselines predating them
+    // stay valid, but when present each must be a string (the accessors
     // treat anything else as absent).
-    for key in ["backend", "scale", "observer_tier"] {
+    for key in ["backend", "scale", "observer_tier", "policy"] {
         if let Some(v) = doc.get(key) {
             if v.as_str().is_none() {
                 return Err(format!("`{key}` is not a string"));
@@ -470,6 +477,11 @@ pub fn report_scale(doc: &Json) -> Option<&str> {
 /// The observer memory tier recorded in a bench report, if any.
 pub fn report_observer_tier(doc: &Json) -> Option<&str> {
     doc.get("observer_tier").and_then(Json::as_str)
+}
+
+/// The co-schedule dispatch policy recorded in a bench report, if any.
+pub fn report_policy(doc: &Json) -> Option<&str> {
+    doc.get("policy").and_then(Json::as_str)
 }
 
 /// How [`diff_reports`] decides what counts as a regression.
@@ -820,6 +832,7 @@ mod tests {
             experiment_ids: vec!["e1".into(), "e2".into()],
             scale: "standard".into(),
             observer_tier: "exact".into(),
+            policy: "round-robin".into(),
         };
         let samples: Vec<BenchSample> = (0..3)
             .map(|i| sample(scale * (100 + i), scale * (80 + i)))
@@ -957,6 +970,37 @@ mod tests {
         let bare = build_bench_report(&BenchContext::default(), &[]);
         assert_eq!(report_scale(&bare), None);
         assert_eq!(report_observer_tier(&bare), None);
+    }
+
+    #[test]
+    fn policy_is_stamped_optional_and_typed() {
+        let doc = report(1_000_000);
+        assert_eq!(report_policy(&doc), Some("round-robin"));
+
+        // Baselines from before the field existed stay valid.
+        let Json::Obj(mut fields) = doc.clone() else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "policy");
+        let legacy = Json::Obj(fields);
+        validate_bench(&legacy).expect("policy-less report validates");
+        assert_eq!(report_policy(&legacy), None);
+
+        // A mistyped policy is a schema error.
+        let Json::Obj(mut fields) = doc else {
+            unreachable!()
+        };
+        for (k, v) in &mut fields {
+            if k == "policy" {
+                *v = Json::UInt(1);
+            }
+        }
+        let err = validate_bench(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("policy"), "{err}");
+
+        // An empty-context report omits the field entirely.
+        let bare = build_bench_report(&BenchContext::default(), &[]);
+        assert_eq!(report_policy(&bare), None);
     }
 
     #[test]

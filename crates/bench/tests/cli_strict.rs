@@ -159,6 +159,7 @@ fn bench_diff_flags_cross_backend_comparisons() {
             experiment_ids: vec!["e1".into()],
             scale: String::new(),
             observer_tier: String::new(),
+            policy: String::new(),
         };
         let sample = gwc_bench::perf::BenchSample {
             total_ns: 5_000_000,
@@ -248,6 +249,7 @@ fn bench_diff_attribute_names_the_offending_kernel_and_uop_class() {
             experiment_ids: vec!["e1".into()],
             scale: String::new(),
             observer_tier: String::new(),
+            policy: String::new(),
         };
         build_bench_report(&ctx, &[sample])
     };
@@ -317,13 +319,32 @@ fn regen_list_prints_every_experiment_and_exits_0() {
     let out = run(env!("CARGO_BIN_EXE_regen"), &["--list"]);
     assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
-    for id in ["e1", "e7", "e13"] {
+    for id in ["e1", "e7", "e13", "e14"] {
         assert!(
             stdout.lines().any(|l| l.starts_with(id)),
             "--list missing `{id}`:\n{stdout}"
         );
     }
-    assert_eq!(stdout.lines().count(), 13, "{stdout}");
+    assert_eq!(stdout.lines().count(), 14, "{stdout}");
+}
+
+#[test]
+fn invalid_policy_exits_2_without_starting_work() {
+    for bin in [env!("CARGO_BIN_EXE_bench_run"), env!("CARGO_BIN_EXE_regen")] {
+        for args in [
+            ["e1", "--policy", "bogus"].as_slice(),
+            ["e1", "--policy=greedy"].as_slice(),
+            ["e1", "--policy"].as_slice(),
+        ] {
+            let out = run(bin, args);
+            assert_eq!(out.status.code(), Some(2), "{bin} {args:?}");
+            let err = stderr_of(&out);
+            assert!(
+                err.contains("policy") && err.contains("usage:"),
+                "{bin} {args:?}: stderr:\n{err}"
+            );
+        }
+    }
 }
 
 #[test]

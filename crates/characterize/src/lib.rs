@@ -53,6 +53,7 @@ pub mod ilp;
 pub mod locality;
 pub mod merge;
 pub mod mix;
+pub mod pair;
 pub mod profile;
 pub mod profiler;
 pub mod runtime;
@@ -62,6 +63,7 @@ pub mod sketch;
 
 pub use cache::{MatrixBlock, MatrixCache, ProfileCache};
 pub use merge::MergeableObserver;
+pub use pair::{InterferenceStack, PairMemberProfile, PairObserver, PairProfile};
 pub use profile::{KernelProfile, RawCounts};
 pub use profiler::{characterize_launch, Profiler};
 pub use runtime::{characterize_launch_sharded, profile_launch_sharded};

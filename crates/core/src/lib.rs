@@ -43,6 +43,7 @@
 pub mod analysis;
 pub mod diversity;
 pub mod eval;
+pub mod pairs;
 pub mod parallel;
 pub mod pipeline;
 pub mod reduce;

@@ -20,6 +20,7 @@
 use std::path::PathBuf;
 
 use gwc_characterize::{MatrixBlock, MatrixCache, ProfileCache};
+use gwc_simt::sched::SchedPolicy;
 use gwc_stats::{Matrix, MatrixBuilder};
 use gwc_workloads::Scale;
 
@@ -32,6 +33,11 @@ use crate::study::{Study, StudyConfig};
 pub enum StageId {
     /// Run the workload registry and collect kernel profiles.
     Study,
+    /// Co-run the curated kernel pairs and collect interference
+    /// profiles. Lazy: not in [`StageId::ALL`] — it runs on demand
+    /// (experiment E14), not in every [`Artifacts::collect`], so
+    /// pipelines that never look at pairs pay nothing.
+    Pairs,
     /// Assemble the kernel × characteristic matrix with row labels.
     Matrix,
     /// Normalize and reduce dimensionality (PCA).
@@ -41,7 +47,8 @@ pub enum StageId {
 }
 
 impl StageId {
-    /// Every stage, in the one valid topological order.
+    /// Every *eagerly collected* stage, in the one valid topological
+    /// order ([`StageId::Pairs`] is lazy and deliberately absent).
     pub const ALL: [StageId; 4] = [
         StageId::Study,
         StageId::Matrix,
@@ -53,6 +60,7 @@ impl StageId {
     pub fn name(self) -> &'static str {
         match self {
             StageId::Study => "study",
+            StageId::Pairs => "pairs",
             StageId::Matrix => "matrix",
             StageId::Reduce => "reduce",
             StageId::Cluster => "cluster",
@@ -68,6 +76,7 @@ impl StageId {
     pub fn span_path(self) -> &'static str {
         match self {
             StageId::Study => "study",
+            StageId::Pairs => "study/pairs",
             StageId::Matrix => "reduce/matrix",
             StageId::Reduce => "reduce",
             StageId::Cluster => "cluster",
@@ -78,6 +87,7 @@ impl StageId {
     pub fn deps(self) -> &'static [StageId] {
         match self {
             StageId::Study => &[],
+            StageId::Pairs => &[StageId::Study],
             StageId::Matrix => &[StageId::Study],
             StageId::Reduce => &[StageId::Matrix],
             StageId::Cluster => &[StageId::Reduce],
@@ -88,6 +98,7 @@ impl StageId {
     pub fn output(self) -> ArtifactKind {
         match self {
             StageId::Study => ArtifactKind::Study,
+            StageId::Pairs => ArtifactKind::Pairs,
             StageId::Matrix => ArtifactKind::Matrix,
             StageId::Reduce => ArtifactKind::Reduced,
             StageId::Cluster => ArtifactKind::Clustering,
@@ -101,6 +112,8 @@ impl StageId {
 pub enum ArtifactKind {
     /// [`StudyArtifact`].
     Study,
+    /// [`PairArtifact`].
+    Pairs,
     /// [`MatrixArtifact`].
     Matrix,
     /// [`ReducedArtifact`].
@@ -114,6 +127,7 @@ impl ArtifactKind {
     pub fn name(self) -> &'static str {
         match self {
             ArtifactKind::Study => "study",
+            ArtifactKind::Pairs => "pairs",
             ArtifactKind::Matrix => "matrix",
             ArtifactKind::Reduced => "reduced",
             ArtifactKind::Clustering => "clustering",
@@ -146,6 +160,8 @@ pub struct PipelineConfig {
     /// Directory of the persistent profile cache; `None` disables
     /// caching (every workload simulates).
     pub cache_dir: Option<PathBuf>,
+    /// Dispatch policy the (lazy) pair-study stage co-schedules under.
+    pub pair_policy: SchedPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -163,6 +179,7 @@ impl Default for PipelineConfig {
             max_k: 12,
             cluster_seed: 7,
             cache_dir: None,
+            pair_policy: SchedPolicy::RoundRobin,
         }
     }
 }
@@ -173,6 +190,13 @@ pub struct StudyArtifact {
     /// The study, with [`PipelineConfig::exclude_workload`] already
     /// dropped.
     pub study: Study,
+}
+
+/// Output of [`StageId::Pairs`]: the pairwise-interference study.
+#[derive(Debug)]
+pub struct PairArtifact {
+    /// The co-scheduled pair study.
+    pub pairs: crate::pairs::PairStudy,
 }
 
 /// Output of [`StageId::Matrix`]: the kernel × characteristic matrix.
@@ -238,6 +262,26 @@ impl Stage for StudyStage {
             None => study,
         };
         StudyArtifact { study }
+    }
+}
+
+/// The (lazy) pair-study stage: co-schedules the curated kernel pairs
+/// under [`PipelineConfig::pair_policy`] and profiles their
+/// interference, using the study artifact for the cache-backed solo
+/// reference columns. Run on demand (experiment E14 is its consumer),
+/// never inside [`Artifacts::collect`].
+pub struct PairsStage;
+
+impl Stage for PairsStage {
+    const ID: StageId = StageId::Pairs;
+    type Input<'a> = &'a StudyArtifact;
+    type Output = PairArtifact;
+
+    fn run(cfg: &PipelineConfig, input: &StudyArtifact) -> PairArtifact {
+        let _span = gwc_obs::span!("{}", StageId::Pairs.span_path());
+        PairArtifact {
+            pairs: crate::pairs::run_from_artifact(cfg, input),
+        }
     }
 }
 
@@ -358,9 +402,11 @@ pub struct Artifacts {
     pub reduced: ReducedArtifact,
     /// Cluster-stage output.
     pub clustering: ClusteringArtifact,
-    /// Worker threads downstream consumers (e.g. experiment E12's
-    /// design-point sweep) should use; copied from the config.
-    pub threads: usize,
+    /// The configuration the artifacts were collected under. Downstream
+    /// consumers read it for worker threads (experiment E12's
+    /// design-point sweep) and to run the lazy pair stage (experiment
+    /// E14) against the same seed, scale, and dispatch policy.
+    pub config: PipelineConfig,
 }
 
 impl Artifacts {
@@ -402,7 +448,7 @@ impl Artifacts {
             matrix,
             reduced,
             clustering,
-            threads: cfg.threads,
+            config: cfg.clone(),
         }
     }
 
@@ -452,9 +498,23 @@ mod tests {
     #[test]
     fn stage_impls_agree_with_dag() {
         assert_eq!(StudyStage::ID, StageId::Study);
+        assert_eq!(PairsStage::ID, StageId::Pairs);
         assert_eq!(MatrixStage::ID, StageId::Matrix);
         assert_eq!(ReduceStage::ID, StageId::Reduce);
         assert_eq!(ClusterStage::ID, StageId::Cluster);
+    }
+
+    /// The lazy pair stage must stay out of the eager driver: its cost
+    /// belongs to E14 alone, and `collect` timing baselines depend on
+    /// the stage set staying fixed.
+    #[test]
+    fn pairs_stage_is_lazy_with_valid_deps() {
+        assert!(!StageId::ALL.contains(&StageId::Pairs));
+        assert_eq!(StageId::Pairs.deps(), &[StageId::Study]);
+        assert_eq!(StageId::Pairs.output(), ArtifactKind::Pairs);
+        assert_eq!(StageId::Pairs.name(), "pairs");
+        assert_eq!(StageId::Pairs.span_path(), "study/pairs");
+        assert_eq!(ArtifactKind::Pairs.name(), "pairs");
     }
 
     #[test]
@@ -484,5 +544,6 @@ mod tests {
         assert_eq!(cfg.cluster_seed, 7);
         assert!(cfg.cache_dir.is_none());
         assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.pair_policy, SchedPolicy::RoundRobin);
     }
 }

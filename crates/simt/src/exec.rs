@@ -18,8 +18,16 @@
 //!
 //! Warp stepping itself is pluggable ([`crate::backend`]): the scalar
 //! reference loop lives here ([`LaunchCtx::run_warp_scalar`]), the
-//! 8-wide SIMD engine in [`crate::simd`], and `run_block_range`
-//! dispatches once per launch so both monomorphize fully.
+//! 8-wide SIMD engine in [`crate::simd`].
+//!
+//! Block dispatch is plan-driven ([`crate::sched`]): every launch —
+//! solo or co-scheduled — executes a [`crate::sched::DispatchPlan`], a
+//! deterministic sequence of `(kernel, block_range)` slices. A solo
+//! launch ([`Device::run_block_range`]) consumes the trivial
+//! single-slice plan; [`Device::launch_pair`] consumes a
+//! policy-generated interleaving of two kernels' grids. The plan
+//! executor dispatches on the backend once per launch, outside the
+//! slice loop, so both engines still monomorphize fully.
 
 use crate::backend::{BackendKind, ExecBackend, ScalarBackend, SimdBackend};
 use crate::decode::{self, DecodedKernel, Src, Uop};
@@ -27,10 +35,13 @@ use crate::instr::{Space, SpecialReg, Value};
 use crate::kernel::Kernel;
 use crate::launch::LaunchConfig;
 use crate::profile::ExecProfile;
+use crate::sched::{BlockScheduler, CoScheduleObserver, DispatchPlan, SchedPolicy};
 use crate::trace::{
     AccessKind, BranchEvent, InstrEvent, LaunchStats, MemEvent, NullObserver, TraceObserver,
 };
 use crate::{SimtError, WARP_SIZE};
+
+use std::sync::Arc;
 
 /// A handle to a buffer allocated in device global or constant memory.
 ///
@@ -403,57 +414,157 @@ impl Device {
             "block range {first}..{last} out of grid bounds"
         );
 
-        // The µop stream and per-pc side tables: decoded on the kernel's
-        // first launch, shared by every launch (and shard) after that.
-        let dec = kernel.decoded().clone();
-        // Parameters are uniform across the grid; resolve them to raw
-        // bits once per launch.
-        let params: Vec<u32> = args.iter().map(|v| v.to_bits()).collect();
-
-        let mut stats = LaunchStats {
-            blocks: (last - first) as u64,
-            ..LaunchStats::default()
-        };
-        let mut exec = self
-            .exec_profiling_active()
-            .then(|| ExecProfile::new(dec.len()));
-
-        let mut scratch = LaunchScratch::default();
-        let mut ctx = LaunchCtx {
-            dec: &dec,
-            kernel,
-            config,
-            params: &params,
-            global: &mut self.global,
-            const_mem: &self.const_mem,
-            budget: self.limits.instr_budget,
-            fusion: self.fusion,
-            stats: &mut stats,
-            exec: exec.as_mut(),
-        };
-
-        // One dispatch per launch; each arm monomorphizes the whole
-        // block/warp loop over its engine. Block progress is declared
-        // per range, so shard declares sum to the launch's grid.
-        gwc_obs::progress::declare(&gwc_obs::progress::BLOCKS, (last - first) as u64);
-        match self.backend {
-            BackendKind::Scalar => {
-                for block in first..last {
-                    ctx.run_block::<ScalarBackend, O>(block, &mut scratch, observer)?;
-                    gwc_obs::progress::tick(&gwc_obs::progress::BLOCKS, 1);
-                }
-            }
-            BackendKind::Simd => {
-                for block in first..last {
-                    ctx.run_block::<SimdBackend, O>(block, &mut scratch, observer)?;
-                    gwc_obs::progress::tick(&gwc_obs::progress::BLOCKS, 1);
-                }
-            }
-        }
+        // Solo launches and shards are the trivial plan: one slice of
+        // kernel 0. The plan executor re-bases slice ranges at 0, so a
+        // shard's range is expressed directly.
+        let plan = DispatchPlan::single(first..last);
+        let mut member = PlanMember::new(kernel, config, args, self.exec_profiling_active());
+        self.run_plan(
+            std::slice::from_mut(&mut member),
+            &plan,
+            observer,
+            |_, _, _| {},
+        )?;
         // Always overwrite: a stale profile from an earlier launch must
         // not outlive the launch it measured.
-        self.last_exec = exec;
-        Ok(stats)
+        self.last_exec = member.exec;
+        Ok(member.stats)
+    }
+
+    /// Co-schedules two kernels on this device: their block dispatch is
+    /// interleaved according to `policy`'s [`DispatchPlan`], so both
+    /// kernels' memory traffic shares one timeline (the substrate the
+    /// pairwise-interference characterization measures).
+    ///
+    /// Each kernel still executes its own blocks in ascending order with
+    /// its own statistics, budget, and (via
+    /// [`CoScheduleObserver::on_slice`] routing) its own observations —
+    /// per-kernel results are bit-identical to solo launches of the same
+    /// kernels on the same memory image. The plan is a pure function of
+    /// `(policy, grid geometry)`, so a pair launch is as deterministic
+    /// as a solo one, on either backend.
+    ///
+    /// Execution-cost profiling is not collected on the pair path (an
+    /// [`ExecProfile`] is per-µop-stream and the members have different
+    /// streams); any previously collected profile is cleared.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Device::launch_observed`], for either member; member 0
+    /// is validated first.
+    pub fn launch_pair<O: CoScheduleObserver + ?Sized>(
+        &mut self,
+        a: PairLaunch<'_>,
+        b: PairLaunch<'_>,
+        policy: SchedPolicy,
+        observer: &mut O,
+    ) -> Result<[LaunchStats; 2], SimtError> {
+        for m in [&a, &b] {
+            m.config.validate()?;
+            m.kernel.check_args(m.args)?;
+        }
+        let grids = [a.config.blocks() as u32, b.config.blocks() as u32];
+        let plan = policy.plan(&grids);
+        debug_assert!(
+            plan.validate(&grids).is_ok(),
+            "policy produced invalid plan"
+        );
+
+        observer.on_member_launch(0, a.kernel, a.config);
+        observer.on_member_launch(1, b.kernel, b.config);
+        // Two kernels launch through the backend, counted like two solo
+        // launches plus the pair-level rollups.
+        gwc_obs::count(self.backend.counter_name(), 2);
+        gwc_obs::count("pair.launches", 1);
+        gwc_obs::count(&format!("pair.policy.{}", policy.name()), 1);
+        gwc_obs::count("pair.slices", plan.slices().len() as u64);
+        let t0 = gwc_obs::enabled().then(std::time::Instant::now);
+        let span = gwc_obs::span!("launch_pair/{}+{}", a.kernel.name(), b.kernel.name());
+        let mut members = [
+            PlanMember::new(a.kernel, a.config, a.args, false),
+            PlanMember::new(b.kernel, b.config, b.args, false),
+        ];
+        self.run_plan(&mut members, &plan, observer, |obs, kernel, blocks| {
+            obs.on_slice(kernel, blocks)
+        })?;
+        drop(span);
+        let wall_ns = t0.map(|t0| t0.elapsed().as_nanos() as u64);
+        if let Some(ns) = wall_ns {
+            gwc_obs::hist("pair.latency_ns", ns);
+        }
+        let [ma, mb] = members;
+        observer.on_member_launch_end(0, &ma.stats);
+        observer.on_member_launch_end(1, &mb.stats);
+        gwc_obs::progress::tick(&gwc_obs::progress::LAUNCHES, 2);
+        // Each member is recorded with the co-run wall: that is the wall
+        // the kernel experienced while co-resident.
+        crate::trace::record_launch(a.kernel.name(), &ma.stats, wall_ns.unwrap_or(0));
+        crate::trace::record_launch(b.kernel.name(), &mb.stats, wall_ns.unwrap_or(0));
+        self.last_exec = None;
+        Ok([ma.stats, mb.stats])
+    }
+
+    /// Executes a [`DispatchPlan`] over `members`: dispatches on the
+    /// backend once (outside the slice loop, so each engine's block/warp
+    /// loop monomorphizes fully), then runs every slice's block range
+    /// against its member's launch context. `on_slice` fires before each
+    /// slice so co-schedule observers can route events per member.
+    fn run_plan<O: TraceObserver + ?Sized>(
+        &mut self,
+        members: &mut [PlanMember<'_>],
+        plan: &DispatchPlan,
+        observer: &mut O,
+        mut on_slice: impl FnMut(&mut O, usize, &std::ops::Range<u32>),
+    ) -> Result<(), SimtError> {
+        for (k, m) in members.iter_mut().enumerate() {
+            m.stats.blocks = plan.blocks_of(k);
+        }
+        // Block progress is declared per plan, so shard declares sum to
+        // the launch's grid and a pair declares both grids.
+        gwc_obs::progress::declare(&gwc_obs::progress::BLOCKS, plan.total_blocks());
+        match self.backend {
+            BackendKind::Scalar => {
+                self.run_plan_backend::<ScalarBackend, O>(members, plan, observer, &mut on_slice)
+            }
+            BackendKind::Simd => {
+                self.run_plan_backend::<SimdBackend, O>(members, plan, observer, &mut on_slice)
+            }
+        }
+    }
+
+    fn run_plan_backend<B: ExecBackend, O: TraceObserver + ?Sized>(
+        &mut self,
+        members: &mut [PlanMember<'_>],
+        plan: &DispatchPlan,
+        observer: &mut O,
+        on_slice: &mut impl FnMut(&mut O, usize, &std::ops::Range<u32>),
+    ) -> Result<(), SimtError> {
+        for slice in plan.slices() {
+            on_slice(observer, slice.kernel, &slice.blocks);
+            let m = &mut members[slice.kernel];
+            // The launch context borrows device memory, so it is rebuilt
+            // per slice; everything kernel-specific (µop stream, params,
+            // stats, scratch) persists in the member across slices, so a
+            // member's execution is identical to running its slices
+            // back-to-back — which is exactly the solo launch.
+            let mut ctx = LaunchCtx {
+                dec: &m.dec,
+                kernel: m.kernel,
+                config: m.config,
+                params: &m.params,
+                global: &mut self.global,
+                const_mem: &self.const_mem,
+                budget: self.limits.instr_budget,
+                fusion: self.fusion,
+                stats: &mut m.stats,
+                exec: m.exec.as_mut(),
+            };
+            for block in slice.blocks.clone() {
+                ctx.run_block::<B, O>(block, &mut m.scratch, observer)?;
+                gwc_obs::progress::tick(&gwc_obs::progress::BLOCKS, 1);
+            }
+        }
+        Ok(())
     }
 
     /// Clones the device — global and constant memory plus limits,
@@ -555,6 +666,57 @@ struct LaunchScratch {
     shared: Vec<u8>,
     local: Vec<u8>,
     warps: Vec<Warp>,
+}
+
+/// One member of a co-scheduled pair launch: a kernel, its launch
+/// geometry, and its arguments. [`Device::launch_pair`] takes two.
+#[derive(Clone, Copy)]
+pub struct PairLaunch<'a> {
+    /// The kernel to launch.
+    pub kernel: &'a Kernel,
+    /// Its launch geometry.
+    pub config: &'a LaunchConfig,
+    /// Its arguments.
+    pub args: &'a [Value],
+}
+
+/// Per-kernel state of a plan-driven launch: everything kernel-specific
+/// that persists across the member's dispatch slices (device memory is
+/// shared by all members and borrowed per slice by [`LaunchCtx`]).
+struct PlanMember<'a> {
+    dec: Arc<DecodedKernel>,
+    kernel: &'a Kernel,
+    config: &'a LaunchConfig,
+    params: Vec<u32>,
+    stats: LaunchStats,
+    exec: Option<ExecProfile>,
+    scratch: LaunchScratch,
+}
+
+impl<'a> PlanMember<'a> {
+    fn new(
+        kernel: &'a Kernel,
+        config: &'a LaunchConfig,
+        args: &[Value],
+        profile_exec: bool,
+    ) -> Self {
+        // The µop stream and per-pc side tables: decoded on the kernel's
+        // first launch, shared by every launch (and shard) after that.
+        let dec = kernel.decoded().clone();
+        // Parameters are uniform across the grid; resolve them to raw
+        // bits once per launch.
+        let params: Vec<u32> = args.iter().map(|v| v.to_bits()).collect();
+        let exec = profile_exec.then(|| ExecProfile::new(dec.len()));
+        Self {
+            dec,
+            kernel,
+            config,
+            params,
+            stats: LaunchStats::default(),
+            exec,
+            scratch: LaunchScratch::default(),
+        }
+    }
 }
 
 /// Per-launch execution context shared by every backend: the decoded

@@ -203,9 +203,12 @@ impl Kernel {
         None
     }
 
-    /// Whether this kernel's blocks may be executed as disjoint block
-    /// ranges on forked devices (see `Device::run_block_range`) with
-    /// results identical to serial execution.
+    /// Whether this kernel's blocks may be dispatched as disjoint block
+    /// ranges out of grid order — on forked devices (the sharded plan,
+    /// `Device::run_block_range` per shard) or interleaved with a
+    /// co-resident kernel's slices (`Device::launch_pair` under a
+    /// `sched::DispatchPlan`) — with results identical to serial
+    /// execution.
     ///
     /// The static contract, checked from the IR: no global-memory atomics.
     /// Shared-memory atomics and barriers are block-local and always safe.
@@ -216,6 +219,12 @@ impl Kernel {
     /// not shardable and must go through the serial path. The determinism
     /// test suite cross-checks every registered workload against this
     /// contract. [`Kernel::shard_blocker`] names the reason.
+    ///
+    /// Co-scheduling is less demanding than sharding: every dispatch
+    /// policy keeps a kernel's own blocks in ascending order on one
+    /// device, so even kernels with global atomics pair safely — the
+    /// contract only matters when block ranges run on diverged memory
+    /// images.
     pub fn is_block_shardable(&self) -> bool {
         self.shard_blocker().is_none()
     }

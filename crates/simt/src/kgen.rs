@@ -532,6 +532,43 @@ pub fn generate_seeded(seed: u64) -> Result<GeneratedKernel, SimtError> {
     generate(KgenKnobs::from_seed(seed))
 }
 
+/// Knob point for an adversarial cache-thrashing partner kernel, used
+/// by the pairwise-interference harness as a co-resident aggressor that
+/// no curated registry pair can match: every region is a strided,
+/// data-dependent gather ([`Region::LdCvt`]-heavy mix via zero
+/// divergence/atomic/barrier densities), the stride is a large prime so
+/// consecutive loads land in different 128-byte lines, and looped
+/// regions re-walk the whole footprint, widening the victim's reuse
+/// distances as far as the shared timeline allows.
+///
+/// `atomic_density` is zero by construction: the thrasher stays free of
+/// global atomics, so it can co-schedule (and block-shard) against any
+/// partner.
+pub fn thrash_knobs(seed: u64) -> KgenKnobs {
+    KgenKnobs {
+        seed,
+        ops: 12,
+        divergence: 0,
+        loop_iters: 5,
+        stride: 97,
+        atomic_density: 0,
+        barrier_density: 0,
+        blocks: 8,
+        threads_per_block: 256,
+    }
+}
+
+/// Generates the seeded cache-thrashing partner kernel
+/// ([`thrash_knobs`]).
+///
+/// # Errors
+///
+/// Propagates kernel-build errors (none are expected: generated kernels
+/// are safe by construction).
+pub fn generate_thrasher(seed: u64) -> Result<GeneratedKernel, SimtError> {
+    generate(thrash_knobs(seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,5 +628,27 @@ mod tests {
         // Structured ifs + mul/add + ld/cvt seeding should make fusion
         // common across seeds.
         assert!(fused > 40, "fusion rarely seeded: {fused}/64");
+    }
+
+    #[test]
+    fn thrasher_is_atomic_free_deterministic_and_runs() {
+        let g = generate_thrasher(7).unwrap();
+        assert!(
+            g.kernel.is_block_shardable(),
+            "thrasher must stay free of global atomics"
+        );
+        let again = generate_thrasher(7).unwrap();
+        assert_eq!(g.kernel.content_hash(), again.kernel.content_hash());
+        assert_ne!(
+            g.kernel.content_hash(),
+            generate_thrasher(8).unwrap().kernel.content_hash()
+        );
+        let mut dev = Device::with_backend(BackendKind::Simd);
+        let args = g.alloc_args(&mut dev);
+        let stats = dev.launch(&g.kernel, &g.config, &args.args).unwrap();
+        // The whole point is memory pressure: a wide-strided gather per
+        // region over a multi-KiB footprint.
+        assert!(stats.thread_instrs > 0);
+        assert_eq!(stats.blocks, 8);
     }
 }

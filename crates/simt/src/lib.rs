@@ -27,9 +27,14 @@
 //! * [`backend`] — runtime-selectable warp engines: the scalar reference
 //!   and the 8-wide SIMD lane-group engine ([`simd`]), required to be
 //!   bit-identical and differentially tested against each other.
+//! * [`sched`] — policy-driven block dispatch: [`sched::BlockScheduler`]
+//!   turns grid geometry into a deterministic [`sched::DispatchPlan`],
+//!   which the device consumes for solo launches (trivial plan) and for
+//!   co-scheduled kernel pairs ([`exec::Device::launch_pair`]).
 //! * [`kgen`] — a seeded random kernel generator (divergence / stride /
 //!   atomic-density knobs) feeding the cross-backend differential
-//!   harness hundreds of structurally safe kernels.
+//!   harness hundreds of structurally safe kernels, plus an adversarial
+//!   cache-thrashing partner for interference studies.
 //! * [`trace`] — observer interfaces for streaming characterization.
 //!
 //! # Example
@@ -86,6 +91,7 @@ pub mod kernel;
 pub mod kgen;
 pub mod launch;
 pub mod profile;
+pub mod sched;
 mod simd;
 pub mod trace;
 

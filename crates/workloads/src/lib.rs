@@ -31,6 +31,7 @@
 //! ```
 
 pub mod fingerprint;
+pub mod pairs;
 pub mod registry;
 pub mod rng;
 pub mod workload;

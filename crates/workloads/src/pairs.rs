@@ -1,0 +1,230 @@
+//! Curated co-scheduled kernel-pair scenarios for the pairwise-
+//! interference study.
+//!
+//! Each scenario names two members: a registry workload plus either a
+//! second registry workload or the `kgen` adversarial cache thrasher
+//! ([`gwc_simt::kgen::generate_thrasher`]). The curation spans the
+//! interference axis: pairs of memory-streaming kernels that fight for
+//! the shared reuse stack (expected high interference), pairs where one
+//! member is compute-bound and barely touches memory (expected low),
+//! and the synthetic thrasher as an upper-bound aggressor no registry
+//! pair matches.
+//!
+//! The expectation labels are hypotheses, not ground truth — experiment
+//! E14 measures the actual interference signatures and clusters them;
+//! disagreement between expectation and cluster is a finding, not a
+//! bug.
+
+use gwc_simt::exec::Device;
+use gwc_simt::kgen;
+use gwc_simt::SimtError;
+
+use crate::registry::all_workloads;
+use crate::workload::{LaunchSpec, Scale, Suite, VerifyError, Workload, WorkloadMeta};
+
+/// The second member of a pair scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairPartner {
+    /// A registry workload, by stable name.
+    Registry(&'static str),
+    /// The seeded `kgen` cache-thrashing aggressor.
+    Thrasher,
+}
+
+/// Curator's interference hypothesis for a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interference {
+    /// Both members stream memory; contention expected.
+    High,
+    /// At least one member is compute-bound; little contention expected.
+    Low,
+}
+
+impl Interference {
+    /// Lowercase label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Interference::High => "high",
+            Interference::Low => "low",
+        }
+    }
+}
+
+/// One curated co-schedule scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct PairScenario {
+    /// Stable scenario name, `a+b`.
+    pub name: &'static str,
+    /// First member: a registry workload name.
+    pub a: &'static str,
+    /// Second member.
+    pub partner: PairPartner,
+    /// Curator's hypothesis.
+    pub expected: Interference,
+}
+
+/// The curated scenario set, in stable order.
+pub const PAIR_SCENARIOS: [PairScenario; 7] = [
+    PairScenario {
+        name: "matrix_mul+transpose",
+        a: "matrix_mul",
+        partner: PairPartner::Registry("transpose"),
+        expected: Interference::High,
+    },
+    PairScenario {
+        name: "spmv+stencil",
+        a: "spmv",
+        partner: PairPartner::Registry("stencil"),
+        expected: Interference::High,
+    },
+    PairScenario {
+        name: "bfs+needleman_wunsch",
+        a: "bfs",
+        partner: PairPartner::Registry("needleman_wunsch"),
+        expected: Interference::High,
+    },
+    PairScenario {
+        name: "parallel_reduction+black_scholes",
+        a: "parallel_reduction",
+        partner: PairPartner::Registry("black_scholes"),
+        expected: Interference::Low,
+    },
+    PairScenario {
+        name: "kmeans+cp",
+        a: "kmeans",
+        partner: PairPartner::Registry("cp"),
+        expected: Interference::Low,
+    },
+    PairScenario {
+        name: "nearest_neighbor+mri_q",
+        a: "nearest_neighbor",
+        partner: PairPartner::Registry("mri_q"),
+        expected: Interference::Low,
+    },
+    PairScenario {
+        name: "histogram+kgen_thrash",
+        a: "histogram",
+        partner: PairPartner::Thrasher,
+        expected: Interference::High,
+    },
+];
+
+/// Instantiates a registry workload by name with the study's derived
+/// seeding (the same seed derivation as [`all_workloads`], so a pair
+/// member is input-identical to its solo-study counterpart and the solo
+/// profile cache covers it).
+///
+/// # Panics
+///
+/// Panics if `name` is not a registry workload — scenario membership is
+/// validated by tests, so a miss here is a curation bug.
+pub fn registry_member(name: &str, seed: u64) -> Box<dyn Workload> {
+    all_workloads(seed)
+        .into_iter()
+        .find(|w| w.meta().name == name)
+        .unwrap_or_else(|| panic!("pair scenario names unknown workload `{name}`"))
+}
+
+/// Instantiates a scenario's second member.
+pub fn partner_member(partner: PairPartner, seed: u64) -> Box<dyn Workload> {
+    match partner {
+        PairPartner::Registry(name) => registry_member(name, seed),
+        PairPartner::Thrasher => Box::new(ThrashWorkload::new(seed)),
+    }
+}
+
+/// The `kgen` cache-thrashing aggressor wrapped as a workload, so the
+/// pair study drives it through the same setup/launch/verify flow as
+/// registry members.
+#[derive(Debug)]
+pub struct ThrashWorkload {
+    seed: u64,
+}
+
+impl ThrashWorkload {
+    /// Creates the aggressor with a deterministic generator seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Workload for ThrashWorkload {
+    fn meta(&self) -> WorkloadMeta {
+        WorkloadMeta {
+            name: "kgen_thrash",
+            suite: Suite::Other,
+            description: "seeded adversarial cache-thrashing partner (kgen)",
+        }
+    }
+
+    fn setup(&mut self, device: &mut Device, _scale: Scale) -> Result<Vec<LaunchSpec>, SimtError> {
+        // Geometry and footprint come from the thrash knobs; the study
+        // scale does not apply (the aggressor's size IS its identity).
+        let g = kgen::generate_thrasher(self.seed)?;
+        let args = g.alloc_args(device);
+        Ok(vec![LaunchSpec {
+            label: "thrash".to_string(),
+            kernel: g.kernel,
+            config: g.config,
+            args: args.args,
+        }])
+    }
+
+    fn verify(&self, _device: &Device) -> Result<(), VerifyError> {
+        // Generated kernels carry no CPU reference; their correctness is
+        // covered by the cross-backend differential harness (kgen
+        // kernels are safe by construction and diffed by the hundreds).
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_workload;
+
+    #[test]
+    fn scenario_names_are_stable_and_unique() {
+        let mut names: Vec<&str> = PAIR_SCENARIOS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PAIR_SCENARIOS.len(), "duplicate scenario");
+        for s in &PAIR_SCENARIOS {
+            let partner = match s.partner {
+                PairPartner::Registry(n) => n,
+                PairPartner::Thrasher => "kgen_thrash",
+            };
+            assert_eq!(s.name, format!("{}+{partner}", s.a), "name drifted");
+        }
+    }
+
+    #[test]
+    fn every_member_instantiates() {
+        for s in &PAIR_SCENARIOS {
+            let a = registry_member(s.a, 7);
+            assert_eq!(a.meta().name, s.a);
+            let b = partner_member(s.partner, 7);
+            match s.partner {
+                PairPartner::Registry(n) => assert_eq!(b.meta().name, n),
+                PairPartner::Thrasher => assert_eq!(b.meta().name, "kgen_thrash"),
+            }
+        }
+    }
+
+    #[test]
+    fn both_interference_classes_are_curated() {
+        for class in [Interference::High, Interference::Low] {
+            assert!(
+                PAIR_SCENARIOS.iter().any(|s| s.expected == class),
+                "no {} scenario",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn thrasher_runs_as_a_workload() {
+        let mut w = ThrashWorkload::new(7);
+        run_workload(&mut w, Scale::Tiny).expect("thrasher runs and verifies");
+    }
+}

@@ -340,6 +340,118 @@ fn faulting_kernels_fail_identically_across_backends() {
     }
 }
 
+/// Co-scheduled pair launches must be bit-identical across backends
+/// under every dispatch policy — and each member's own trace must equal
+/// its solo run. Every policy keeps a kernel's blocks in ascending
+/// order on one device, so co-residence never changes what either
+/// member executes: interference is observational (the shared reuse
+/// timeline), never semantic.
+///
+/// The solo baselines set up *both* members (so the device heap layout
+/// matches the co-run byte for byte) but launch only one, making the
+/// per-member trace digests directly comparable.
+#[test]
+fn pair_launches_bit_identical_across_backends_and_policies() {
+    use gwc::simt::exec::PairLaunch;
+    use gwc::simt::sched::{PerKernel, SchedPolicy};
+    use gwc::workloads::pairs::{partner_member, registry_member, PAIR_SCENARIOS};
+    use gwc::workloads::LaunchSpec;
+
+    fn pl(l: &LaunchSpec) -> PairLaunch<'_> {
+        PairLaunch {
+            kernel: &l.kernel,
+            config: &l.config,
+            args: &l.args,
+        }
+    }
+
+    for scenario in &PAIR_SCENARIOS {
+        // Per member: one (digest, events, stats) entry per launch.
+        let mut solo = [Vec::new(), Vec::new()];
+        for (member, records) in solo.iter_mut().enumerate() {
+            let mut wa = registry_member(scenario.a, SEED);
+            let mut wb = partner_member(scenario.partner, SEED);
+            let mut dev = Device::with_backend(BackendKind::Simd);
+            let la = wa.setup(&mut dev, Scale::Tiny).expect("solo setup a");
+            let lb = wb.setup(&mut dev, Scale::Tiny).expect("solo setup b");
+            for l in if member == 0 { &la } else { &lb } {
+                let mut h = TraceHasher::new();
+                let stats = dev
+                    .launch_observed(&l.kernel, &l.config, &l.args, &mut h)
+                    .expect("solo launch");
+                records.push((h.digest(), h.events(), stats));
+            }
+        }
+
+        for policy in SchedPolicy::ALL {
+            let what = format!("{}/{}", scenario.name, policy.name());
+            let mut a_s = registry_member(scenario.a, SEED);
+            let mut b_s = partner_member(scenario.partner, SEED);
+            let mut a_p = registry_member(scenario.a, SEED);
+            let mut b_p = partner_member(scenario.partner, SEED);
+            let mut ds = Device::with_backend(BackendKind::Scalar);
+            let mut dp = Device::with_backend(BackendKind::Simd);
+            let la_s = a_s.setup(&mut ds, Scale::Tiny).expect("scalar setup a");
+            let lb_s = b_s.setup(&mut ds, Scale::Tiny).expect("scalar setup b");
+            let la_p = a_p.setup(&mut dp, Scale::Tiny).expect("simd setup a");
+            let lb_p = b_p.setup(&mut dp, Scale::Tiny).expect("simd setup b");
+            let paired = la_s.len().min(lb_s.len());
+
+            for i in 0..paired {
+                let mut hs = PerKernel::new(vec![TraceHasher::new(), TraceHasher::new()]);
+                let mut hp = PerKernel::new(vec![TraceHasher::new(), TraceHasher::new()]);
+                let ss = ds
+                    .launch_pair(pl(&la_s[i]), pl(&lb_s[i]), policy, &mut hs)
+                    .expect("scalar pair launch");
+                let sp = dp
+                    .launch_pair(pl(&la_p[i]), pl(&lb_p[i]), policy, &mut hp)
+                    .expect("simd pair launch");
+                assert_eq!(ss, sp, "{what}: pair launch stats");
+                let hs = hs.into_members();
+                let hp = hp.into_members();
+                for m in 0..2 {
+                    assert_eq!(
+                        hs[m].digest(),
+                        hp[m].digest(),
+                        "{what}: member {m} trace digest"
+                    );
+                    let (digest, events, stats) = &solo[m][i];
+                    assert_eq!(
+                        hs[m].digest(),
+                        *digest,
+                        "{what}: member {m} co-run trace must equal its solo run"
+                    );
+                    assert_eq!(hs[m].events(), *events, "{what}: member {m} event count");
+                    assert_eq!(ss[m], *stats, "{what}: member {m} stats must equal solo");
+                }
+            }
+            // Leftover launches of the longer member keep both devices
+            // (and the solo baseline) in lockstep.
+            for (specs_s, specs_p) in [(&la_s, &la_p), (&lb_s, &lb_p)] {
+                for (ls, lp) in specs_s.iter().zip(specs_p.iter()).skip(paired) {
+                    let ss = ds
+                        .launch(&ls.kernel, &ls.config, &ls.args)
+                        .expect("scalar leftover");
+                    let sp = dp
+                        .launch(&lp.kernel, &lp.config, &lp.args)
+                        .expect("simd leftover");
+                    assert_eq!(ss, sp, "{what}: leftover stats");
+                }
+            }
+
+            assert_eq!(
+                ds.global_image(),
+                dp.global_image(),
+                "{what}: global memory image"
+            );
+            a_s.verify(&ds).expect("scalar member a verifies");
+            b_s.verify(&ds).expect("scalar member b verifies");
+            a_p.verify(&dp).expect("simd member a verifies");
+            b_p.verify(&dp).expect("simd member b verifies");
+        }
+    }
+}
+
 /// Nightly-style fuzz sweep: 500 generated kernels through the
 /// differential check. Run explicitly (CI does) with
 /// `cargo test --test backend_diff -- --ignored`.

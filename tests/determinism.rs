@@ -102,6 +102,48 @@ fn same_seed_repeats_identically() {
     assert_records_identical(a.records(), b.records(), "repeated seed-13 runs");
 }
 
+/// The co-scheduled pair study (experiment E14's input) is bit-identical
+/// no matter how many threads computed the solo study it references:
+/// the co-run itself is serial by construction (a shared timeline is a
+/// total order), and the solo-reference columns come from the study
+/// fan-out, which guarantees 1 above. Checked under every dispatch
+/// policy, including a same-policy repeat.
+#[test]
+fn pair_study_identical_across_thread_counts_and_policies() {
+    use gwc::core::pairs::PairStudy;
+    use gwc::simt::sched::SchedPolicy;
+
+    let config = tiny_config(7);
+    let serial = Study::run(&config).expect("serial study");
+    let baseline: Vec<PairStudy> = SchedPolicy::ALL
+        .iter()
+        .map(|&p| PairStudy::run(7, Scale::Tiny, false, p, &serial))
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        let parallel = Study::run_threads(&config, threads).expect("parallel study");
+        for (policy, base) in SchedPolicy::ALL.iter().zip(&baseline) {
+            let again = PairStudy::run(7, Scale::Tiny, false, *policy, &parallel);
+            assert_eq!(base.records().len(), again.records().len());
+            for (x, y) in base.records().iter().zip(again.records()) {
+                assert_eq!(
+                    x.profile,
+                    y.profile,
+                    "{} under {} with a {threads}-thread solo study",
+                    x.scenario.name,
+                    policy.name()
+                );
+                assert_eq!(
+                    x.solo_ref,
+                    y.solo_ref,
+                    "{} under {}: solo references at {threads} threads",
+                    x.scenario.name,
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     // Sanity check that the suite isn't vacuous: seeds actually steer
